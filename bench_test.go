@@ -1,0 +1,153 @@
+// Repository-level benchmarks: one per table and figure of the paper's
+// evaluation (regenerated in reduced Quick form at 1:4096 scale), plus
+// ablation benches for the design choices called out in DESIGN.md.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-figure benches report the headline series mean as a custom
+// "us/op-mean" metric so shape regressions show up in benchmark diffs.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/flashsim"
+	"repro/internal/experiments"
+)
+
+const benchScale = 4096
+
+func benchOpts() experiments.Options {
+	return experiments.Options{Scale: benchScale, Quick: true}
+}
+
+// benchExperiment runs one named experiment per iteration and reports the
+// mean Y of its first figure's first series.
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	runner, ok := experiments.Lookup(name)
+	if !ok {
+		b.Fatalf("unknown experiment %q", name)
+	}
+	var headline float64
+	for i := 0; i < b.N; i++ {
+		rep, err := runner(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Figures) > 0 && len(rep.Figures[0].Series) > 0 {
+			s := rep.Figures[0].Series[0]
+			sum := 0.0
+			for _, p := range s.Points {
+				sum += p.Y
+			}
+			if len(s.Points) > 0 {
+				headline = sum / float64(len(s.Points))
+			}
+		}
+	}
+	if headline > 0 {
+		b.ReportMetric(headline, "us/headline-mean")
+	}
+}
+
+// --- one bench per table and figure ---
+
+func BenchmarkTable1Timing(b *testing.B)        { benchExperiment(b, "table1") }
+func BenchmarkFig1SSDLatency(b *testing.B)      { benchExperiment(b, "fig1") }
+func BenchmarkFig2PolicyArch(b *testing.B)      { benchExperiment(b, "fig2") }
+func BenchmarkFig3EffectiveSize(b *testing.B)   { benchExperiment(b, "fig3") }
+func BenchmarkFig4FlashVsNoFlash(b *testing.B)  { benchExperiment(b, "fig4") }
+func BenchmarkFig5Prefetch(b *testing.B)        { benchExperiment(b, "fig5") }
+func BenchmarkFig6SmallRAM(b *testing.B)        { benchExperiment(b, "fig6") }
+func BenchmarkFig7SmallRAMSmallWS(b *testing.B) { benchExperiment(b, "fig7") }
+func BenchmarkFig8WriteRatio(b *testing.B)      { benchExperiment(b, "fig8") }
+func BenchmarkFig9FlashTimings(b *testing.B)    { benchExperiment(b, "fig9") }
+func BenchmarkFig10Persistence(b *testing.B)    { benchExperiment(b, "fig10") }
+func BenchmarkFig11InvalWritePct(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkFig12InvalWSS(b *testing.B)       { benchExperiment(b, "fig12") }
+
+// --- ablation benches ---
+
+// benchAblation runs the baseline with a config mutation and reports the
+// read and write latencies as metrics.
+func benchAblation(b *testing.B, mutate func(*flashsim.Config)) {
+	b.Helper()
+	var read, write float64
+	for i := 0; i < b.N; i++ {
+		cfg := flashsim.ScaledConfig(benchScale / 4) // 1:1024
+		mutate(&cfg)
+		res, err := flashsim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		read, write = res.ReadLatencyMicros, res.WriteLatencyMicros
+	}
+	b.ReportMetric(read, "us/read")
+	b.ReportMetric(write, "us/write")
+}
+
+func BenchmarkAblationBaseline(b *testing.B) {
+	benchAblation(b, func(cfg *flashsim.Config) {})
+}
+
+// Pending-fetch deduplication: without it, concurrent misses on a block
+// each pay a filer round trip.
+func BenchmarkAblationNoFetchDedup(b *testing.B) {
+	benchAblation(b, func(cfg *flashsim.Config) { cfg.DisableFetchDedup = true })
+}
+
+// Charging the flash miss-fill write to the requester instead of
+// performing it in the background.
+func BenchmarkAblationSyncFill(b *testing.B) {
+	benchAblation(b, func(cfg *flashsim.Config) { cfg.SyncMissFill = true })
+}
+
+// Letting clean RAM copies outlive their flash backing (RAM no longer a
+// subset of flash).
+func BenchmarkAblationNoSubsetShootdown(b *testing.B) {
+	benchAblation(b, func(cfg *flashsim.Config) { cfg.DisableSubsetShootdown = true })
+}
+
+// One half-duplex wire shared by demand and writeback traffic.
+func BenchmarkAblationHalfDuplexNet(b *testing.B) {
+	benchAblation(b, func(cfg *flashsim.Config) { cfg.HalfDuplexNet = true })
+}
+
+// Serializing the flash device behind a single FIFO queue.
+func BenchmarkAblationContendedFlash(b *testing.B) {
+	benchAblation(b, func(cfg *flashsim.Config) { cfg.ContendedFlash = true })
+}
+
+// Architecture comparison at the benchmark scale (the Figure 2/3 story in
+// three rows).
+func BenchmarkArchNaive(b *testing.B) {
+	benchAblation(b, func(cfg *flashsim.Config) { cfg.Arch = flashsim.Naive })
+}
+
+func BenchmarkArchLookaside(b *testing.B) {
+	benchAblation(b, func(cfg *flashsim.Config) { cfg.Arch = flashsim.Lookaside })
+}
+
+func BenchmarkArchUnified(b *testing.B) {
+	benchAblation(b, func(cfg *flashsim.Config) { cfg.Arch = flashsim.Unified })
+}
+
+// Raw simulator throughput: events per second through the full stack.
+func BenchmarkSimulatorEventThroughput(b *testing.B) {
+	cfg := flashsim.ScaledConfig(1024)
+	var events uint64
+	var seconds float64
+	for i := 0; i < b.N; i++ {
+		res, err := flashsim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.Events
+		seconds = res.SimulatedSeconds
+	}
+	b.ReportMetric(float64(events), "events/run")
+	b.ReportMetric(seconds, "simsec/run")
+}

@@ -1,0 +1,91 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run all                 # everything, 1:128 scale
+//	experiments -run fig4 -scale 64      # one figure, closer to full size
+//	experiments -run fig2 -quick         # trimmed sweeps
+//	experiments -run all -out results/   # also write CSV files
+//
+// Each experiment prints an ASCII rendition of its figures to stdout and,
+// with -out, writes one CSV per figure for external plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	runName := flag.String("run", "all", "experiment to run (all, table1, fig1..fig12)")
+	scale := flag.Int("scale", 128, "size scale divisor (1 = the paper's full sizes)")
+	quick := flag.Bool("quick", false, "trim sweeps for a fast pass")
+	outDir := flag.String("out", "", "directory for CSV output (optional)")
+	verbose := flag.Bool("v", false, "log each simulation as it completes")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiments.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	opts := experiments.Options{Scale: *scale, Quick: *quick}
+	if *verbose {
+		opts.Progress = os.Stderr
+	}
+
+	var names []string
+	if *runName == "all" {
+		names = experiments.Names()
+	} else {
+		for _, n := range strings.Split(*runName, ",") {
+			names = append(names, strings.TrimSpace(n))
+		}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	for _, name := range names {
+		runner, ok := experiments.Lookup(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (have: %s)\n",
+				name, strings.Join(experiments.Names(), ", "))
+			os.Exit(2)
+		}
+		fmt.Printf("==> %s\n", name)
+		rep, err := runner(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n\n", rep.Description)
+		for _, tbl := range rep.Tables {
+			fmt.Println(tbl)
+		}
+		for i, fig := range rep.Figures {
+			fmt.Println(fig.ASCII(72, 18))
+			if *outDir != "" {
+				path := filepath.Join(*outDir, fmt.Sprintf("%s_%d.csv", rep.Name, i))
+				if err := os.WriteFile(path, []byte(fig.CSV()), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "experiments: writing %s: %v\n", path, err)
+					os.Exit(1)
+				}
+				fmt.Printf("  wrote %s\n", path)
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,99 @@
+// Command flashsim runs a single client-side flash caching simulation and
+// prints the measured latencies and cache statistics.
+//
+// Usage (paper baseline at 1:128 scale):
+//
+//	flashsim -arch naive -ram-policy p1 -flash-policy a \
+//	         -ram 8 -flash 64 -wss 60 -writes 30 -scale 128
+//
+// Replaying a trace file instead of the synthetic workload:
+//
+//	flashsim -trace workload.fctr -warmup-blocks 100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/flashsim"
+	"repro/internal/trace"
+)
+
+func main() {
+	arch := flag.String("arch", "naive", "cache architecture: naive, lookaside, unified")
+	ramPolicy := flag.String("ram-policy", "p1", "RAM writeback policy: s, a, pN, n")
+	flashPolicy := flag.String("flash-policy", "a", "flash writeback policy: s, a, pN, n")
+	ramGB := flag.Float64("ram", 8, "RAM cache size in paper GB")
+	flashGB := flag.Float64("flash", 64, "flash cache size in paper GB")
+	wssGB := flag.Float64("wss", 60, "working set size in paper GB")
+	writes := flag.Float64("writes", 30, "write percentage")
+	hosts := flag.Int("hosts", 1, "number of hosts")
+	threads := flag.Int("threads", 8, "threads per host")
+	shared := flag.Bool("shared-wss", false, "hosts share one working set")
+	scale := flag.Int("scale", 128, "size scale divisor")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	persistent := flag.Bool("persistent", false, "persistent (recoverable) flash cache")
+	cold := flag.Bool("cold", false, "cold start: skip warmup (simulates a crash)")
+	recovered := flag.Bool("recovered", false, "recovered start: crash + persistent-cache recovery")
+	protocol := flag.Bool("protocol", false, "callback consistency protocol instead of instant invalidation")
+	replacement := flag.String("replacement", "lru", "flash replacement policy: lru, fifo, clock, slru, 2q")
+	ftlBacked := flag.Bool("ftl", false, "route flash traffic through the FTL device simulator")
+	prefetch := flag.Float64("prefetch", 0.90, "filer fast-read (prefetch success) rate")
+	tracePath := flag.String("trace", "", "replay a binary trace file instead of synthesizing")
+	warmupBlocks := flag.Int64("warmup-blocks", 0, "warmup volume when replaying a trace")
+	flag.Parse()
+
+	cfg := flashsim.ScaledConfig(*scale)
+	var err error
+	cfg.Arch, err = flashsim.ParseArchitecture(*arch)
+	die(err)
+	rp, err := flashsim.ParsePolicy(*ramPolicy)
+	die(err)
+	fp, err := flashsim.ParsePolicy(*flashPolicy)
+	die(err)
+	cfg.RAMPolicy = flashsim.ScalePolicy(rp, *scale)
+	cfg.FlashPolicy = flashsim.ScalePolicy(fp, *scale)
+	cfg.RAMBlocks = int(*ramGB * float64(flashsim.BlocksPerGB) / float64(*scale))
+	cfg.FlashBlocks = int(*flashGB * float64(flashsim.BlocksPerGB) / float64(*scale))
+	cfg.Hosts = *hosts
+	cfg.ThreadsPerHost = *threads
+	cfg.PersistentFlash = *persistent
+	cfg.ColdStart = *cold
+	cfg.RecoveredStart = *recovered
+	cfg.ConsistencyProtocol = *protocol
+	cfg.FTLBackedFlash = *ftlBacked
+	cfg.FlashReplacement, err = flashsim.ParseReplacement(*replacement)
+	die(err)
+	cfg.Timing.FilerFastReadRate = *prefetch
+	cfg.Workload.WorkingSetBlocks = int64(*wssGB * float64(flashsim.BlocksPerGB) / float64(*scale))
+	cfg.Workload.WriteFraction = *writes / 100
+	cfg.Workload.SharedWorkingSet = *shared
+	cfg.Workload.Seed = *seed
+
+	var res *flashsim.Result
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		die(err)
+		defer f.Close()
+		r, err := trace.NewBinaryReader(f)
+		die(err)
+		res, err = flashsim.RunTrace(cfg, r, *warmupBlocks)
+		die(err)
+		die(r.Err())
+	} else {
+		res, err = flashsim.Run(cfg)
+		die(err)
+	}
+
+	fmt.Printf("%s %s/%s ram=%gGB flash=%gGB wss=%gGB writes=%g%% scale=1:%d\n",
+		*arch, *ramPolicy, *flashPolicy, *ramGB, *flashGB, *wssGB, *writes, *scale)
+	fmt.Print(res)
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flashsim: %v\n", err)
+		os.Exit(1)
+	}
+}

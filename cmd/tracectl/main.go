@@ -1,0 +1,174 @@
+// Command tracectl inspects and converts trace files in the repository's
+// formats.
+//
+// Usage:
+//
+//	tracectl stat  trace.fctr            # summarize a trace
+//	tracectl head  -n 20 trace.fctr     # print the first ops as text
+//	tracectl conv  trace.fctr out.txt   # binary -> text (or text -> binary)
+//
+// Formats are auto-detected from the binary magic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	args := os.Args[2:]
+	switch cmd {
+	case "stat":
+		cmdStat(args)
+	case "head":
+		cmdHead(args)
+	case "conv":
+		cmdConv(args)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: tracectl {stat|head|conv} [flags] file...")
+	os.Exit(2)
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracectl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// open returns a Source for the file, sniffing the format, plus a closer
+// and an error-checker for post-drain validation.
+func open(path string) (trace.Source, func() error, func() error) {
+	f, err := os.Open(path)
+	die(err)
+	var magic [8]byte
+	_, err = io.ReadFull(f, magic[:])
+	die(err)
+	_, err = f.Seek(0, io.SeekStart)
+	die(err)
+	if magic[0] == 'F' && magic[1] == 'C' && magic[2] == 'T' && magic[3] == 'R' {
+		r, err := trace.NewBinaryReader(f)
+		die(err)
+		return r, f.Close, r.Err
+	}
+	r := trace.NewTextReader(f)
+	return r, f.Close, r.Err
+}
+
+func cmdStat(args []string) {
+	fs := flag.NewFlagSet("stat", flag.ExitOnError)
+	die(fs.Parse(args))
+	if fs.NArg() == 0 {
+		usage()
+	}
+	for _, path := range fs.Args() {
+		src, closeFn, errFn := open(path)
+		st := trace.Collect(src)
+		die(errFn())
+		die(closeFn())
+		fmt.Printf("%s:\n", path)
+		fmt.Printf("  ops:     %d (%d reads, %d writes)\n", st.Ops, st.ReadOps, st.WriteOps)
+		fmt.Printf("  blocks:  %d (%.1f MiB volume, %.1f%% written)\n",
+			st.Blocks, float64(st.Blocks)*trace.BlockSize/(1<<20),
+			100*float64(st.WriteBlocks)/float64(st.Blocks))
+		fmt.Printf("  sources: %d hosts, %d threads, %d files\n", st.Hosts, st.Threads, st.Files)
+		if st.Ops > 0 {
+			fmt.Printf("  mean op: %.2f blocks\n", float64(st.Blocks)/float64(st.Ops))
+		}
+	}
+}
+
+func cmdHead(args []string) {
+	fs := flag.NewFlagSet("head", flag.ExitOnError)
+	n := fs.Int("n", 10, "number of ops to print")
+	die(fs.Parse(args))
+	if fs.NArg() != 1 {
+		usage()
+	}
+	src, closeFn, errFn := open(fs.Arg(0))
+	w := trace.NewTextWriter(os.Stdout)
+	for i := 0; i < *n; i++ {
+		op, ok := src.Next()
+		if !ok {
+			break
+		}
+		die(w.Write(op))
+	}
+	die(w.Flush())
+	die(errFn())
+	die(closeFn())
+}
+
+func cmdConv(args []string) {
+	fs := flag.NewFlagSet("conv", flag.ExitOnError)
+	toText := fs.Bool("text", false, "force text output (default: opposite of input)")
+	toBinary := fs.Bool("binary", false, "force binary output")
+	die(fs.Parse(args))
+	if fs.NArg() != 2 {
+		usage()
+	}
+	src, closeFn, errFn := open(fs.Arg(0))
+	out, err := os.Create(fs.Arg(1))
+	die(err)
+	defer out.Close()
+
+	// Default: if input was binary, emit text, and vice versa. Sniff by
+	// re-opening; cheap and simple.
+	binaryIn := false
+	if f, err := os.Open(fs.Arg(0)); err == nil {
+		var magic [4]byte
+		if _, err := io.ReadFull(f, magic[:]); err == nil {
+			binaryIn = string(magic[:]) == "FCTR"
+		}
+		f.Close()
+	}
+	emitBinary := !binaryIn
+	if *toText {
+		emitBinary = false
+	}
+	if *toBinary {
+		emitBinary = true
+	}
+
+	var count uint64
+	if emitBinary {
+		w, err := trace.NewBinaryWriter(out)
+		die(err)
+		for {
+			op, ok := src.Next()
+			if !ok {
+				break
+			}
+			die(w.Write(op))
+		}
+		die(w.Flush())
+		count = w.Count()
+	} else {
+		w := trace.NewTextWriter(out)
+		for {
+			op, ok := src.Next()
+			if !ok {
+				break
+			}
+			die(w.Write(op))
+		}
+		die(w.Flush())
+		count = w.Count()
+	}
+	die(errFn())
+	die(closeFn())
+	fmt.Printf("converted %d ops to %s\n", count, fs.Arg(1))
+}

@@ -1,0 +1,51 @@
+// Tinyram demonstrates the paper's most surprising result (§7.5): with a
+// large flash cache and asynchronous write-through from RAM, a miniscule
+// RAM cache — 256 KB, just enough to act as a speed-matching write buffer —
+// performs nearly as well as the full 8 GB, freeing that memory for
+// applications.
+//
+//	go run ./examples/tinyram
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/flashsim"
+)
+
+func main() {
+	const scale = 512
+	base := flashsim.ScaledConfig(scale)
+	base.RAMPolicy = flashsim.PolicyAsync // the policy that makes this work
+	fs, err := flashsim.GenerateFileSet(5*base.Workload.WorkingSetBlocks, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base.Workload.FileSet = fs
+
+	ramSizes := []struct {
+		name   string
+		blocks int
+	}{
+		{"0 (no RAM cache)", 0},
+		{"256 KB", 64},
+		{"1 MB", 256},
+		{"16 MB", 4096},
+		{"8 GB (scaled)", base.RAMBlocks},
+	}
+
+	fmt.Println("64 GB flash, 60 GB working set, async write-through RAM policy")
+	fmt.Printf("%-20s %12s %12s\n", "RAM cache", "read (us)", "write (us)")
+	for _, rs := range ramSizes {
+		cfg := base
+		cfg.RAMBlocks = rs.blocks
+		res, err := flashsim.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-20s %12.1f %12.1f\n", rs.name, res.ReadLatencyMicros, res.WriteLatencyMicros)
+	}
+	fmt.Println("\na 256 KB RAM cache is within a whisker of the full-size cache:")
+	fmt.Println("the flash does the caching; RAM only buffers writes")
+}

@@ -1,0 +1,479 @@
+// Package flashsim is the public API of the client-side flash caching
+// simulator, a reproduction of Holland et al., "Flash Caching on the
+// Storage Client" (USENIX ATC 2013).
+//
+// A simulation is described by a Config — cache sizes, architecture,
+// writeback policies, timing model and synthetic workload — and executed
+// with Run, which returns a Result carrying the application-observed
+// latencies and cache statistics the paper reports.
+//
+// Quick start:
+//
+//	cfg := flashsim.DefaultConfig()
+//	cfg.Workload.WorkingSetBlocks = 60 * flashsim.BlocksPerGB / 64 // 60 GB at 1:64 scale
+//	res, err := flashsim.Run(cfg)
+//	...
+//	fmt.Printf("read latency: %.1f us\n", res.ReadLatencyMicros)
+package flashsim
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cache"
+	"repro/internal/consistency"
+	"repro/internal/core"
+	"repro/internal/filer"
+	"repro/internal/netsim"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+// BlocksPerGB is the number of 4 KiB blocks in a gigabyte; the paper's
+// sizes (8 GB RAM, 64 GB flash, ...) convert to block counts with this.
+const BlocksPerGB = 1 << 30 / trace.BlockSize
+
+// Re-exported configuration types. The aliases make flashsim self-contained
+// for callers while the implementation lives in internal packages.
+type (
+	// Architecture selects naive, lookaside or unified (paper §3.3).
+	Architecture = core.Architecture
+	// Policy is a per-tier writeback policy (paper §3.5).
+	Policy = core.Policy
+	// Timing is the paper's Table 1 timing model.
+	Timing = core.Timing
+	// FileSet is the synthetic file-server model traces sample from.
+	FileSet = tracegen.FileSet
+	// HostStats carries per-host counters.
+	HostStats = core.HostStats
+	// TraceSource streams trace operations into RunTrace.
+	TraceSource = trace.Source
+	// TraceOp is one block-level trace record.
+	TraceOp = trace.Op
+	// ReplacementKind selects the flash tier's replacement policy.
+	ReplacementKind = cache.ReplacementKind
+)
+
+// Flash replacement policies (extension study; the paper fixes LRU).
+const (
+	ReplaceLRU   = cache.ReplaceLRU
+	ReplaceFIFO  = cache.ReplaceFIFO
+	ReplaceClock = cache.ReplaceClock
+	ReplaceSLRU  = cache.ReplaceSLRU
+	Replace2Q    = cache.Replace2Q
+)
+
+// ParseReplacement parses a replacement policy name (lru, fifo, clock,
+// slru, 2q).
+func ParseReplacement(s string) (ReplacementKind, error) { return cache.ParseReplacement(s) }
+
+// AllReplacements returns the replacement policies in study order.
+func AllReplacements() []ReplacementKind {
+	return []ReplacementKind{ReplaceLRU, ReplaceFIFO, ReplaceClock, ReplaceSLRU, Replace2Q}
+}
+
+// NewTraceSlice adapts in-memory ops to a TraceSource.
+func NewTraceSlice(ops []TraceOp) TraceSource { return trace.NewSliceSource(ops) }
+
+// OpenBinaryTrace returns a TraceSource reading the repository's binary
+// trace format (as written by cmd/tracegen).
+func OpenBinaryTrace(r io.Reader) (TraceSource, error) { return trace.NewBinaryReader(r) }
+
+// Architectures.
+const (
+	Naive     = core.Naive
+	Lookaside = core.Lookaside
+	Unified   = core.Unified
+)
+
+// Canonical policies (s, a, p1, p5, p15, p30, n).
+var (
+	PolicySync  = core.PolicySync
+	PolicyAsync = core.PolicyAsync
+	PolicyP1    = core.PolicyP1
+	PolicyP5    = core.PolicyP5
+	PolicyP15   = core.PolicyP15
+	PolicyP30   = core.PolicyP30
+	PolicyNone  = core.PolicyNone
+)
+
+// AllPolicies returns the paper's seven policies in figure order.
+func AllPolicies() []Policy { return core.AllPolicies() }
+
+// ParsePolicy parses the paper's shorthand (s, a, pN, n).
+func ParsePolicy(s string) (Policy, error) { return core.ParsePolicy(s) }
+
+// ParseArchitecture parses "naive", "lookaside" or "unified".
+func ParseArchitecture(s string) (Architecture, error) { return core.ParseArchitecture(s) }
+
+// DefaultTiming returns the paper's Table 1 parameters.
+func DefaultTiming() Timing { return core.DefaultTiming() }
+
+// GenerateFileSet builds a synthetic file-server model of the given total
+// size. Parameter sweeps pass the result via Workload.FileSet so that every
+// run samples the same server model, as the paper's experiments all use one
+// 1.4 TB Impressions model.
+func GenerateFileSet(totalBlocks int64, seed uint64) (*FileSet, error) {
+	cfg := tracegen.DefaultFileSetConfig(totalBlocks)
+	cfg.Seed = seed
+	return tracegen.GenerateFileSet(cfg)
+}
+
+// Workload describes the synthetic trace (paper §4).
+type Workload struct {
+	// WorkingSetBlocks is the per-working-set size in 4 KiB blocks.
+	WorkingSetBlocks int64
+	// WriteFraction of I/Os are writes (paper baseline: 0.30).
+	WriteFraction float64
+	// WorkingSetFraction of I/Os come from the working set (0.80).
+	WorkingSetFraction float64
+	// SharedWorkingSet makes all hosts share one working set, the
+	// paper's worst-case consistency scenario (§7.9).
+	SharedWorkingSet bool
+	// TotalBlocks is the trace volume; zero means 4x the aggregate
+	// working set, half of which is warmup.
+	TotalBlocks int64
+	// MeanIOBlocks is the Poisson mean I/O request size (default 4).
+	MeanIOBlocks float64
+	// FileServerBlocks sizes the synthetic file server; zero means
+	// 5x the working set (the paper's 1.4 TB model scaled similarly).
+	FileServerBlocks int64
+	// FileSet, when non-nil, overrides file-set generation so sweeps
+	// can share one server model as the paper does.
+	FileSet *FileSet
+	// Seed drives all workload randomness.
+	Seed uint64
+}
+
+// Config describes one simulation.
+type Config struct {
+	// Hosts and ThreadsPerHost shape the client population (baseline:
+	// one host, eight threads).
+	Hosts          int
+	ThreadsPerHost int
+
+	// RAMBlocks and FlashBlocks size each host's cache tiers.
+	RAMBlocks   int
+	FlashBlocks int
+
+	Arch        Architecture
+	RAMPolicy   Policy
+	FlashPolicy Policy
+
+	// FlashReplacement selects the flash tier's replacement policy
+	// (layered architectures only; default LRU as in the paper).
+	FlashReplacement ReplacementKind
+
+	// PersistentFlash doubles flash write latency to pay for metadata
+	// journalling (§7.8).
+	PersistentFlash bool
+
+	// ColdStart skips the warmup phase entirely: caches start empty and
+	// measurement begins immediately, equivalent to a non-persistent
+	// cache crashing at the start of the run (§7.8).
+	ColdStart bool
+
+	// RecoveredStart models a persistent cache surviving the same crash
+	// (extension; the paper "did not attempt to simulate the recovery
+	// phase", §7.8): the flash cache starts populated with working-set
+	// blocks, but before any request is served the host scans its
+	// on-flash metadata and flushes the blocks that were dirty at the
+	// crash. The result reports the recovery delay. Implies the
+	// ColdStart trace shape (no warmup half).
+	RecoveredStart bool
+
+	// RecoveryDirtyFraction is the fraction of surviving blocks that
+	// were dirty at the crash (default 0.05).
+	RecoveryDirtyFraction float64
+
+	// TrackConsistency enables the invalidation registry even for a
+	// single host.
+	TrackConsistency bool
+
+	// ConsistencyProtocol switches from the paper's instant, free
+	// invalidation (§3.8) to a callback-based ownership protocol that
+	// charges control-message round trips and dirty-block downgrades
+	// (extension; quantifies the traffic the paper left unmodeled).
+	ConsistencyProtocol bool
+
+	// HalfDuplexNet serializes both directions of each host's network
+	// segment onto one wire. The default (full duplex, one packet per
+	// direction) matches gigabit Ethernet and keeps background writeback
+	// data from queueing ahead of read fills, which is required for the
+	// paper's Figure 8 stability; half duplex is kept as an ablation.
+	HalfDuplexNet bool
+
+	// ContendedFlash serializes flash device requests (ablation; see
+	// core.HostConfig.ContendedFlash).
+	ContendedFlash bool
+
+	// FTLBackedFlash routes flash traffic through the page-mapped FTL
+	// simulator (extension toward the paper's §8 future work): device
+	// contention, garbage collection and wear emerge rather than being
+	// averaged into a fixed latency.
+	FTLBackedFlash bool
+
+	// DisableFetchDedup, SyncMissFill and DisableSubsetShootdown are
+	// ablation knobs for design choices called out in DESIGN.md; see
+	// core.HostConfig for semantics.
+	DisableFetchDedup      bool
+	SyncMissFill           bool
+	DisableSubsetShootdown bool
+
+	Timing   Timing
+	Workload Workload
+
+	// Seed drives simulator randomness (filer prefetch outcomes).
+	Seed uint64
+}
+
+// ScalePolicy shrinks a periodic policy's period by the scale factor.
+// Scaling the geometry 1:N compresses the simulated run time ~N-fold while
+// leaving I/O *rates* unchanged, so keeping the paper's wall-clock periods
+// would starve the syncer relative to the (shrunken) cache; dividing the
+// period preserves the dimensionless ratio of dirty production per period
+// to cache capacity. Non-periodic policies pass through unchanged.
+func ScalePolicy(p Policy, scale int) Policy {
+	// Periodic and Delayed periods are wall-clock intervals competing
+	// with the (compressed) run time, so they scale. Trickle's period is
+	// the inverse of a drain *rate*, and rates are unchanged by size
+	// scaling, so it passes through.
+	if (p.Kind != core.Periodic && p.Kind != core.Delayed) || scale <= 1 {
+		return p
+	}
+	p.Period /= sim.Time(scale)
+	if p.Period < sim.Millisecond {
+		p.Period = sim.Millisecond
+	}
+	return p
+}
+
+// ScaledConfig returns the paper's baseline configuration with every size
+// scaled 1:scale: 8 GB RAM and 64 GB flash serving one host with eight
+// threads, a 60 GB working set with 30% writes, one-second periodic RAM
+// writeback and asynchronous write-through flash writeback (§7.1's chosen
+// combination). The trace volume is 4x the working set with half warmup.
+func ScaledConfig(scale int) Config {
+	if scale < 1 {
+		scale = 1
+	}
+	return Config{
+		Hosts:          1,
+		ThreadsPerHost: 8,
+		RAMBlocks:      8 * BlocksPerGB / scale,
+		FlashBlocks:    64 * BlocksPerGB / scale,
+		Arch:           Naive,
+		RAMPolicy:      ScalePolicy(PolicyP1, scale),
+		FlashPolicy:    PolicyAsync,
+		Timing:         DefaultTiming(),
+		Workload: Workload{
+			WorkingSetBlocks:   60 * int64(BlocksPerGB) / int64(scale),
+			WriteFraction:      0.30,
+			WorkingSetFraction: 0.80,
+			MeanIOBlocks:       4,
+			Seed:               1,
+		},
+		Seed: 1,
+	}
+}
+
+// DefaultConfig returns ScaledConfig(64), a laptop-friendly baseline.
+func DefaultConfig() Config { return ScaledConfig(64) }
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.Hosts < 1 {
+		return fmt.Errorf("flashsim: need at least one host")
+	}
+	if c.ThreadsPerHost < 1 {
+		return fmt.Errorf("flashsim: need at least one thread per host")
+	}
+	if c.RAMBlocks < 0 || c.FlashBlocks < 0 {
+		return fmt.Errorf("flashsim: negative cache size")
+	}
+	if c.Workload.WorkingSetBlocks <= 0 {
+		return fmt.Errorf("flashsim: working set size must be positive")
+	}
+	hc := core.HostConfig{
+		RAMBlocks:   c.RAMBlocks,
+		FlashBlocks: c.FlashBlocks,
+		Arch:        c.Arch,
+		RAMPolicy:   c.RAMPolicy,
+		FlashPolicy: c.FlashPolicy,
+	}
+	if err := hc.Validate(); err != nil {
+		return err
+	}
+	return c.Timing.Validate()
+}
+
+// Run executes the simulation and returns its results.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	fs := cfg.Workload.FileSet
+	if fs == nil {
+		serverBlocks := cfg.Workload.FileServerBlocks
+		if serverBlocks == 0 {
+			serverBlocks = 5 * cfg.Workload.WorkingSetBlocks
+		}
+		fsCfg := tracegen.DefaultFileSetConfig(serverBlocks)
+		fsCfg.Seed = cfg.Workload.Seed + 1000
+		var err error
+		fs, err = tracegen.GenerateFileSet(fsCfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	genCfg := tracegen.Config{
+		Seed:               cfg.Workload.Seed,
+		Hosts:              cfg.Hosts,
+		ThreadsPerHost:     cfg.ThreadsPerHost,
+		WorkingSetBlocks:   cfg.Workload.WorkingSetBlocks,
+		SharedWorkingSet:   cfg.Workload.SharedWorkingSet,
+		WorkingSetFraction: cfg.Workload.WorkingSetFraction,
+		WriteFraction:      cfg.Workload.WriteFraction,
+		TotalBlocks:        cfg.Workload.TotalBlocks,
+		MeanIOBlocks:       cfg.Workload.MeanIOBlocks,
+		FileSet:            fs,
+	}
+	if cfg.ColdStart || cfg.RecoveredStart {
+		// Run only the measured half against post-crash caches: the
+		// warmup the trace would have provided was "lost in the crash".
+		if genCfg.TotalBlocks == 0 {
+			sets := int64(cfg.Hosts)
+			if genCfg.SharedWorkingSet {
+				sets = 1
+			}
+			genCfg.TotalBlocks = 4 * genCfg.WorkingSetBlocks * sets
+		}
+		genCfg.TotalBlocks /= 2
+	}
+	gen, err := tracegen.NewGenerator(genCfg)
+	if err != nil {
+		return nil, err
+	}
+	warmup := gen.WarmupBlocks()
+	if cfg.ColdStart || cfg.RecoveredStart {
+		warmup = 0
+	}
+	var pre prestartFn
+	if cfg.RecoveredStart {
+		dirtyFrac := cfg.RecoveryDirtyFraction
+		if dirtyFrac == 0 {
+			dirtyFrac = 0.05
+		}
+		pre = func(eng *sim.Engine, hosts []*core.Host, done func()) {
+			rnd := rng.New(cfg.Seed + 7)
+			join := sim.NewJoin(len(hosts), done)
+			for i, h := range hosts {
+				keys := workingSetKeys(gen.WorkingSet(i), cfg.FlashBlocks)
+				h.Prefill(keys, dirtyFrac, rnd)
+				h.Recover(join.Done)
+			}
+		}
+	}
+	return runTrace(cfg, gen, warmup, pre)
+}
+
+// workingSetKeys enumerates up to limit block keys from a working set.
+func workingSetKeys(ws *tracegen.WorkingSet, limit int) []cache.Key {
+	keys := make([]cache.Key, 0, limit)
+	for _, reg := range ws.Regions {
+		for b := uint32(0); b < reg.Blocks; b++ {
+			if len(keys) >= limit {
+				return keys
+			}
+			keys = append(keys, cache.Key(trace.BlockKey(reg.File, reg.Start+b)))
+		}
+	}
+	return keys
+}
+
+// prestartFn prepares host state (e.g. crash recovery) before the trace
+// driver starts; it must call done when the simulation may proceed.
+type prestartFn func(eng *sim.Engine, hosts []*core.Host, done func())
+
+// RunTrace executes the simulation over an explicit trace source (e.g. a
+// trace file) with the given warmup volume in blocks.
+func RunTrace(cfg Config, src trace.Source, warmupBlocks int64) (*Result, error) {
+	return runTrace(cfg, src, warmupBlocks, nil)
+}
+
+func runTrace(cfg Config, src trace.Source, warmupBlocks int64, pre prestartFn) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	eng := &sim.Engine{}
+	seedRNG := rng.New(cfg.Seed)
+	fsrv := filer.New(eng, seedRNG.Fork(),
+		cfg.Timing.FilerFastRead, cfg.Timing.FilerSlowRead, cfg.Timing.FilerWrite,
+		cfg.Timing.FilerFastReadRate)
+
+	var reg *consistency.Registry
+	if cfg.Hosts > 1 || cfg.TrackConsistency {
+		reg = consistency.NewRegistry()
+		if cfg.ConsistencyProtocol {
+			reg.SetMode(consistency.ModeCallback)
+		}
+	}
+
+	hosts := make([]*core.Host, cfg.Hosts)
+	for i := range hosts {
+		hc := core.HostConfig{
+			ID:               i,
+			RAMBlocks:        cfg.RAMBlocks,
+			FlashBlocks:      cfg.FlashBlocks,
+			Arch:             cfg.Arch,
+			RAMPolicy:        cfg.RAMPolicy,
+			FlashPolicy:      cfg.FlashPolicy,
+			FlashReplacement: cfg.FlashReplacement,
+			PersistentFlash:  cfg.PersistentFlash,
+			ContendedFlash:   cfg.ContendedFlash,
+			FTLBacked:        cfg.FTLBackedFlash,
+
+			DisableFetchDedup:      cfg.DisableFetchDedup,
+			SyncMissFill:           cfg.SyncMissFill,
+			DisableSubsetShootdown: cfg.DisableSubsetShootdown,
+		}
+		var seg, bgSeg *netsim.Segment
+		if cfg.HalfDuplexNet {
+			// Ablation: one shared half-duplex wire for everything.
+			seg = netsim.NewSegment(eng, fmt.Sprintf("seg%d", i), cfg.Timing.NetBase, cfg.Timing.NetPerBit)
+			bgSeg = seg
+		} else {
+			seg = netsim.NewDuplexSegment(eng, fmt.Sprintf("seg%d", i), cfg.Timing.NetBase, cfg.Timing.NetPerBit)
+			bgSeg = netsim.NewDuplexSegment(eng, fmt.Sprintf("seg%d-bg", i), cfg.Timing.NetBase, cfg.Timing.NetPerBit)
+		}
+		h, err := core.NewHost(eng, hc, cfg.Timing, seg, bgSeg, fsrv, reg)
+		if err != nil {
+			return nil, err
+		}
+		hosts[i] = h
+	}
+
+	drv, err := core.NewDriver(eng, hosts, reg, src, warmupBlocks)
+	if err != nil {
+		return nil, err
+	}
+	var recoverySeconds float64
+	if pre != nil {
+		recovered := false
+		pre(eng, hosts, func() { recovered = true })
+		eng.Run()
+		if !recovered {
+			return nil, fmt.Errorf("flashsim: recovery did not complete")
+		}
+		recoverySeconds = eng.Now().Seconds()
+	}
+	drv.Run()
+
+	res := buildResult(cfg, eng, fsrv, reg, hosts, drv)
+	res.RecoverySeconds = recoverySeconds
+	return res, nil
+}

@@ -1,0 +1,133 @@
+package flashsim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/consistency"
+	"repro/internal/core"
+	"repro/internal/filer"
+	"repro/internal/sim"
+)
+
+// Result carries everything a simulation measured. Latencies are
+// application-observed per-block means after warmup, the paper's governing
+// metric (§7).
+type Result struct {
+	// ReadLatencyMicros and WriteLatencyMicros are the headline numbers.
+	ReadLatencyMicros  float64
+	WriteLatencyMicros float64
+
+	// Approximate latency percentiles (log-bucketed).
+	ReadP50Micros  float64
+	ReadP99Micros  float64
+	WriteP50Micros float64
+	WriteP99Micros float64
+
+	// Hit rates. RAMHitRate is hits over all reads; FlashHitRate is hits
+	// over reads that missed RAM.
+	RAMHitRate   float64
+	FlashHitRate float64
+
+	// Consistency metrics (zero unless multiple hosts or
+	// TrackConsistency).
+	InvalidationFraction float64 // fraction of block writes invalidating a remote copy
+	Invalidations        uint64  // remote copies dropped
+	BlocksWrittenShared  uint64  // block writes observed by the registry
+
+	// Callback-protocol traffic (ConsistencyProtocol runs only).
+	ControlMessages   uint64
+	OwnershipAcquires uint64
+	Downgrades        uint64
+
+	// Filer-side traffic.
+	FilerFastReads uint64
+	FilerSlowReads uint64
+	FilerWrites    uint64
+
+	// Flash device utilisation across hosts.
+	FlashBusyFraction float64
+
+	// Flash device operation totals across hosts; FlashDeviceWrites per
+	// application write is the wear figure of merit for the lifetime
+	// extension study.
+	FlashDeviceReads  uint64
+	FlashDeviceWrites uint64
+
+	// Aggregate per-host counters (summed over hosts).
+	Hosts HostStats
+
+	// Run bookkeeping.
+	OpsCompleted     uint64
+	BlocksIssued     uint64
+	SimulatedSeconds float64
+	Events           uint64
+
+	// RecoverySeconds is the post-crash recovery delay before the first
+	// request was served (RecoveredStart runs only).
+	RecoverySeconds float64
+}
+
+func buildResult(cfg Config, eng *sim.Engine, fsrv *filer.Filer,
+	reg *consistency.Registry, hosts []*core.Host, drv *core.Driver) *Result {
+	res := &Result{
+		FilerFastReads:   fsrv.FastReads(),
+		FilerSlowReads:   fsrv.SlowReads(),
+		FilerWrites:      fsrv.Writes(),
+		OpsCompleted:     drv.OpsCompleted(),
+		BlocksIssued:     drv.BlocksIssued(),
+		SimulatedSeconds: eng.Now().Seconds(),
+		Events:           eng.Processed(),
+	}
+	var busy float64
+	for _, h := range hosts {
+		res.Hosts.Merge(h.Stats())
+		busy += h.FlashDevice().Utilisation()
+		res.FlashDeviceReads += h.FlashDevice().Reads()
+		res.FlashDeviceWrites += h.FlashDevice().Writes()
+	}
+	res.FlashBusyFraction = busy / float64(len(hosts))
+	res.ReadLatencyMicros = res.Hosts.ReadLat.MeanMicros()
+	res.WriteLatencyMicros = res.Hosts.WriteLat.MeanMicros()
+	res.ReadP50Micros = res.Hosts.ReadHist.Quantile(0.5).Micros()
+	res.ReadP99Micros = res.Hosts.ReadHist.Quantile(0.99).Micros()
+	res.WriteP50Micros = res.Hosts.WriteHist.Quantile(0.5).Micros()
+	res.WriteP99Micros = res.Hosts.WriteHist.Quantile(0.99).Micros()
+	res.RAMHitRate = res.Hosts.ReadHitRateRAM()
+	res.FlashHitRate = res.Hosts.ReadHitRateFlash()
+	if reg != nil {
+		res.InvalidationFraction = reg.InvalidationFraction()
+		res.Invalidations = reg.Invalidations()
+		res.BlocksWrittenShared = reg.BlocksWritten()
+		res.ControlMessages = reg.ControlMessages()
+		res.OwnershipAcquires = reg.OwnershipAcquires()
+		res.Downgrades = reg.Downgrades()
+	}
+	return res
+}
+
+// String renders a human-readable summary.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "read latency:  %9.2f us   (p50 %.1f, p99 %.1f; RAM hit %5.1f%%, flash hit %5.1f%%)\n",
+		r.ReadLatencyMicros, r.ReadP50Micros, r.ReadP99Micros, 100*r.RAMHitRate, 100*r.FlashHitRate)
+	fmt.Fprintf(&b, "write latency: %9.2f us   (p50 %.1f, p99 %.1f)\n",
+		r.WriteLatencyMicros, r.WriteP50Micros, r.WriteP99Micros)
+	fmt.Fprintf(&b, "filer: %d fast reads, %d slow reads, %d writes\n",
+		r.FilerFastReads, r.FilerSlowReads, r.FilerWrites)
+	fmt.Fprintf(&b, "flash device busy: %4.1f%%\n", 100*r.FlashBusyFraction)
+	if r.BlocksWrittenShared > 0 {
+		fmt.Fprintf(&b, "invalidations: %.1f%% of %d block writes (%d copies dropped)\n",
+			100*r.InvalidationFraction, r.BlocksWrittenShared, r.Invalidations)
+	}
+	if r.ControlMessages > 0 {
+		fmt.Fprintf(&b, "protocol: %d control messages, %d ownership acquires, %d downgrades\n",
+			r.ControlMessages, r.OwnershipAcquires, r.Downgrades)
+	}
+	if r.RecoverySeconds > 0 {
+		fmt.Fprintf(&b, "recovery: %.3f s before the first request\n", r.RecoverySeconds)
+	}
+	fmt.Fprintf(&b, "completed %d ops / %d blocks in %.3f simulated seconds (%d events)\n",
+		r.OpsCompleted, r.BlocksIssued, r.SimulatedSeconds, r.Events)
+	return b.String()
+}

@@ -1,0 +1,352 @@
+// Package cache provides the LRU block-cache substrate used by every cache
+// tier in the simulator: an intrusive doubly-linked LRU list with a hash
+// index, dirty-block tracking on a second intrusive list (so the periodic
+// syncer can flush in O(dirty)), and a two-medium unified variant for the
+// paper's "unified" architecture.
+//
+// The package is purely a data structure: it tracks which blocks are
+// resident and in what state, but knows nothing about latencies or devices.
+// Replacement policy is LRU throughout, as in the paper ("we put aside ...
+// cache replacement policy (we use LRU)", §1).
+package cache
+
+import "fmt"
+
+// Key identifies a cached block: the simulator packs (file, block offset)
+// into a single 64-bit key.
+type Key uint64
+
+// Medium identifies the storage medium backing a cache buffer. The plain
+// LRU uses a single medium; the unified cache mixes both.
+type Medium uint8
+
+// Media.
+const (
+	RAM Medium = iota
+	Flash
+)
+
+func (m Medium) String() string {
+	switch m {
+	case RAM:
+		return "ram"
+	case Flash:
+		return "flash"
+	default:
+		return fmt.Sprintf("medium(%d)", uint8(m))
+	}
+}
+
+// Entry is a resident cache block. Entries are owned by their cache and
+// must not be retained after removal.
+type Entry struct {
+	key    Key
+	medium Medium
+
+	// Dirty marks data newer than the next tier down.
+	Dirty bool
+	// WritebackInFlight marks an asynchronous writeback issued but not yet
+	// completed; a re-dirty during flight must trigger another writeback.
+	WritebackInFlight bool
+	// Pinned blocks cannot be chosen as eviction victims (e.g. a block
+	// whose fill from the filer has not completed).
+	Pinned bool
+	// DirtyEpoch increments on every application write; an asynchronous
+	// writeback captures the epoch when it starts so its completion can
+	// tell whether the block was re-dirtied in flight.
+	DirtyEpoch uint64
+	// Referenced is CLOCK's second-chance bit.
+	Referenced bool
+	// seg records which internal segment of a multi-queue policy (SLRU,
+	// 2Q) the entry currently occupies.
+	seg uint8
+
+	prev, next           *Entry // LRU list
+	dirtyPrev, dirtyNext *Entry // dirty list
+	inDirty              bool
+}
+
+// Key returns the entry's block key.
+func (e *Entry) Key() Key { return e.key }
+
+// Medium returns the medium backing this entry's buffer.
+func (e *Entry) Medium() Medium { return e.medium }
+
+// list is an intrusive circular doubly-linked list with a sentinel.
+type list struct {
+	sentinel Entry
+	len      int
+	dirty    bool // operates on the dirty links rather than LRU links
+}
+
+func (l *list) init(dirty bool) {
+	l.dirty = dirty
+	if dirty {
+		l.sentinel.dirtyPrev = &l.sentinel
+		l.sentinel.dirtyNext = &l.sentinel
+	} else {
+		l.sentinel.prev = &l.sentinel
+		l.sentinel.next = &l.sentinel
+	}
+}
+
+func (l *list) links(e *Entry) (prev, next **Entry) {
+	if l.dirty {
+		return &e.dirtyPrev, &e.dirtyNext
+	}
+	return &e.prev, &e.next
+}
+
+// pushFront inserts e at the MRU end.
+func (l *list) pushFront(e *Entry) {
+	ep, en := l.links(e)
+	sp, sn := l.links(&l.sentinel)
+	_ = sp
+	first := *sn
+	*ep = &l.sentinel
+	*en = first
+	fp, _ := l.links(first)
+	*fp = e
+	*sn = e
+	l.len++
+}
+
+// remove unlinks e.
+func (l *list) remove(e *Entry) {
+	ep, en := l.links(e)
+	p, n := *ep, *en
+	pp, pn := l.links(p)
+	_ = pp
+	np, nn := l.links(n)
+	_ = nn
+	*pn = n
+	*np = p
+	*ep, *en = nil, nil
+	l.len--
+}
+
+// back returns the LRU-end entry, or nil if empty.
+func (l *list) back() *Entry {
+	_, sn := l.links(&l.sentinel)
+	_ = sn
+	sp, _ := l.links(&l.sentinel)
+	if *sp == &l.sentinel {
+		return nil
+	}
+	return *sp
+}
+
+// front returns the MRU-end entry, or nil if empty.
+func (l *list) front() *Entry {
+	_, sn := l.links(&l.sentinel)
+	if *sn == &l.sentinel {
+		return nil
+	}
+	return *sn
+}
+
+// LRU is a fixed-capacity single-medium LRU cache of blocks.
+type LRU struct {
+	capacity int
+	medium   Medium
+	index    map[Key]*Entry
+	lru      list
+	dirties  list
+
+	// Statistics.
+	hits, misses, evictions uint64
+}
+
+// NewLRU returns an LRU cache holding at most capacity blocks on medium m.
+// A zero capacity cache is valid and caches nothing.
+func NewLRU(capacity int, m Medium) *LRU {
+	c := &LRU{}
+	c.initLRU(capacity, m)
+	return c
+}
+
+// initLRU initialises the cache in place. The intrusive list sentinels
+// hold self-pointers, so an LRU must never be copied after initialisation;
+// embedding types initialise through this method.
+func (c *LRU) initLRU(capacity int, m Medium) {
+	if capacity < 0 {
+		panic("cache: negative capacity")
+	}
+	c.capacity = capacity
+	c.medium = m
+	c.index = make(map[Key]*Entry, capacity)
+	c.lru.init(false)
+	c.dirties.init(true)
+}
+
+// Capacity returns the maximum number of resident blocks.
+func (c *LRU) Capacity() int { return c.capacity }
+
+// Len returns the number of resident blocks.
+func (c *LRU) Len() int { return c.lru.len }
+
+// DirtyLen returns the number of dirty resident blocks.
+func (c *LRU) DirtyLen() int { return c.dirties.len }
+
+// Medium returns the cache's storage medium.
+func (c *LRU) Medium() Medium { return c.medium }
+
+// Hits and Misses report Get outcomes; Evictions reports victims removed.
+func (c *LRU) Hits() uint64      { return c.hits }
+func (c *LRU) Misses() uint64    { return c.misses }
+func (c *LRU) Evictions() uint64 { return c.evictions }
+
+// Get looks up key, promoting it to MRU on hit and counting the outcome.
+func (c *LRU) Get(key Key) *Entry {
+	e, ok := c.index[key]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	c.lru.remove(e)
+	c.lru.pushFront(e)
+	return e
+}
+
+// Peek looks up key without promoting or counting.
+func (c *LRU) Peek(key Key) *Entry {
+	return c.index[key]
+}
+
+// Touch promotes an entry to MRU without counting a hit.
+func (c *LRU) Touch(e *Entry) {
+	c.lru.remove(e)
+	c.lru.pushFront(e)
+}
+
+// NeedsEviction reports whether inserting one more block requires a victim.
+func (c *LRU) NeedsEviction() bool {
+	return c.lru.len >= c.capacity
+}
+
+// Victim returns the least recently used unpinned entry, or nil if none
+// exists. It does not remove the entry: callers that must write back a
+// dirty victim do so first, then call Remove.
+func (c *LRU) Victim() *Entry {
+	for e := c.lru.back(); e != nil && e != &c.lru.sentinel; e = e.prev {
+		if !e.Pinned {
+			return e
+		}
+	}
+	return nil
+}
+
+// Insert adds key at MRU. The caller must have made room: Insert panics if
+// the cache is full (use Victim/Remove first) or if key is present.
+// Zero-capacity caches ignore the insert and return nil.
+func (c *LRU) Insert(key Key) *Entry {
+	if c.capacity == 0 {
+		return nil
+	}
+	if _, ok := c.index[key]; ok {
+		panic(fmt.Sprintf("cache: duplicate insert of key %d", key))
+	}
+	if c.lru.len >= c.capacity {
+		panic("cache: insert into full cache")
+	}
+	e := &Entry{key: key, medium: c.medium}
+	c.index[key] = e
+	c.lru.pushFront(e)
+	return e
+}
+
+// Remove evicts e from the cache. Dirty state is the caller's problem: the
+// cache only maintains the bookkeeping.
+func (c *LRU) Remove(e *Entry) {
+	if c.index[e.key] != e {
+		panic("cache: removing entry not in cache")
+	}
+	if e.inDirty {
+		c.dirties.remove(e)
+		e.inDirty = false
+		e.Dirty = false
+	}
+	delete(c.index, e.key)
+	c.lru.remove(e)
+	c.evictions++
+}
+
+// MarkDirty flags e dirty and places it on the dirty list.
+func (c *LRU) MarkDirty(e *Entry) {
+	if !e.inDirty {
+		c.dirties.pushFront(e)
+		e.inDirty = true
+	}
+	e.Dirty = true
+}
+
+// MarkClean clears e's dirty flag and removes it from the dirty list.
+func (c *LRU) MarkClean(e *Entry) {
+	if e.inDirty {
+		c.dirties.remove(e)
+		e.inDirty = false
+	}
+	e.Dirty = false
+}
+
+// OldestDirty returns the least recently dirtied entry, or nil.
+func (c *LRU) OldestDirty() *Entry {
+	e := c.dirties.back()
+	if e == &c.dirties.sentinel {
+		return nil
+	}
+	return e
+}
+
+// AppendDirty appends all dirty entries, oldest first, to dst and returns
+// it. The returned entries remain owned by the cache.
+func (c *LRU) AppendDirty(dst []*Entry) []*Entry {
+	for e := c.dirties.back(); e != nil && e != &c.dirties.sentinel; e = e.dirtyPrev {
+		dst = append(dst, e)
+	}
+	return dst
+}
+
+// Keys appends all resident keys, MRU first, to dst and returns it.
+func (c *LRU) Keys(dst []Key) []Key {
+	for e := c.lru.front(); e != nil && e != &c.lru.sentinel; e = e.next {
+		dst = append(dst, e.key)
+	}
+	return dst
+}
+
+// CheckInvariants verifies internal consistency; tests call this after
+// random operation sequences.
+func (c *LRU) CheckInvariants() error {
+	if c.lru.len != len(c.index) {
+		return fmt.Errorf("lru len %d != index len %d", c.lru.len, len(c.index))
+	}
+	if c.lru.len > c.capacity {
+		return fmt.Errorf("len %d exceeds capacity %d", c.lru.len, c.capacity)
+	}
+	seen := 0
+	dirtySeen := 0
+	for e := c.lru.front(); e != nil && e != &c.lru.sentinel; e = e.next {
+		if c.index[e.key] != e {
+			return fmt.Errorf("entry %d on list but not indexed", e.key)
+		}
+		if e.Dirty != e.inDirty {
+			return fmt.Errorf("entry %d dirty flag %v but inDirty %v", e.key, e.Dirty, e.inDirty)
+		}
+		if e.Dirty {
+			dirtySeen++
+		}
+		seen++
+		if seen > c.lru.len {
+			return fmt.Errorf("lru list longer than recorded length")
+		}
+	}
+	if seen != c.lru.len {
+		return fmt.Errorf("walked %d entries, recorded %d", seen, c.lru.len)
+	}
+	if dirtySeen != c.dirties.len {
+		return fmt.Errorf("dirty flags %d != dirty list %d", dirtySeen, c.dirties.len)
+	}
+	return nil
+}

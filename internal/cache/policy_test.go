@@ -1,0 +1,367 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestParseReplacement(t *testing.T) {
+	for _, s := range []string{"lru", "fifo", "clock", "slru", "2q"} {
+		k, err := ParseReplacement(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k.String() != s {
+			t.Fatalf("round trip %q -> %q", s, k.String())
+		}
+		c, err := NewBlockCache(k, 8, Flash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Capacity() != 8 {
+			t.Fatal("capacity wrong")
+		}
+	}
+	if k, err := ParseReplacement(""); err != nil || k != ReplaceLRU {
+		t.Fatal("empty string should default to LRU")
+	}
+	if _, err := ParseReplacement("mru"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+	if _, err := NewBlockCache(ReplacementKind(99), 8, Flash); err == nil {
+		t.Fatal("bogus kind accepted")
+	}
+}
+
+func TestFIFOIgnoresRecency(t *testing.T) {
+	f := NewFIFO(3, Flash)
+	f.Insert(1)
+	f.Insert(2)
+	f.Insert(3)
+	f.Get(1) // would save 1 under LRU
+	f.Get(1)
+	v := f.Victim()
+	if v.Key() != 1 {
+		t.Fatalf("FIFO victim = %d, want 1 (insertion order)", v.Key())
+	}
+	if f.Hits() != 2 {
+		t.Fatalf("hits = %d", f.Hits())
+	}
+}
+
+func TestClockSecondChance(t *testing.T) {
+	c := NewClock(3, Flash)
+	c.Insert(1)
+	c.Insert(2)
+	c.Insert(3)
+	c.Get(1) // referenced
+	v := c.Victim()
+	// 1 is referenced; the hand clears its bit and picks the next
+	// unreferenced entry, which is 2.
+	if v.Key() != 2 {
+		t.Fatalf("clock victim = %d, want 2", v.Key())
+	}
+	c.Remove(v)
+	c.Insert(4)
+	// Now 1's bit is clear; with no further references 1 or 3 is next.
+	v = c.Victim()
+	if v.Key() == 4 {
+		t.Fatalf("clock victimised the newest entry")
+	}
+}
+
+func TestClockAllReferenced(t *testing.T) {
+	c := NewClock(3, Flash)
+	c.Insert(1)
+	c.Insert(2)
+	c.Insert(3)
+	c.Get(1)
+	c.Get(2)
+	c.Get(3)
+	if v := c.Victim(); v == nil {
+		t.Fatal("clock found no victim after clearing bits")
+	}
+}
+
+func TestClockPinnedRotation(t *testing.T) {
+	c := NewClock(2, Flash)
+	e1 := c.Insert(1)
+	c.Insert(2)
+	e1.Pinned = true
+	v := c.Victim()
+	if v == nil || v.Key() != 2 {
+		t.Fatalf("clock victim = %v, want 2 (1 pinned)", v)
+	}
+	e2 := c.Peek(2)
+	e2.Pinned = true
+	if v := c.Victim(); v != nil {
+		t.Fatal("all pinned should yield no victim")
+	}
+}
+
+func TestSLRUPromotion(t *testing.T) {
+	s := NewSLRU(4, Flash) // protected cap 2
+	s.Insert(1)
+	s.Insert(2)
+	s.Insert(3)
+	s.Insert(4)
+	if s.ProtectedLen() != 0 {
+		t.Fatal("inserts should land in probation")
+	}
+	s.Get(1)
+	s.Get(2)
+	if s.ProtectedLen() != 2 {
+		t.Fatalf("protected len = %d, want 2", s.ProtectedLen())
+	}
+	// Victim comes from probation: 3 is its LRU end.
+	if v := s.Victim(); v.Key() != 3 {
+		t.Fatalf("victim = %d, want 3", v.Key())
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSLRUProtectedQuotaDemotion(t *testing.T) {
+	s := NewSLRU(4, Flash) // protected cap 2
+	for k := Key(1); k <= 4; k++ {
+		s.Insert(k)
+	}
+	s.Get(1)
+	s.Get(2)
+	s.Get(3) // promoting 3 must demote 1 (protected LRU) to probation
+	if s.ProtectedLen() != 2 {
+		t.Fatalf("protected len = %d, want 2", s.ProtectedLen())
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// 1 is now probation MRU; 4 is probation LRU.
+	if v := s.Victim(); v.Key() != 4 {
+		t.Fatalf("victim = %d, want 4", v.Key())
+	}
+}
+
+func TestSLRUScanResistance(t *testing.T) {
+	// A hot set that has been promoted survives a one-shot scan that
+	// would flush plain LRU.
+	s := NewSLRU(8, Flash)
+	for k := Key(1); k <= 4; k++ {
+		s.Insert(k)
+		s.Get(k) // promote to protected
+	}
+	for k := Key(100); k < 120; k++ {
+		for s.NeedsEviction() {
+			s.Remove(s.Victim())
+		}
+		s.Insert(k)
+	}
+	survivors := 0
+	for k := Key(1); k <= 4; k++ {
+		if s.Peek(k) != nil {
+			survivors++
+		}
+	}
+	if survivors < 3 {
+		t.Fatalf("only %d/4 hot blocks survived the scan", survivors)
+	}
+}
+
+func TestSLRUVictimFallsBackToProtected(t *testing.T) {
+	s := NewSLRU(2, Flash) // protected cap 1
+	s.Insert(1)
+	s.Get(1) // protected
+	s.Insert(2)
+	e2 := s.Peek(2)
+	e2.Pinned = true
+	v := s.Victim()
+	if v == nil || v.Key() != 1 {
+		t.Fatalf("victim = %v, want protected fallback to 1", v)
+	}
+}
+
+func TestTwoQFirstTouchGoesToA1in(t *testing.T) {
+	q := NewTwoQ(8, Flash) // a1in cap 2, ghost cap 4
+	q.Insert(1)
+	if q.A1inLen() != 1 {
+		t.Fatal("first touch not in A1in")
+	}
+	q.Get(1) // correlated reference: stays in A1in
+	if q.A1inLen() != 1 {
+		t.Fatal("A1in hit should not migrate")
+	}
+	if err := q.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoQGhostPromotion(t *testing.T) {
+	q := NewTwoQ(8, Flash)
+	q.Insert(1)
+	e := q.Peek(1)
+	q.Remove(e) // A1in eviction -> ghost
+	if q.GhostLen() != 1 {
+		t.Fatal("eviction not remembered in ghost queue")
+	}
+	q.Insert(1) // remembered: goes to Am
+	if q.A1inLen() != 0 {
+		t.Fatal("ghosted reinsert went to A1in")
+	}
+	if q.GhostLen() != 0 {
+		t.Fatal("ghost entry not consumed")
+	}
+	if err := q.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoQScanResistance(t *testing.T) {
+	q := NewTwoQ(8, Flash)
+	// Build a hot set in Am via ghost promotion.
+	for k := Key(1); k <= 4; k++ {
+		q.Insert(k)
+		q.Remove(q.Peek(k))
+		q.Insert(k) // now in Am
+	}
+	// One-shot scan of 40 cold blocks.
+	for k := Key(100); k < 140; k++ {
+		for q.NeedsEviction() {
+			q.Remove(q.Victim())
+		}
+		q.Insert(k)
+		if err := q.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	survivors := 0
+	for k := Key(1); k <= 4; k++ {
+		if e := q.Peek(k); e != nil && e.seg == segAm {
+			survivors++
+		}
+	}
+	if survivors < 3 {
+		t.Fatalf("only %d/4 Am blocks survived the scan", survivors)
+	}
+}
+
+func TestTwoQGhostCapBounded(t *testing.T) {
+	q := NewTwoQ(8, Flash) // ghost cap 4
+	for k := Key(0); k < 20; k++ {
+		if q.NeedsEviction() {
+			q.Remove(q.Victim())
+		}
+		q.Insert(k)
+	}
+	if q.GhostLen() > 4 {
+		t.Fatalf("ghost %d over cap", q.GhostLen())
+	}
+	if err := q.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllPoliciesRandomOps drives every policy through a random workload
+// and validates invariants and the BlockCache contract.
+func TestAllPoliciesRandomOps(t *testing.T) {
+	kinds := []ReplacementKind{ReplaceLRU, ReplaceFIFO, ReplaceClock, ReplaceSLRU, Replace2Q}
+	for _, kind := range kinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			c, err := NewBlockCache(kind, 16, Flash)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := rng.New(uint64(kind) + 100)
+			for i := 0; i < 20000; i++ {
+				k := Key(r.Intn(64))
+				switch r.Intn(5) {
+				case 0:
+					c.Get(k)
+				case 1:
+					if c.Peek(k) == nil {
+						for c.NeedsEviction() {
+							v := c.Victim()
+							if v == nil {
+								break
+							}
+							c.Remove(v)
+						}
+						if !c.NeedsEviction() {
+							c.Insert(k)
+						}
+					}
+				case 2:
+					if e := c.Peek(k); e != nil {
+						c.MarkDirty(e)
+					}
+				case 3:
+					if e := c.Peek(k); e != nil {
+						c.MarkClean(e)
+					}
+				case 4:
+					if e := c.Peek(k); e != nil {
+						c.Touch(e)
+					}
+				}
+				if i%1000 == 0 {
+					if err := c.CheckInvariants(); err != nil {
+						t.Fatalf("step %d: %v", i, err)
+					}
+					if c.Len() > c.Capacity() {
+						t.Fatalf("step %d: over capacity", i)
+					}
+				}
+			}
+			if err := c.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			dirty := c.AppendDirty(nil)
+			if len(dirty) != c.DirtyLen() {
+				t.Fatalf("AppendDirty %d != DirtyLen %d", len(dirty), c.DirtyLen())
+			}
+			if got := len(c.Keys(nil)); got != c.Len() {
+				t.Fatalf("Keys %d != Len %d", got, c.Len())
+			}
+		})
+	}
+}
+
+// TestPolicyHitRateOrdering checks a coarse quality property on a skewed
+// workload: recency-aware policies beat FIFO.
+func TestPolicyHitRateOrdering(t *testing.T) {
+	hitRate := func(kind ReplacementKind) float64 {
+		c, err := NewBlockCache(kind, 64, Flash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(42)
+		z := rng.NewZipf(r, 512, 1.1)
+		for i := 0; i < 50000; i++ {
+			k := Key(z.Next())
+			if c.Get(k) != nil {
+				continue
+			}
+			for c.NeedsEviction() {
+				v := c.Victim()
+				if v == nil {
+					break
+				}
+				c.Remove(v)
+			}
+			if !c.NeedsEviction() {
+				c.Insert(k)
+			}
+		}
+		return float64(c.Hits()) / float64(c.Hits()+c.Misses())
+	}
+	lru := hitRate(ReplaceLRU)
+	fifo := hitRate(ReplaceFIFO)
+	clock := hitRate(ReplaceClock)
+	if lru <= fifo-0.02 {
+		t.Fatalf("LRU (%.3f) should not trail FIFO (%.3f)", lru, fifo)
+	}
+	if clock <= fifo-0.02 {
+		t.Fatalf("CLOCK (%.3f) should not trail FIFO (%.3f)", clock, fifo)
+	}
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/consistency"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Driver replays a trace against a set of hosts. Per the paper (§5): "The
+// simulator issues I/O requests from the trace as quickly as possible given
+// that each application thread can have only one I/O in progress." Ops are
+// consumed from the source in order and distributed to per-thread queues of
+// bounded depth; each thread executes its requests sequentially, accessing
+// the blocks of a multi-block request one at a time.
+type Driver struct {
+	eng   *sim.Engine
+	hosts []*Host
+	src   trace.Source
+	reg   *consistency.Registry // may be nil
+
+	queues  map[uint32][]trace.Op
+	busy    map[uint32]bool
+	held    *trace.Op // head-of-line op whose thread queue is full
+	srcDone bool
+
+	window       int
+	issuedBlocks int64
+	warmupBlocks int64
+	collecting   bool
+
+	opsInFlight   int
+	opsCompleted  uint64
+	blocksIssued  uint64
+	threadsActive map[uint32]bool
+}
+
+// threadKey packs (host, thread).
+func threadKey(host, thread uint16) uint32 {
+	return uint32(host)<<16 | uint32(thread)
+}
+
+// NewDriver builds a driver over the hosts. warmupBlocks gates statistics:
+// collection starts once that many blocks have been issued (the paper uses
+// half the trace volume).
+func NewDriver(eng *sim.Engine, hosts []*Host, reg *consistency.Registry,
+	src trace.Source, warmupBlocks int64) (*Driver, error) {
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("core: driver needs at least one host")
+	}
+	if src == nil {
+		return nil, fmt.Errorf("core: driver needs a trace source")
+	}
+	return &Driver{
+		eng:           eng,
+		hosts:         hosts,
+		src:           src,
+		reg:           reg,
+		queues:        make(map[uint32][]trace.Op),
+		busy:          make(map[uint32]bool),
+		window:        16,
+		warmupBlocks:  warmupBlocks,
+		threadsActive: make(map[uint32]bool),
+	}, nil
+}
+
+// OpsCompleted returns the number of trace ops fully executed.
+func (d *Driver) OpsCompleted() uint64 { return d.opsCompleted }
+
+// BlocksIssued returns the number of block accesses issued.
+func (d *Driver) BlocksIssued() uint64 { return d.blocksIssued }
+
+// Collecting reports whether warmup has ended.
+func (d *Driver) Collecting() bool { return d.collecting }
+
+// hostFor returns the host for a trace op, clamping out-of-range host IDs
+// (a trace recorded on more hosts than configured wraps around).
+func (d *Driver) hostFor(op trace.Op) *Host {
+	return d.hosts[int(op.Host)%len(d.hosts)]
+}
+
+// pump moves ops from the source into per-thread queues until a queue
+// fills or the source drains.
+func (d *Driver) pump() {
+	for {
+		var op trace.Op
+		if d.held != nil {
+			op = *d.held
+		} else {
+			var ok bool
+			op, ok = d.src.Next()
+			if !ok {
+				d.srcDone = true
+				return
+			}
+		}
+		tk := threadKey(op.Host, op.Thread)
+		if len(d.queues[tk]) >= d.window {
+			held := op
+			d.held = &held
+			return
+		}
+		d.held = nil
+		d.queues[tk] = append(d.queues[tk], op)
+		d.kick(tk)
+	}
+}
+
+// kick starts the thread's next op if it is idle.
+func (d *Driver) kick(tk uint32) {
+	if d.busy[tk] {
+		return
+	}
+	q := d.queues[tk]
+	if len(q) == 0 {
+		return
+	}
+	op := q[0]
+	copy(q, q[1:])
+	d.queues[tk] = q[:len(q)-1]
+	d.busy[tk] = true
+	d.opsInFlight++
+	d.runOp(tk, op)
+}
+
+// runOp executes one trace op: its blocks access the cache sequentially.
+func (d *Driver) runOp(tk uint32, op trace.Op) {
+	h := d.hostFor(op)
+	var step func(i uint32)
+	step = func(i uint32) {
+		if i >= op.Count {
+			d.opsInFlight--
+			d.opsCompleted++
+			d.busy[tk] = false
+			d.pump()
+			d.kick(tk)
+			return
+		}
+		d.noteIssue(1)
+		key := cache.Key(trace.BlockKey(op.File, op.Block+i))
+		next := func() { step(i + 1) }
+		if op.Kind == trace.Write {
+			h.Write(key, next)
+		} else {
+			h.Read(key, next)
+		}
+	}
+	step(0)
+}
+
+// noteIssue advances the warmup accounting.
+func (d *Driver) noteIssue(blocks int64) {
+	d.blocksIssued += uint64(blocks)
+	if d.collecting {
+		return
+	}
+	d.issuedBlocks += blocks
+	if d.issuedBlocks >= d.warmupBlocks {
+		d.collecting = true
+		for _, h := range d.hosts {
+			h.SetCollect(true)
+		}
+		if d.reg != nil {
+			d.reg.SetCollect(true)
+		}
+	}
+}
+
+// done reports whether all trace work has completed.
+func (d *Driver) done() bool {
+	if !d.srcDone || d.held != nil || d.opsInFlight > 0 {
+		return false
+	}
+	for _, q := range d.queues {
+		if len(q) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Run replays the whole trace and drains the simulation. On return the
+// engine clock is the trace's completion time and all host statistics are
+// final.
+func (d *Driver) Run() {
+	if d.warmupBlocks <= 0 {
+		d.noteIssue(0)
+		d.collecting = true
+		for _, h := range d.hosts {
+			h.SetCollect(true)
+		}
+		if d.reg != nil {
+			d.reg.SetCollect(true)
+		}
+	}
+	d.pump()
+	// Threads were kicked as their queues filled; now run to completion.
+	d.eng.RunWhile(func() bool { return !d.done() })
+	// The trace is complete: halt the periodic syncers so the event queue
+	// can drain, then let in-flight writebacks finish.
+	for _, h := range d.hosts {
+		h.StopSyncers()
+	}
+	d.eng.Run()
+	if !d.done() {
+		panic("core: driver finished with work outstanding")
+	}
+}

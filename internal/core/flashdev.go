@@ -1,0 +1,128 @@
+package core
+
+import (
+	"repro/internal/blockdev"
+	"repro/internal/cache"
+	"repro/internal/ftl"
+	"repro/internal/sim"
+)
+
+// FlashDev abstracts the flash cache device. The paper's model is a fixed
+// average access latency per block (§5, §6.2); the FTL-backed variant is
+// the repository's extension toward the paper's future work ("flash
+// caching is a good candidate for a custom flash translation layer", §8):
+// it routes every cache access through a page-mapped FTL with garbage
+// collection, so device-level contention, write amplification and wear
+// emerge instead of being assumed away.
+type FlashDev interface {
+	Read(key cache.Key, done func())
+	Write(key cache.Key, done func())
+	Reads() uint64
+	Writes() uint64
+	Utilisation() float64
+}
+
+// fixedFlashDev adapts the paper's average-latency device.
+type fixedFlashDev struct {
+	d *blockdev.FlashDevice
+}
+
+func (f fixedFlashDev) Read(_ cache.Key, done func())  { f.d.Read(done) }
+func (f fixedFlashDev) Write(_ cache.Key, done func()) { f.d.Write(done) }
+func (f fixedFlashDev) Reads() uint64                  { return f.d.Reads() }
+func (f fixedFlashDev) Writes() uint64                 { return f.d.Writes() }
+func (f fixedFlashDev) Utilisation() float64           { return f.d.Utilisation() }
+
+// ftlFlashDev routes cache traffic through the FTL simulator. Cache block
+// keys are hashed onto the device's logical page space; the hash only
+// shapes the device-level access pattern, never data correctness (the
+// simulator is content-free).
+type ftlFlashDev struct {
+	eng        *sim.Engine
+	dev        *ftl.Device
+	persistent bool
+	reads      uint64
+	writes     uint64
+}
+
+func newFTLFlashDev(eng *sim.Engine, blocks int, persistent bool, seed uint64) (*ftlFlashDev, error) {
+	cfg := ftl.DefaultConfig(blocks)
+	if cfg.EraseBlocks < 8 {
+		// Tiny caches (tests, extreme scales): shrink the erase-block
+		// geometry so the device still has room for garbage collection.
+		cfg.PagesPerBlock = 32
+		phys := int(float64(blocks)/(1-cfg.OverProvision))/cfg.PagesPerBlock + 2
+		if phys < 8 {
+			phys = 8
+		}
+		cfg.EraseBlocks = phys
+	}
+	cfg.Seed = seed
+	dev, err := ftl.NewDevice(eng, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ftlFlashDev{eng: eng, dev: dev, persistent: persistent}, nil
+}
+
+// mix is SplitMix64's output function, spreading block keys over the LPN
+// space so adjacent file blocks do not all land in one erase block.
+func mix(key cache.Key) uint64 {
+	z := uint64(key) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (f *ftlFlashDev) lpn(key cache.Key) int {
+	return int(mix(key) % uint64(f.dev.LogicalPages()))
+}
+
+func (f *ftlFlashDev) Read(key cache.Key, done func()) {
+	f.reads++
+	f.dev.Read(f.lpn(key), func(sim.Time) {
+		if done != nil {
+			done()
+		}
+	})
+}
+
+func (f *ftlFlashDev) Write(key cache.Key, done func()) {
+	f.writes++
+	lpn := f.lpn(key)
+	if f.persistent {
+		// The recoverable cache journals its index next to the data:
+		// one extra page write in a metadata region (§7.8's "two flash
+		// writes per block", realised at the FTL level).
+		meta := (lpn + f.dev.LogicalPages()/2) % f.dev.LogicalPages()
+		f.dev.Write(meta, nil)
+	}
+	f.dev.Write(lpn, func(sim.Time) {
+		if done != nil {
+			done()
+		}
+	})
+}
+
+func (f *ftlFlashDev) Reads() uint64  { return f.reads }
+func (f *ftlFlashDev) Writes() uint64 { return f.writes }
+
+func (f *ftlFlashDev) Utilisation() float64 {
+	if f.eng.Now() == 0 {
+		return 0
+	}
+	u := float64(f.dev.Snapshot().DieBusy) / float64(f.eng.Now())
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// FTLSnapshot exposes device internals when the host is FTL-backed; the
+// second return is false for the fixed-latency device.
+func (h *Host) FTLSnapshot() (ftl.Stats, bool) {
+	if f, ok := h.flashIO.(*ftlFlashDev); ok {
+		return f.dev.Snapshot(), true
+	}
+	return ftl.Stats{}, false
+}

@@ -1,0 +1,669 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/blockdev"
+	"repro/internal/cache"
+	"repro/internal/consistency"
+	"repro/internal/filer"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Host is one compute server's cache stack: a RAM buffer cache and a flash
+// cache in front of the shared filer, reached over a private network
+// segment. All block I/O enters through Read and Write; completions are
+// delivered by callback in simulated time.
+type Host struct {
+	eng    *sim.Engine
+	cfg    HostConfig
+	timing Timing
+
+	// Layered architectures (naive, lookaside).
+	ram   *cache.LRU
+	flash cache.BlockCache
+	// Unified architecture.
+	uni *cache.Unified
+
+	ramDev  *blockdev.RAMDevice
+	flashIO FlashDev
+	// seg carries demand traffic (fetches, synchronous write-through,
+	// eviction writebacks that block a requester); bgSeg carries
+	// asynchronous and periodic writeback traffic. Separating the lanes
+	// keeps background flush bursts from queueing ahead of demand
+	// fetches, matching the paper's observation that writeback policy
+	// does not affect foreground latency until the cache fills with
+	// dirty data (§7.1, §7.6).
+	seg   *netsim.Segment
+	bgSeg *netsim.Segment
+	fsrv  *filer.Filer
+	reg   *consistency.Registry // nil when consistency is not modeled
+
+	// pending de-duplicates concurrent demand fetches of the same block:
+	// waiters are woken when the single fetch completes.
+	pending map[cache.Key][]func()
+
+	collect bool
+	st      HostStats
+
+	syncers []*sim.Ticker
+}
+
+// evictionRetryDelay is how long an inserter waits when every eviction
+// victim is pinned (all mid-writeback); it only triggers under extreme
+// dirty pressure with tiny caches.
+const evictionRetryDelay = 5 * sim.Microsecond
+
+// NewHost builds a host attached to the shared engine, filer and (possibly
+// nil) consistency registry. seg is the host's private link for demand
+// traffic; bgSeg, if nil, defaults to seg (single shared lane).
+func NewHost(eng *sim.Engine, cfg HostConfig, timing Timing,
+	seg *netsim.Segment, bgSeg *netsim.Segment, fsrv *filer.Filer, reg *consistency.Registry) (*Host, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := timing.Validate(); err != nil {
+		return nil, err
+	}
+	if bgSeg == nil {
+		bgSeg = seg
+	}
+	var flashIO FlashDev
+	if cfg.FTLBacked && cfg.FlashBlocks > 0 {
+		fdev, err := newFTLFlashDev(eng, cfg.FlashBlocks, cfg.PersistentFlash, uint64(cfg.ID)+1)
+		if err != nil {
+			return nil, err
+		}
+		flashIO = fdev
+	} else {
+		newFlash := blockdev.NewFlashDevice
+		if cfg.ContendedFlash {
+			newFlash = blockdev.NewContendedFlashDevice
+		}
+		flashIO = fixedFlashDev{newFlash(eng, fmt.Sprintf("flash%d", cfg.ID),
+			timing.FlashRead, timing.FlashWrite, cfg.PersistentFlash)}
+	}
+	h := &Host{
+		eng:     eng,
+		cfg:     cfg,
+		timing:  timing,
+		ramDev:  blockdev.NewRAMDevice(eng, timing.RAMRead, timing.RAMWrite),
+		flashIO: flashIO,
+		seg:     seg,
+		bgSeg:   bgSeg,
+		fsrv:    fsrv,
+		reg:     reg,
+		pending: make(map[cache.Key][]func()),
+	}
+	if cfg.Arch == Unified {
+		h.uni = cache.NewUnified(cfg.RAMBlocks, cfg.FlashBlocks)
+	} else {
+		h.ram = cache.NewLRU(cfg.RAMBlocks, cache.RAM)
+		flash, err := cache.NewBlockCache(cfg.FlashReplacement, cfg.FlashBlocks, cache.Flash)
+		if err != nil {
+			return nil, err
+		}
+		h.flash = flash
+	}
+	if reg != nil {
+		reg.Register(h)
+	}
+	h.startSyncers()
+	return h, nil
+}
+
+// ID returns the host's identifier.
+func (h *Host) ID() int { return h.cfg.ID }
+
+// HostID implements consistency.CacheHolder.
+func (h *Host) HostID() int { return h.cfg.ID }
+
+// Config returns the host's configuration.
+func (h *Host) Config() HostConfig { return h.cfg }
+
+// Stats returns the host's accumulated statistics.
+func (h *Host) Stats() *HostStats { return &h.st }
+
+// FlashDevice exposes the flash device for utilisation reporting.
+func (h *Host) FlashDevice() FlashDev { return h.flashIO }
+
+// Segment exposes the host's network segment.
+func (h *Host) Segment() *netsim.Segment { return h.seg }
+
+// SetCollect enables statistics collection (called after warmup).
+func (h *Host) SetCollect(on bool) { h.collect = on }
+
+// StopSyncers halts periodic writeback daemons so the engine can drain at
+// end of trace.
+func (h *Host) StopSyncers() {
+	for _, s := range h.syncers {
+		s.Stop()
+	}
+}
+
+// Invalidate implements consistency.CacheHolder: drop any copy of key,
+// instantly and free of charge (paper §3.8).
+func (h *Host) Invalidate(key uint64) bool {
+	dropped := false
+	k := cache.Key(key)
+	if h.uni != nil {
+		if e := h.uni.Peek(k); e != nil {
+			e.Pinned = false
+			h.uni.Remove(e)
+			dropped = true
+		}
+	} else {
+		if e := h.ram.Peek(k); e != nil {
+			e.Pinned = false
+			h.ram.Remove(e)
+			dropped = true
+		}
+		if e := h.flash.Peek(k); e != nil {
+			e.Pinned = false
+			h.flash.Remove(e)
+			dropped = true
+		}
+	}
+	if dropped && h.collect {
+		h.st.InvalidatedHere++
+	}
+	return dropped
+}
+
+// Read performs a one-block application read; done runs at completion.
+func (h *Host) Read(key cache.Key, done func()) {
+	start := h.eng.Now()
+	collect := h.collect
+	finish := func() {
+		if collect {
+			lat := h.eng.Now() - start
+			h.st.ReadLat.Add(lat)
+			h.st.ReadHist.Add(lat)
+			h.st.BlocksRead++
+		}
+		if done != nil {
+			done()
+		}
+	}
+	proceed := func() {
+		if h.cfg.Arch == Unified {
+			h.readUnified(key, collect, finish)
+		} else {
+			h.readLayered(key, collect, finish)
+		}
+	}
+	if h.reg != nil {
+		// Under the callback protocol an exclusively-owned block must be
+		// downgraded (and its dirty data flushed) before the read; under
+		// the paper's instant model this continues immediately.
+		h.reg.AcquireRead(h.cfg.ID, uint64(key), proceed)
+		return
+	}
+	proceed()
+}
+
+// Write performs a one-block application write; done runs when the write
+// is durable to the degree the configured policies require (normally: when
+// it lands in the RAM cache).
+func (h *Host) Write(key cache.Key, done func()) {
+	start := h.eng.Now()
+	collect := h.collect
+	finish := func() {
+		if collect {
+			lat := h.eng.Now() - start
+			h.st.WriteLat.Add(lat)
+			h.st.WriteHist.Add(lat)
+			h.st.BlocksWritten++
+		}
+		if done != nil {
+			done()
+		}
+	}
+	proceed := func() {
+		if h.cfg.Arch == Unified {
+			h.writeUnified(key, finish)
+		} else {
+			h.writeLayered(key, finish)
+		}
+	}
+	// A new version is born in this host's cache: all other copies are
+	// now stale. Under the paper's model the invalidation is instant and
+	// free (§3.8); under the callback protocol the writer first acquires
+	// exclusive ownership, paying the message round trips.
+	if h.reg != nil {
+		h.reg.AcquireWrite(h.cfg.ID, uint64(key), proceed)
+		return
+	}
+	proceed()
+}
+
+// --- layered (naive / lookaside) read path ---
+
+func (h *Host) readLayered(key cache.Key, collect bool, finish func()) {
+	if h.ram.Capacity() > 0 {
+		if e := h.ram.Get(key); e != nil {
+			if collect {
+				h.st.RAMHits++
+			}
+			h.ramDev.Read(finish)
+			return
+		}
+	}
+	if collect {
+		h.st.RAMMisses++
+	}
+	if h.flash.Capacity() > 0 {
+		if e := h.flash.Get(key); e != nil {
+			if collect {
+				h.st.FlashHits++
+			}
+			h.flashIO.Read(key, func() {
+				h.installRAMClean(key, finish)
+			})
+			return
+		}
+		if collect {
+			h.st.FlashMisses++
+		}
+	}
+	h.fetchFromFiler(key, func() {
+		h.installRAMClean(key, finish)
+	})
+}
+
+// installRAMClean places a just-read block into the RAM cache (read fill).
+// The RAM cache remains a subset of flash on this path because the block
+// was installed in flash first (naive placement, §3.2).
+func (h *Host) installRAMClean(key cache.Key, cont func()) {
+	if h.ram.Capacity() == 0 {
+		cont()
+		return
+	}
+	if e := h.ram.Peek(key); e != nil {
+		h.ram.Touch(e)
+		h.ramDev.Read(cont) // data handed to the application from RAM
+		return
+	}
+	h.makeRoomRAM(func() {
+		if h.ram.Peek(key) == nil && !h.ram.NeedsEviction() {
+			h.ram.Insert(key)
+		}
+		h.ramDev.Write(cont)
+	})
+}
+
+// --- layered write path ---
+
+func (h *Host) writeLayered(key cache.Key, finish func()) {
+	if h.ram.Capacity() == 0 {
+		h.writeNoRAM(key, finish)
+		return
+	}
+	if e := h.ram.Get(key); e != nil {
+		h.commitRAMWrite(e, finish)
+		return
+	}
+	// Write-allocate: traces are block-granular, so no read-modify-write
+	// fetch is needed.
+	h.makeRoomRAM(func() {
+		e := h.ram.Peek(key)
+		if e == nil {
+			if h.ram.NeedsEviction() {
+				// Room vanished to a racing insert; retry.
+				h.writeLayered(key, finish)
+				return
+			}
+			e = h.ram.Insert(key)
+		}
+		h.commitRAMWrite(e, finish)
+	})
+}
+
+// commitRAMWrite applies the data write to a resident RAM entry and then
+// the RAM writeback policy.
+func (h *Host) commitRAMWrite(e *cache.Entry, finish func()) {
+	e.DirtyEpoch++
+	h.ram.MarkDirty(e)
+	h.ramDev.Write(func() {
+		h.applyPolicy(h.cfg.RAMPolicy, h.ramWritebackFn(), layeredRAM{h}, e, finish)
+	})
+}
+
+// writeNoRAM handles writes with no RAM tier (paper §7.5's "0 really means
+// 0" point): the write lands directly in flash, or goes to the filer when
+// there is no flash either.
+func (h *Host) writeNoRAM(key cache.Key, finish func()) {
+	if h.flash.Capacity() == 0 {
+		h.writeBlockToFiler(key, demandLane, finish)
+		return
+	}
+	h.ensureFlashEntry(key, func(e *cache.Entry) {
+		if e == nil { // could not place (transient); go straight through
+			h.writeBlockToFiler(key, demandLane, finish)
+			return
+		}
+		e.DirtyEpoch++
+		if h.cfg.Arch == Lookaside {
+			// Lookaside flash never holds dirty data: write the filer
+			// first, then update the flash copy.
+			h.writeBlockToFiler(key, demandLane, func() {
+				h.flashIO.Write(key, nil)
+				finish()
+			})
+			return
+		}
+		h.flash.MarkDirty(e)
+		h.flashIO.Write(key, func() {
+			h.applyPolicy(h.cfg.FlashPolicy, h.flashWritebackFn(), layeredFlash{h}, e, finish)
+		})
+	})
+}
+
+// --- unified paths ---
+
+func (h *Host) readUnified(key cache.Key, collect bool, finish func()) {
+	if e := h.uni.Get(key); e != nil {
+		if e.Medium() == cache.RAM {
+			if collect {
+				h.st.RAMHits++
+			}
+			h.ramDev.Read(finish)
+		} else {
+			if collect {
+				// A flash-buffer hit missed the "RAM level" and hit
+				// the "flash level" for accounting purposes, keeping
+				// hit-rate partitions comparable across architectures.
+				h.st.RAMMisses++
+				h.st.FlashHits++
+			}
+			h.flashIO.Read(key, finish)
+		}
+		return
+	}
+	if collect {
+		h.st.RAMMisses++
+		h.st.FlashMisses++
+	}
+	h.fetchFromFiler(key, finish)
+}
+
+func (h *Host) writeUnified(key cache.Key, finish func()) {
+	if h.uni.Capacity() == 0 {
+		h.writeBlockToFiler(key, demandLane, finish)
+		return
+	}
+	if e := h.uni.Get(key); e != nil {
+		h.commitUnifiedWrite(e, finish)
+		return
+	}
+	h.makeRoomUnified(func() {
+		e := h.uni.Peek(key)
+		if e == nil {
+			if h.uni.NeedsEviction() {
+				h.writeUnified(key, finish)
+				return
+			}
+			e = h.uni.Insert(key)
+		}
+		h.commitUnifiedWrite(e, finish)
+	})
+}
+
+// commitUnifiedWrite pays the medium's write cost and applies the policy
+// of the tier the block happens to live in: the paper's unified cache
+// exposes flash write latency for the ~8/9 of blocks in flash buffers.
+func (h *Host) commitUnifiedWrite(e *cache.Entry, finish func()) {
+	e.DirtyEpoch++
+	h.uni.MarkDirty(e)
+	policy := h.cfg.RAMPolicy
+	var write func(func())
+	if e.Medium() == cache.RAM {
+		write = h.ramDev.Write
+	} else {
+		key := e.Key()
+		write = func(done func()) { h.flashIO.Write(key, done) }
+		policy = h.cfg.FlashPolicy
+	}
+	write(func() {
+		h.applyPolicy(policy, h.filerWritebackFn(), unifiedCache{h}, e, finish)
+	})
+}
+
+// --- demand fetch ---
+
+// fetchFromFiler fetches key from the filer, de-duplicating concurrent
+// requests for the same block, installs it in the appropriate cache, and
+// wakes all waiters.
+func (h *Host) fetchFromFiler(key cache.Key, cont func()) {
+	if h.cfg.DisableFetchDedup {
+		if h.collect {
+			h.st.FilerFetches++
+		}
+		h.seg.Send(netsim.ToFiler, 0, func() {
+			h.fsrv.Read(func() {
+				h.seg.Send(netsim.FromFiler, trace.BlockSize, func() {
+					h.installAfterFetch(key, cont)
+				})
+			})
+		})
+		return
+	}
+	if waiters, inflight := h.pending[key]; inflight {
+		h.pending[key] = append(waiters, cont)
+		return
+	}
+	h.pending[key] = []func(){cont}
+	if h.collect {
+		h.st.FilerFetches++
+	}
+	h.seg.Send(netsim.ToFiler, 0, func() {
+		h.fsrv.Read(func() {
+			h.seg.Send(netsim.FromFiler, trace.BlockSize, func() {
+				h.installAfterFetch(key, func() {
+					waiters := h.pending[key]
+					delete(h.pending, key)
+					for _, w := range waiters {
+						w()
+					}
+				})
+			})
+		})
+	})
+}
+
+// installAfterFetch places a freshly fetched block into the flash tier
+// (layered) or the unified cache. The requester is not charged for the
+// install data write — it proceeds once the block is indexed; the write
+// occupies the device in the background. (Ablation: SyncFill charges it.)
+func (h *Host) installAfterFetch(key cache.Key, cont func()) {
+	if h.cfg.Arch == Unified {
+		if h.uni.Capacity() == 0 {
+			cont()
+			return
+		}
+		h.makeRoomUnified(func() {
+			if h.uni.Peek(key) == nil && !h.uni.NeedsEviction() {
+				e := h.uni.Insert(key)
+				if e.Medium() == cache.Flash {
+					if h.cfg.SyncMissFill {
+						h.flashIO.Write(key, cont)
+						return
+					}
+					h.flashIO.Write(key, nil)
+				}
+			}
+			cont()
+		})
+		return
+	}
+	if h.flash.Capacity() == 0 {
+		cont()
+		return
+	}
+	h.makeRoomFlash(func() {
+		if h.flash.Peek(key) == nil && !h.flash.NeedsEviction() {
+			h.flash.Insert(key)
+			if h.collect {
+				h.st.FlashFills++
+			}
+			if h.cfg.SyncMissFill {
+				h.flashIO.Write(key, cont)
+				return
+			}
+			h.flashIO.Write(key, nil)
+		}
+		cont()
+	})
+}
+
+// ensureFlashEntry makes key resident in the flash cache (inserting and
+// evicting as needed) and hands the entry to cont. cont receives nil only
+// if the flash tier has zero capacity.
+func (h *Host) ensureFlashEntry(key cache.Key, cont func(*cache.Entry)) {
+	if h.flash.Capacity() == 0 {
+		cont(nil)
+		return
+	}
+	if e := h.flash.Peek(key); e != nil {
+		h.flash.Touch(e)
+		cont(e)
+		return
+	}
+	h.makeRoomFlash(func() {
+		if e := h.flash.Peek(key); e != nil {
+			cont(e)
+			return
+		}
+		if h.flash.NeedsEviction() {
+			// Lost the race for the freed slot; try again.
+			h.ensureFlashEntry(key, cont)
+			return
+		}
+		cont(h.flash.Insert(key))
+	})
+}
+
+// --- room making (eviction) ---
+
+// makeRoomRAM evicts from the RAM cache until an insert can proceed.
+// Dirty victims are written down first — to flash under naive, to the
+// filer under lookaside — synchronously, blocking the requester, which is
+// how the "none" policy's eviction convoys arise (paper §7.1).
+func (h *Host) makeRoomRAM(cont func()) {
+	if !h.ram.NeedsEviction() {
+		cont()
+		return
+	}
+	v := h.ram.Victim()
+	if v == nil {
+		h.st.EvictionRetries++
+		h.eng.Schedule(evictionRetryDelay, func() { h.makeRoomRAM(cont) })
+		return
+	}
+	if !v.Dirty {
+		h.ram.Remove(v)
+		h.makeRoomRAM(cont)
+		return
+	}
+	if h.collect {
+		h.st.SyncEvictions++
+	}
+	v.Pinned = true
+	key := v.Key()
+	writeDown := h.ramWritebackFn()
+	writeDown(key, demandLane, func() {
+		if h.ram.Peek(key) == v {
+			v.Pinned = false
+			h.ram.MarkClean(v)
+			h.ram.Remove(v)
+		}
+		h.makeRoomRAM(cont)
+	})
+}
+
+// makeRoomFlash evicts from the flash cache until an insert can proceed.
+// Clean RAM copies of the evicted block are shot down to preserve the
+// RAM ⊆ flash property; dirty RAM copies survive (they will re-insert into
+// flash when written back).
+func (h *Host) makeRoomFlash(cont func()) {
+	if !h.flash.NeedsEviction() {
+		cont()
+		return
+	}
+	v := h.flash.Victim()
+	if v == nil {
+		h.st.EvictionRetries++
+		h.eng.Schedule(evictionRetryDelay, func() { h.makeRoomFlash(cont) })
+		return
+	}
+	if !v.Dirty {
+		h.shootdownRAMSubset(v.Key())
+		h.flash.Remove(v)
+		h.makeRoomFlash(cont)
+		return
+	}
+	if h.collect {
+		h.st.SyncEvictions++
+	}
+	v.Pinned = true
+	key := v.Key()
+	h.writeBlockToFiler(key, demandLane, func() {
+		if h.flash.Peek(key) == v {
+			v.Pinned = false
+			h.flash.MarkClean(v)
+			h.shootdownRAMSubset(key)
+			h.flash.Remove(v)
+		}
+		h.makeRoomFlash(cont)
+	})
+}
+
+// makeRoomUnified evicts from the unified cache; dirty victims write back
+// to the filer synchronously.
+func (h *Host) makeRoomUnified(cont func()) {
+	if !h.uni.NeedsEviction() {
+		cont()
+		return
+	}
+	v := h.uni.Victim()
+	if v == nil {
+		h.st.EvictionRetries++
+		h.eng.Schedule(evictionRetryDelay, func() { h.makeRoomUnified(cont) })
+		return
+	}
+	if !v.Dirty {
+		h.uni.Remove(v)
+		h.makeRoomUnified(cont)
+		return
+	}
+	if h.collect {
+		h.st.SyncEvictions++
+	}
+	v.Pinned = true
+	key := v.Key()
+	h.writeBlockToFiler(key, demandLane, func() {
+		if h.uni.Peek(key) == v {
+			v.Pinned = false
+			h.uni.MarkClean(v)
+			h.uni.Remove(v)
+		}
+		h.makeRoomUnified(cont)
+	})
+}
+
+// shootdownRAMSubset drops a clean RAM copy when its flash backing is
+// evicted, preserving RAM ⊆ flash. A dirty RAM copy is newer than
+// anything below it and stays.
+func (h *Host) shootdownRAMSubset(key cache.Key) {
+	if h.cfg.DisableSubsetShootdown {
+		return
+	}
+	if h.ram == nil || h.ram.Capacity() == 0 {
+		return
+	}
+	if e := h.ram.Peek(key); e != nil && !e.Dirty && !e.Pinned {
+		h.ram.Remove(e)
+	}
+}

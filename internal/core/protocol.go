@@ -1,0 +1,57 @@
+package core
+
+import (
+	"repro/internal/cache"
+	"repro/internal/netsim"
+)
+
+// This file implements the host side of the callback consistency protocol
+// (consistency.ModeCallback): small control messages on the host's demand
+// link and synchronous flushes of exclusively-held dirty blocks.
+
+// controlMessageBytes is the payload of one protocol control message
+// (block identity, lease epoch, flags).
+const controlMessageBytes = 64
+
+// Holds implements consistency.CacheHolder.
+func (h *Host) Holds(key uint64) bool {
+	k := cache.Key(key)
+	if h.uni != nil {
+		return h.uni.Peek(k) != nil
+	}
+	if h.ram != nil && h.ram.Peek(k) != nil {
+		return true
+	}
+	return h.flash != nil && h.flash.Peek(k) != nil
+}
+
+// SendControl implements consistency.ProtocolPeer: one small packet on the
+// host's demand link.
+func (h *Host) SendControl(done func()) {
+	h.seg.Send(netsim.ToFiler, controlMessageBytes, done)
+}
+
+// FlushBlock implements consistency.ProtocolPeer: write the block back to
+// the filer if any tier holds it dirty; done fires when durable.
+func (h *Host) FlushBlock(key uint64, done func()) {
+	k := cache.Key(key)
+	if h.uni != nil {
+		if e := h.uni.Peek(k); e != nil && e.Dirty {
+			h.propagate(h.filerWritebackFn(), unifiedCache{h}, e, demandLane, done)
+			return
+		}
+		h.eng.Schedule(0, done)
+		return
+	}
+	if e := h.ram.Peek(k); e != nil && e.Dirty {
+		// The freshest copy lives in RAM; the protocol needs it at the
+		// filer, so it bypasses the flash tier.
+		h.propagate(h.writeBlockToFiler, layeredRAM{h}, e, demandLane, done)
+		return
+	}
+	if e := h.flash.Peek(k); e != nil && e.Dirty {
+		h.propagate(h.flashWritebackFn(), layeredFlash{h}, e, demandLane, done)
+		return
+	}
+	h.eng.Schedule(0, done)
+}

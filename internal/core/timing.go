@@ -1,0 +1,62 @@
+package core
+
+import "repro/internal/sim"
+
+// Timing holds the simulator's timing model, the paper's Table 1. All
+// values are per 4 KiB block except the network parameters, which are per
+// packet and per bit.
+//
+// Note: the paper's Table 1 prints "ms" for most rows, but the figure axes
+// and the text (e.g. "the filer fast read time (92 ms) is quite close to
+// that of flash (88 ms)" alongside microsecond-scale latency plots) make
+// clear the units are microseconds.
+type Timing struct {
+	RAMRead  sim.Time // per-block RAM cache read
+	RAMWrite sim.Time // per-block RAM cache write
+
+	FlashRead  sim.Time // per-block flash read
+	FlashWrite sim.Time // per-block flash write
+
+	NetBase   sim.Time // fixed per-packet latency
+	NetPerBit sim.Time // additional latency per bit of block data
+
+	FilerFastRead sim.Time // filer read serviced from its cache/prefetch
+	FilerSlowRead sim.Time // filer read missing everywhere
+	FilerWrite    sim.Time // filer write (buffered, always fast)
+
+	// FilerFastReadRate is the fraction of filer reads that are fast —
+	// the filer's prefetch success rate.
+	FilerFastReadRate float64
+}
+
+// DefaultTiming returns the paper's Table 1 parameters.
+func DefaultTiming() Timing {
+	return Timing{
+		RAMRead:           400 * sim.Nanosecond,
+		RAMWrite:          400 * sim.Nanosecond,
+		FlashRead:         88 * sim.Microsecond,
+		FlashWrite:        21 * sim.Microsecond,
+		NetBase:           8200 * sim.Nanosecond, // 8.2 us per packet
+		NetPerBit:         1 * sim.Nanosecond,
+		FilerFastRead:     92 * sim.Microsecond,
+		FilerSlowRead:     7952 * sim.Microsecond,
+		FilerWrite:        92 * sim.Microsecond,
+		FilerFastReadRate: 0.90,
+	}
+}
+
+// Validate reports configuration errors.
+func (t Timing) Validate() error {
+	for _, v := range []sim.Time{
+		t.RAMRead, t.RAMWrite, t.FlashRead, t.FlashWrite,
+		t.NetBase, t.NetPerBit, t.FilerFastRead, t.FilerSlowRead, t.FilerWrite,
+	} {
+		if v < 0 {
+			return errNegativeTiming
+		}
+	}
+	if t.FilerFastReadRate < 0 || t.FilerFastReadRate > 1 {
+		return errBadPrefetchRate
+	}
+	return nil
+}

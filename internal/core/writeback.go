@@ -1,0 +1,295 @@
+package core
+
+import (
+	"repro/internal/cache"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// lane selects which network lane a filer write rides on: demand traffic
+// (a requester is waiting) or background writeback traffic (syncer flushes
+// and asynchronous write-through). Keeping the lanes separate stops
+// background flush bursts from queueing ahead of demand fetches; see the
+// field comment on Host.bgSeg.
+type lane uint8
+
+const (
+	demandLane lane = iota
+	bgLane
+)
+
+// writebackFn moves one block's dirty data to the next tier down on the
+// given lane and calls cont when the data is durable there.
+type writebackFn func(key cache.Key, ln lane, cont func())
+
+// tierOps abstracts the cache a policy operates on, so the same policy
+// machinery drives the layered RAM tier, the layered flash tier, and both
+// media of the unified cache.
+type tierOps interface {
+	peek(key cache.Key) *cache.Entry
+	markClean(e *cache.Entry)
+}
+
+type layeredRAM struct{ h *Host }
+
+func (t layeredRAM) peek(key cache.Key) *cache.Entry { return t.h.ram.Peek(key) }
+func (t layeredRAM) markClean(e *cache.Entry)        { t.h.ram.MarkClean(e) }
+
+type layeredFlash struct{ h *Host }
+
+func (t layeredFlash) peek(key cache.Key) *cache.Entry { return t.h.flash.Peek(key) }
+func (t layeredFlash) markClean(e *cache.Entry)        { t.h.flash.MarkClean(e) }
+
+type unifiedCache struct{ h *Host }
+
+func (t unifiedCache) peek(key cache.Key) *cache.Entry { return t.h.uni.Peek(key) }
+func (t unifiedCache) markClean(e *cache.Entry)        { t.h.uni.MarkClean(e) }
+
+// applyPolicy runs after a write has been committed to a tier. For
+// write-through policies every write propagates to the next tier (sync
+// blocks the requester and rides the demand lane; async rides the
+// background lane); periodic and none leave the dirty block for the syncer
+// or the eviction path.
+func (h *Host) applyPolicy(p Policy, move writebackFn, tier tierOps, e *cache.Entry, finish func()) {
+	switch p.Kind {
+	case WriteThroughSync:
+		h.propagate(move, tier, e, demandLane, finish)
+	case WriteThroughAsync:
+		h.propagate(move, tier, e, bgLane, nil)
+		finish()
+	case Delayed:
+		h.scheduleDelayed(p.Period, move, tier, e)
+		finish()
+	default: // Periodic, Trickle, None
+		finish()
+	}
+}
+
+// scheduleDelayed arms a per-block timer: the block writes back Period
+// after this write, unless a newer write supersedes it (the newer write's
+// own timer then covers the block — natural coalescing via DirtyEpoch).
+func (h *Host) scheduleDelayed(period sim.Time, move writebackFn, tier tierOps, e *cache.Entry) {
+	key := e.Key()
+	epoch := e.DirtyEpoch
+	h.eng.Schedule(period, func() {
+		cur := tier.peek(key)
+		if cur != e || !e.Dirty || e.DirtyEpoch != epoch || e.WritebackInFlight || e.Pinned {
+			return
+		}
+		h.propagate(move, tier, e, bgLane, nil)
+	})
+}
+
+// propagate writes e's current version to the next tier; on completion the
+// entry is marked clean unless it was re-dirtied or replaced in flight.
+// cont (if non-nil) runs when the data is durable below.
+func (h *Host) propagate(move writebackFn, tier tierOps, e *cache.Entry, ln lane, cont func()) {
+	key := e.Key()
+	epoch := e.DirtyEpoch
+	e.WritebackInFlight = true
+	move(key, ln, func() {
+		if cur := tier.peek(key); cur == e {
+			e.WritebackInFlight = false
+			if e.DirtyEpoch == epoch {
+				tier.markClean(e)
+			}
+		}
+		if cont != nil {
+			cont()
+		}
+	})
+}
+
+// ramWritebackFn returns the mover for dirty RAM blocks: to flash under
+// naive, directly to the filer under lookaside (§3.3). With no flash tier
+// configured, naive also degenerates to writing the filer.
+func (h *Host) ramWritebackFn() writebackFn {
+	if h.cfg.Arch == Lookaside {
+		return func(key cache.Key, ln lane, cont func()) {
+			h.writeBlockToFiler(key, ln, func() {
+				// "The flash is updated after the file server and never
+				// contains dirty data."
+				h.installFlashCleanCopy(key)
+				cont()
+			})
+		}
+	}
+	return h.writeBlockToFlash
+}
+
+// flashWritebackFn returns the mover for dirty flash blocks (always the
+// filer).
+func (h *Host) flashWritebackFn() writebackFn { return h.writeBlockToFiler }
+
+// filerWritebackFn is the unified cache's mover: both media write back to
+// the filer.
+func (h *Host) filerWritebackFn() writebackFn { return h.writeBlockToFiler }
+
+// writeBlockToFlash moves one dirty RAM block down into the flash cache:
+// the block becomes resident and dirty in flash, the flash device write is
+// paid, and the flash tier's own writeback policy is applied to the new
+// dirty flash data. cont runs when the block is durable in flash.
+func (h *Host) writeBlockToFlash(key cache.Key, ln lane, cont func()) {
+	if h.flash.Capacity() == 0 {
+		// No flash tier: RAM's next tier is the filer.
+		h.writeBlockToFiler(key, ln, cont)
+		return
+	}
+	if h.collect {
+		h.st.FlashWritebacks++
+	}
+	h.ensureFlashEntry(key, func(e *cache.Entry) {
+		if e == nil {
+			h.writeBlockToFiler(key, ln, cont)
+			return
+		}
+		e.DirtyEpoch++
+		h.flash.MarkDirty(e)
+		h.flashIO.Write(key, func() {
+			// The data is durable in flash; now the flash tier's policy
+			// decides when it reaches the filer. A synchronous flash
+			// policy inside a demand chain keeps blocking the requester
+			// on the demand lane.
+			switch h.cfg.FlashPolicy.Kind {
+			case WriteThroughSync:
+				h.propagate(h.flashWritebackFn(), layeredFlash{h}, e, ln, cont)
+			case WriteThroughAsync:
+				h.propagate(h.flashWritebackFn(), layeredFlash{h}, e, bgLane, nil)
+				cont()
+			default:
+				cont()
+			}
+		})
+	})
+}
+
+// installFlashCleanCopy updates or inserts a clean copy of key in flash
+// (lookaside post-filer update). The device write is asynchronous.
+func (h *Host) installFlashCleanCopy(key cache.Key) {
+	if h.flash.Capacity() == 0 {
+		return
+	}
+	if e := h.flash.Peek(key); e != nil {
+		h.flash.Touch(e)
+		h.flashIO.Write(key, nil)
+		return
+	}
+	h.makeRoomFlash(func() {
+		if h.flash.Peek(key) == nil && !h.flash.NeedsEviction() {
+			h.flash.Insert(key)
+			if h.collect {
+				h.st.FlashFills++
+			}
+			h.flashIO.Write(key, nil)
+		}
+	})
+}
+
+// writeBlockToFiler writes one block to the filer over the chosen lane:
+// a data packet out, the filer's buffered write, and an acknowledgement
+// packet back.
+func (h *Host) writeBlockToFiler(key cache.Key, ln lane, cont func()) {
+	_ = key // the filer model is content-free; the key documents intent
+	if h.collect {
+		h.st.FilerWritebacks++
+	}
+	seg := h.seg
+	if ln == bgLane {
+		seg = h.bgSeg
+	}
+	seg.Send(netsim.ToFiler, trace.BlockSize, func() {
+		h.fsrv.Write(func() {
+			seg.Send(netsim.FromFiler, 0, cont)
+		})
+	})
+}
+
+// --- periodic syncers ---
+
+// startSyncers launches the periodic writeback daemons the configured
+// policies require. Lookaside's flash tier never holds dirty data, so its
+// flash syncer is pointless and skipped.
+func (h *Host) startSyncers() {
+	// limit <= 0 flushes everything (Periodic); Trickle drains one block
+	// per tick.
+	daemonFor := func(p Policy, flush func(limit int)) {
+		switch p.Kind {
+		case Periodic:
+			h.syncers = append(h.syncers, sim.NewTicker(h.eng, p.Period, func() { flush(0) }))
+		case Trickle:
+			h.syncers = append(h.syncers, sim.NewTicker(h.eng, p.Period, func() { flush(1) }))
+		}
+	}
+	if h.cfg.Arch == Unified {
+		daemonFor(h.cfg.RAMPolicy, func(limit int) { h.flushUnified(cache.RAM, limit) })
+		daemonFor(h.cfg.FlashPolicy, func(limit int) { h.flushUnified(cache.Flash, limit) })
+		return
+	}
+	if h.cfg.RAMBlocks > 0 {
+		daemonFor(h.cfg.RAMPolicy, h.flushRAM)
+	}
+	if h.cfg.FlashBlocks > 0 && h.cfg.Arch != Lookaside {
+		daemonFor(h.cfg.FlashPolicy, h.flushFlash)
+	}
+}
+
+// flushRAM writes dirty RAM blocks down (oldest first), skipping blocks
+// already mid-writeback. limit bounds how many blocks are flushed; <= 0
+// means all.
+func (h *Host) flushRAM(limit int) {
+	move := h.ramWritebackFn()
+	flushed := 0
+	for _, e := range h.ram.AppendDirty(nil) {
+		if limit > 0 && flushed >= limit {
+			break
+		}
+		if e.WritebackInFlight || e.Pinned {
+			if h.collect {
+				h.st.CoalescedSkips++
+			}
+			continue
+		}
+		h.propagate(move, layeredRAM{h}, e, bgLane, nil)
+		flushed++
+	}
+}
+
+// flushFlash writes dirty flash blocks back to the filer.
+func (h *Host) flushFlash(limit int) {
+	flushed := 0
+	for _, e := range h.flash.AppendDirty(nil) {
+		if limit > 0 && flushed >= limit {
+			break
+		}
+		if e.WritebackInFlight || e.Pinned {
+			if h.collect {
+				h.st.CoalescedSkips++
+			}
+			continue
+		}
+		h.propagate(h.flashWritebackFn(), layeredFlash{h}, e, bgLane, nil)
+		flushed++
+	}
+}
+
+// flushUnified writes back dirty unified entries living on medium m.
+func (h *Host) flushUnified(m cache.Medium, limit int) {
+	flushed := 0
+	for _, e := range h.uni.AppendDirty(nil) {
+		if limit > 0 && flushed >= limit {
+			break
+		}
+		if e.Medium() != m {
+			continue
+		}
+		if e.WritebackInFlight || e.Pinned {
+			if h.collect {
+				h.st.CoalescedSkips++
+			}
+			continue
+		}
+		h.propagate(h.filerWritebackFn(), unifiedCache{h}, e, bgLane, nil)
+		flushed++
+	}
+}

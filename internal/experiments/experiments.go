@@ -1,0 +1,126 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (§7). Each experiment is a named runner producing a Report of
+// figures (series data) and tables; cmd/experiments renders them as CSV and
+// ASCII plots, and the repository's benchmarks invoke them in Quick mode.
+//
+// All sizes are the paper's, divided by Options.Scale (see DESIGN.md:
+// scaling every size by the same factor preserves the fit/overflow
+// crossovers that drive the results, while the unscaled Table 1 timing
+// model keeps latencies comparable to the paper's axes).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/flashsim"
+	"repro/internal/stats"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Scale divides every size (1:Scale). 0 defaults to 128.
+	Scale int
+	// Quick trims sweeps for benchmark use.
+	Quick bool
+	// Progress, if non-nil, receives one line per completed simulation.
+	Progress io.Writer
+}
+
+func (o Options) scale() int {
+	if o.Scale <= 0 {
+		return 128
+	}
+	return o.Scale
+}
+
+func (o Options) logf(format string, args ...interface{}) {
+	if o.Progress != nil {
+		fmt.Fprintf(o.Progress, format+"\n", args...)
+	}
+}
+
+// Report is one experiment's output.
+type Report struct {
+	Name        string
+	Description string
+	Figures     []*stats.Figure
+	Tables      []string
+}
+
+// Runner produces a report.
+type Runner func(Options) (*Report, error)
+
+// registry of all experiments by name.
+var registry = map[string]Runner{
+	"table1": Table1,
+	"fig1":   Fig1,
+	"fig2":   Fig2,
+	"fig3":   Fig3,
+	"fig4":   Fig4,
+	"fig5":   Fig5,
+	"fig6":   Fig6,
+	"fig7":   Fig7,
+	"fig8":   Fig8,
+	"fig9":   Fig9,
+	"fig10":  Fig10,
+	"fig11":  Fig11,
+	"fig12":  Fig12,
+}
+
+// Names returns all experiment names in order.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lookup returns the runner for name.
+func Lookup(name string) (Runner, bool) {
+	r, ok := registry[name]
+	return r, ok
+}
+
+// gb converts paper gigabytes to scaled blocks.
+func gb(gigabytes float64, scale int) int64 {
+	return int64(gigabytes * float64(flashsim.BlocksPerGB) / float64(scale))
+}
+
+// baseline returns the paper's baseline config at the options' scale.
+func baseline(o Options) flashsim.Config {
+	return flashsim.ScaledConfig(o.scale())
+}
+
+// sharedServer builds the figure's shared file-server model, the analogue
+// of the paper's single 1.4 TB Impressions model, sized to cover the
+// largest working set in the sweep.
+func sharedServer(o Options, maxWSGB float64) (*flashsim.FileSet, error) {
+	sizeGB := 1400.0
+	if maxWSGB*2.2 > sizeGB {
+		sizeGB = maxWSGB * 2.2
+	}
+	return flashsim.GenerateFileSet(gb(sizeGB, o.scale()), 42)
+}
+
+// run executes one simulation with progress logging.
+func run(o Options, label string, cfg flashsim.Config) (*flashsim.Result, error) {
+	res, err := flashsim.Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", label, err)
+	}
+	o.logf("  %-40s read %8.1f us  write %8.1f us", label,
+		res.ReadLatencyMicros, res.WriteLatencyMicros)
+	return res, nil
+}
+
+// wssSweepGB returns the working-set sweep points (in paper GB).
+func wssSweepGB(o Options) []float64 {
+	if o.Quick {
+		return []float64{5, 40, 60, 80, 160, 320}
+	}
+	return []float64{5, 20, 40, 60, 80, 100, 128, 160, 240, 320, 480, 640}
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+func init() {
+	registry["ext-protocol"] = ExtProtocol
+}
+
+// ExtProtocol quantifies the consistency traffic the paper left unmodeled
+// (§3.8: "we only count invalidations; we do not model the overhead of
+// cache consistency traffic"): the Figure 11 worst case — two hosts
+// actively modifying one shared working set — run under the paper's
+// instant free invalidation and under a callback ownership protocol that
+// pays control-message round trips for every ownership transfer and
+// flushes dirty data on read downgrades.
+func ExtProtocol(o Options) (*Report, error) {
+	fs, err := sharedServer(o, 60)
+	if err != nil {
+		return nil, err
+	}
+	pcts := []float64{10, 30, 60}
+	if o.Quick {
+		pcts = []float64{30}
+	}
+	writeFig := stats.NewFigure(
+		"Extension: write latency under instant vs callback consistency",
+		"write operations (%)", "write latency (us)")
+	instSeries := writeFig.AddSeries("instant (paper)")
+	protoSeries := writeFig.AddSeries("callback protocol")
+
+	var table strings.Builder
+	fmt.Fprintf(&table, "%-10s %-10s %12s %12s %12s %12s %12s\n",
+		"writes(%)", "mode", "read (us)", "write (us)", "ctl msgs", "acquires", "downgrades")
+	for _, pct := range pcts {
+		for _, protocol := range []bool{false, true} {
+			cfg := consistencyConfig(o, 64, 60, pct, fs)
+			cfg.ConsistencyProtocol = protocol
+			mode := "instant"
+			if protocol {
+				mode = "callback"
+			}
+			res, err := run(o, fmt.Sprintf("ext-protocol %s writes=%g%%", mode, pct), cfg)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(&table, "%-10g %-10s %12.1f %12.1f %12d %12d %12d\n",
+				pct, mode, res.ReadLatencyMicros, res.WriteLatencyMicros,
+				res.ControlMessages, res.OwnershipAcquires, res.Downgrades)
+			if protocol {
+				protoSeries.Add(pct, res.WriteLatencyMicros)
+			} else {
+				instSeries.Add(pct, res.WriteLatencyMicros)
+			}
+		}
+	}
+	return &Report{
+		Name:        "ext-protocol",
+		Description: "Callback consistency protocol vs the paper's instant invalidation (extension, paper §3.8/§8)",
+		Figures:     []*stats.Figure{writeFig},
+		Tables:      []string{table.String()},
+	}, nil
+}

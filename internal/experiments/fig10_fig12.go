@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/flashsim"
+	"repro/internal/stats"
+)
+
+// Fig10 regenerates Figure 10: the effect of cache persistence. The
+// "not warmed" runs skip the warmup phase — equivalent to a non-persistent
+// cache crashing at the start of the run — while the flash cases pay the
+// persistence metadata cost (doubled flash write latency).
+func Fig10(o Options) (*Report, error) {
+	scale := o.scale()
+	fs, err := sharedServer(o, 640)
+	if err != nil {
+		return nil, err
+	}
+	fig := stats.NewFigure(
+		"Figure 10: effect of persistence",
+		"working set (GB)", "read latency (us)")
+	type variant struct {
+		name    string
+		flashGB float64
+		cold    bool
+	}
+	variants := []variant{
+		{"No flash warmed", 0, false},
+		{"64 GB flash, not warmed", 64, true},
+		{"64 GB flash warmed", 64, false},
+	}
+	for _, v := range variants {
+		s := fig.AddSeries(v.name)
+		for _, wss := range wssSweepGB(o) {
+			cfg := baseline(o)
+			cfg.FlashBlocks = int(gb(v.flashGB, scale))
+			cfg.ColdStart = v.cold
+			cfg.PersistentFlash = v.flashGB > 0
+			cfg.Workload.WorkingSetBlocks = gb(wss, scale)
+			cfg.Workload.FileSet = fs
+			res, err := run(o, fmt.Sprintf("fig10 %s wss=%g", v.name, wss), cfg)
+			if err != nil {
+				return nil, err
+			}
+			s.Add(wss, res.ReadLatencyMicros)
+		}
+	}
+	return &Report{
+		Name:        "fig10",
+		Description: "Persistence benefit and cost (paper Figure 10)",
+		Figures:     []*stats.Figure{fig},
+	}, nil
+}
+
+// consistencyConfig builds the two-host shared-working-set worst case of
+// §7.9.
+func consistencyConfig(o Options, flashGB, wssGB, writePct float64, fs *flashsim.FileSet) flashsim.Config {
+	scale := o.scale()
+	cfg := baseline(o)
+	cfg.Hosts = 2
+	cfg.FlashBlocks = int(gb(flashGB, scale))
+	cfg.Workload.SharedWorkingSet = true
+	cfg.Workload.WorkingSetBlocks = gb(wssGB, scale)
+	cfg.Workload.WriteFraction = writePct / 100
+	cfg.Workload.FileSet = fs
+	return cfg
+}
+
+// Fig11 regenerates Figure 11: invalidations and read latency as a
+// function of write percentage, two hosts sharing one working set.
+func Fig11(o Options) (*Report, error) {
+	fs, err := sharedServer(o, 80)
+	if err != nil {
+		return nil, err
+	}
+	invalFig := stats.NewFigure(
+		"Figure 11a: invalidations vs write percentage (2 hosts, shared working set)",
+		"write operations (%)", "writes requiring invalidation (%)")
+	readFig := stats.NewFigure(
+		"Figure 11b: read latency vs write percentage (2 hosts, shared working set)",
+		"write operations (%)", "read latency (us)")
+	pcts := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90}
+	if o.Quick {
+		pcts = []float64{10, 30, 60}
+	}
+	for _, flashGB := range []float64{0, 64} {
+		for _, wss := range []float64{80, 60} {
+			name := fmt.Sprintf("No flash (%g GB)", wss)
+			if flashGB > 0 {
+				name = fmt.Sprintf("%g GB flash (%g GB)", flashGB, wss)
+			}
+			is := invalFig.AddSeries(name)
+			rs := readFig.AddSeries(name)
+			for _, pct := range pcts {
+				cfg := consistencyConfig(o, flashGB, wss, pct, fs)
+				res, err := run(o, fmt.Sprintf("fig11 flash=%g wss=%g writes=%g%%", flashGB, wss, pct), cfg)
+				if err != nil {
+					return nil, err
+				}
+				is.Add(pct, 100*res.InvalidationFraction)
+				rs.Add(pct, res.ReadLatencyMicros)
+			}
+		}
+	}
+	return &Report{
+		Name:        "fig11",
+		Description: "Consistency vs write percentage (paper Figure 11)",
+		Figures:     []*stats.Figure{invalFig, readFig},
+	}, nil
+}
+
+// Fig12 regenerates Figure 12: invalidations and read latency as a
+// function of working-set size at the baseline 30% writes, two hosts
+// sharing one working set.
+func Fig12(o Options) (*Report, error) {
+	fs, err := sharedServer(o, 640)
+	if err != nil {
+		return nil, err
+	}
+	invalFig := stats.NewFigure(
+		"Figure 12a: invalidations vs working set size (2 hosts, shared working set)",
+		"working set (GB)", "writes requiring invalidation (%)")
+	readFig := stats.NewFigure(
+		"Figure 12b: read latency vs working set size (2 hosts, shared working set)",
+		"working set (GB)", "read latency (us)")
+	for _, flashGB := range []float64{0, 64} {
+		name := "No flash"
+		if flashGB > 0 {
+			name = fmt.Sprintf("%g GB flash", flashGB)
+		}
+		is := invalFig.AddSeries(name)
+		rs := readFig.AddSeries(name)
+		for _, wss := range wssSweepGB(o) {
+			cfg := consistencyConfig(o, flashGB, wss, 30, fs)
+			res, err := run(o, fmt.Sprintf("fig12 flash=%g wss=%g", flashGB, wss), cfg)
+			if err != nil {
+				return nil, err
+			}
+			is.Add(wss, 100*res.InvalidationFraction)
+			rs.Add(wss, res.ReadLatencyMicros)
+		}
+	}
+	return &Report{
+		Name:        "fig12",
+		Description: "Consistency vs working set size (paper Figure 12)",
+		Figures:     []*stats.Figure{invalFig, readFig},
+	}, nil
+}

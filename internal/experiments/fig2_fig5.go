@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/flashsim"
+	"repro/internal/stats"
+)
+
+// Fig2 regenerates Figure 2: application read and write latency across the
+// 49 writeback-policy combinations for each of the three architectures, on
+// the 80 GB working set baseline. The output is two figures (read, write)
+// with one series per architecture over the policy-combination index
+// (RAM-policy major, flash-policy minor, both in s,a,p1,p5,p15,p30,n
+// order), plus the full table.
+func Fig2(o Options) (*Report, error) {
+	scale := o.scale()
+	policies := flashsim.AllPolicies()
+	if o.Quick {
+		policies = []flashsim.Policy{
+			flashsim.PolicySync, flashsim.PolicyAsync, flashsim.PolicyP1, flashsim.PolicyNone,
+		}
+	}
+	archs := []flashsim.Architecture{flashsim.Naive, flashsim.Lookaside, flashsim.Unified}
+
+	fs, err := sharedServer(o, 80)
+	if err != nil {
+		return nil, err
+	}
+
+	readFig := stats.NewFigure(
+		"Figure 2a: read latency (80 GB) vs RAM x flash writeback policy",
+		"policy combo index", "latency (us)")
+	writeFig := stats.NewFigure(
+		"Figure 2b: write latency (80 GB) vs RAM x flash writeback policy",
+		"policy combo index", "latency (us)")
+
+	var table strings.Builder
+	fmt.Fprintf(&table, "%-10s %-5s %-6s %12s %12s\n", "arch", "ram", "flash", "read (us)", "write (us)")
+
+	for _, arch := range archs {
+		rs := readFig.AddSeries(arch.String())
+		ws := writeFig.AddSeries(arch.String())
+		for ri, rp := range policies {
+			for fi, fp := range policies {
+				cfg := baseline(o)
+				cfg.Arch = arch
+				cfg.RAMPolicy = flashsim.ScalePolicy(rp, scale)
+				cfg.FlashPolicy = flashsim.ScalePolicy(fp, scale)
+				cfg.Workload.WorkingSetBlocks = gb(80, scale)
+				cfg.Workload.FileSet = fs
+				label := fmt.Sprintf("fig2 %s ram=%s flash=%s", arch, rp, fp)
+				res, err := run(o, label, cfg)
+				if err != nil {
+					return nil, err
+				}
+				x := float64(ri*len(policies) + fi)
+				rs.Add(x, res.ReadLatencyMicros)
+				ws.Add(x, res.WriteLatencyMicros)
+				fmt.Fprintf(&table, "%-10s %-5s %-6s %12.1f %12.1f\n",
+					arch, rp, fp, res.ReadLatencyMicros, res.WriteLatencyMicros)
+			}
+		}
+	}
+	return &Report{
+		Name: "fig2",
+		Description: "Read/write latency across writeback policies and architectures " +
+			"(paper Figure 2; policies in s,a,p1,p5,p15,p30,n order)",
+		Figures: []*stats.Figure{readFig, writeFig},
+		Tables:  []string{table.String()},
+	}, nil
+}
+
+// Fig3 regenerates Figure 3: read latency vs working-set size comparing
+// effective cache sizes. Two of the three lines pretend the flash has RAM's
+// access latency, separating structural effects from medium speed.
+func Fig3(o Options) (*Report, error) {
+	scale := o.scale()
+	fs, err := sharedServer(o, 640)
+	if err != nil {
+		return nil, err
+	}
+	fig := stats.NewFigure(
+		"Figure 3: read latency vs working set size (effective cache size)",
+		"working set (GB)", "read latency (us)")
+
+	type variant struct {
+		name     string
+		arch     flashsim.Architecture
+		ramGB    float64
+		flashGB  float64
+		flashRAM bool // give flash RAM's latency
+	}
+	variants := []variant{
+		{"8G RAM, 64G flash, Naive", flashsim.Naive, 8, 64, false},
+		{"8G RAM, 64G RAM, Naive", flashsim.Naive, 8, 64, true},
+		{"8G RAM, 56G RAM, Unified", flashsim.Unified, 8, 56, true},
+	}
+	for _, v := range variants {
+		s := fig.AddSeries(v.name)
+		for _, wss := range wssSweepGB(o) {
+			cfg := baseline(o)
+			cfg.Arch = v.arch
+			cfg.RAMBlocks = int(gb(v.ramGB, scale))
+			cfg.FlashBlocks = int(gb(v.flashGB, scale))
+			if v.flashRAM {
+				cfg.Timing.FlashRead = cfg.Timing.RAMRead
+				cfg.Timing.FlashWrite = cfg.Timing.RAMWrite
+			}
+			cfg.Workload.WorkingSetBlocks = gb(wss, scale)
+			cfg.Workload.FileSet = fs
+			res, err := run(o, fmt.Sprintf("fig3 %s wss=%g", v.name, wss), cfg)
+			if err != nil {
+				return nil, err
+			}
+			s.Add(wss, res.ReadLatencyMicros)
+		}
+	}
+	return &Report{
+		Name:        "fig3",
+		Description: "Effective cache size comparison (paper Figure 3)",
+		Figures:     []*stats.Figure{fig},
+	}, nil
+}
+
+// Fig4 regenerates Figure 4: read latency vs working-set size for no flash
+// and 32/64/128 GB flash caches.
+func Fig4(o Options) (*Report, error) {
+	scale := o.scale()
+	fs, err := sharedServer(o, 640)
+	if err != nil {
+		return nil, err
+	}
+	fig := stats.NewFigure(
+		"Figure 4: read latency vs working set size across flash sizes",
+		"working set (GB)", "read latency (us)")
+	for _, flashGB := range []float64{0, 32, 64, 128} {
+		name := "No flash"
+		if flashGB > 0 {
+			name = fmt.Sprintf("%g GB flash", flashGB)
+		}
+		s := fig.AddSeries(name)
+		for _, wss := range wssSweepGB(o) {
+			cfg := baseline(o)
+			cfg.FlashBlocks = int(gb(flashGB, scale))
+			cfg.Workload.WorkingSetBlocks = gb(wss, scale)
+			cfg.Workload.FileSet = fs
+			res, err := run(o, fmt.Sprintf("fig4 flash=%g wss=%g", flashGB, wss), cfg)
+			if err != nil {
+				return nil, err
+			}
+			s.Add(wss, res.ReadLatencyMicros)
+		}
+	}
+	return &Report{
+		Name:        "fig4",
+		Description: "Flash vs no flash across working set sizes (paper Figure 4)",
+		Figures:     []*stats.Figure{fig},
+	}, nil
+}
+
+// Fig5 regenerates Figure 5: the filer prefetch-rate bounds. An 80%
+// prefetch rate is the plausible lower bound once a flash cache strips the
+// filer of recency signal; 95% is the upper bound.
+func Fig5(o Options) (*Report, error) {
+	scale := o.scale()
+	fs, err := sharedServer(o, 640)
+	if err != nil {
+		return nil, err
+	}
+	fig := stats.NewFigure(
+		"Figure 5: read latency vs working set size for two filer prefetch rates",
+		"working set (GB)", "read latency (us)")
+	for _, flashGB := range []float64{0, 64} {
+		for _, rate := range []float64{0.80, 0.95} {
+			name := fmt.Sprintf("No flash; %.0f%% prefetch rate", rate*100)
+			if flashGB > 0 {
+				name = fmt.Sprintf("%g GB flash; %.0f%% prefetch rate", flashGB, rate*100)
+			}
+			s := fig.AddSeries(name)
+			for _, wss := range wssSweepGB(o) {
+				cfg := baseline(o)
+				cfg.FlashBlocks = int(gb(flashGB, scale))
+				cfg.Timing.FilerFastReadRate = rate
+				cfg.Workload.WorkingSetBlocks = gb(wss, scale)
+				cfg.Workload.FileSet = fs
+				res, err := run(o, fmt.Sprintf("fig5 flash=%g rate=%g wss=%g", flashGB, rate, wss), cfg)
+				if err != nil {
+					return nil, err
+				}
+				s.Add(wss, res.ReadLatencyMicros)
+			}
+		}
+	}
+	return &Report{
+		Name:        "fig5",
+		Description: "Filer read-ahead sensitivity (paper Figure 5)",
+		Figures:     []*stats.Figure{fig},
+	}, nil
+}

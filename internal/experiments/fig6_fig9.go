@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/flashsim"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// ramSweepBlocks returns the small-RAM sweep in blocks. The small end is
+// absolute (it is a write buffer whose required depth depends on thread
+// count, not on the scaled working set); the top point is the scaled
+// baseline 8 GB.
+func ramSweepBlocks(o Options) []int {
+	top := int(gb(8, o.scale()))
+	pts := []int{0, 16, 64, 256, 1024, 4096, 16384, 65536}
+	if o.Quick {
+		pts = []int{0, 64, 4096}
+	}
+	var out []int
+	for _, p := range pts {
+		if p < top {
+			out = append(out, p)
+		}
+	}
+	return append(out, top)
+}
+
+// smallRAMFigure runs the Figure 6/7 sweep for one working-set size.
+func smallRAMFigure(o Options, wssGB float64, fs *flashsim.FileSet) (*stats.Figure, error) {
+	scale := o.scale()
+	fig := stats.NewFigure(
+		fmt.Sprintf("Read and write latency vs RAM size (%g GB working set)", wssGB),
+		"RAM size (KB, actual scaled bytes; 0 means none)", "latency (us)")
+	type polVariant struct {
+		name string
+		pol  flashsim.Policy
+	}
+	variants := []polVariant{
+		{"p1", flashsim.ScalePolicy(flashsim.PolicyP1, scale)},
+		{"a", flashsim.PolicyAsync},
+	}
+	for _, v := range variants {
+		rs := fig.AddSeries("Read (" + v.name + ")")
+		ws := fig.AddSeries("Write (" + v.name + ")")
+		for _, ramBlocks := range ramSweepBlocks(o) {
+			cfg := baseline(o)
+			cfg.RAMBlocks = ramBlocks
+			cfg.RAMPolicy = v.pol
+			cfg.Workload.WorkingSetBlocks = gb(wssGB, scale)
+			cfg.Workload.FileSet = fs
+			label := fmt.Sprintf("fig6/7 wss=%g ram=%d blocks pol=%s", wssGB, ramBlocks, v.name)
+			res, err := run(o, label, cfg)
+			if err != nil {
+				return nil, err
+			}
+			x := float64(ramBlocks) * 4 // KB
+			rs.Add(x, res.ReadLatencyMicros)
+			ws.Add(x, res.WriteLatencyMicros)
+		}
+	}
+	return fig, nil
+}
+
+// Fig6 regenerates Figure 6: tiny RAM caches in front of the baseline
+// 64 GB flash, for the 60 GB and 80 GB working sets.
+func Fig6(o Options) (*Report, error) {
+	fs, err := sharedServer(o, 80)
+	if err != nil {
+		return nil, err
+	}
+	var figs []*stats.Figure
+	sweeps := []float64{60, 80}
+	if o.Quick {
+		sweeps = []float64{60}
+	}
+	for _, wss := range sweeps {
+		fig, err := smallRAMFigure(o, wss, fs)
+		if err != nil {
+			return nil, err
+		}
+		figs = append(figs, fig)
+	}
+	return &Report{
+		Name:        "fig6",
+		Description: "Small RAM caches, flash-sized working sets (paper Figure 6)",
+		Figures:     figs,
+	}, nil
+}
+
+// Fig7 regenerates Figure 7: the same sweep with a RAM-sized (5 GB)
+// working set, where starving the RAM cache costs 25-30%.
+func Fig7(o Options) (*Report, error) {
+	fs, err := sharedServer(o, 5)
+	if err != nil {
+		return nil, err
+	}
+	fig, err := smallRAMFigure(o, 5, fs)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Name:        "fig7",
+		Description: "Small RAM caches, RAM-sized working set (paper Figure 7)",
+		Figures:     []*stats.Figure{fig},
+	}, nil
+}
+
+// Fig8 regenerates Figure 8: latency as a function of the write
+// percentage, for the 60 and 80 GB working sets.
+func Fig8(o Options) (*Report, error) {
+	scale := o.scale()
+	fs, err := sharedServer(o, 80)
+	if err != nil {
+		return nil, err
+	}
+	readFig := stats.NewFigure(
+		"Figure 8a: read latency vs write percentage",
+		"write operations (%)", "read latency (us)")
+	writeFig := stats.NewFigure(
+		"Figure 8b: write latency vs write percentage",
+		"write operations (%)", "write latency (us)")
+	pcts := []float64{0, 10, 20, 30, 40, 50, 60, 70, 80, 90}
+	if o.Quick {
+		pcts = []float64{10, 30, 60, 90}
+	}
+	for _, wss := range []float64{80, 60} {
+		rs := readFig.AddSeries(fmt.Sprintf("Read (%g GB)", wss))
+		ws := writeFig.AddSeries(fmt.Sprintf("Write (%g GB)", wss))
+		for _, pct := range pcts {
+			cfg := baseline(o)
+			cfg.Workload.WorkingSetBlocks = gb(wss, scale)
+			cfg.Workload.WriteFraction = pct / 100
+			cfg.Workload.FileSet = fs
+			res, err := run(o, fmt.Sprintf("fig8 wss=%g writes=%g%%", wss, pct), cfg)
+			if err != nil {
+				return nil, err
+			}
+			if res.ReadLatencyMicros > 0 {
+				rs.Add(pct, res.ReadLatencyMicros)
+			}
+			if res.WriteLatencyMicros > 0 && pct > 0 {
+				ws.Add(pct, res.WriteLatencyMicros)
+			}
+		}
+	}
+	return &Report{
+		Name:        "fig8",
+		Description: "Read-mostly vs write-mostly (paper Figure 8)",
+		Figures:     []*stats.Figure{readFig, writeFig},
+	}, nil
+}
+
+// Fig9 regenerates Figure 9: read latency for a range of flash read
+// latencies (write latency scaled proportionally), for all three
+// architectures; the leftmost point represents phase-change memory.
+func Fig9(o Options) (*Report, error) {
+	scale := o.scale()
+	fs, err := sharedServer(o, 80)
+	if err != nil {
+		return nil, err
+	}
+	fig := stats.NewFigure(
+		"Figure 9: read latency vs flash read time",
+		"flash read time (us)", "read latency (us)")
+	flashReads := []float64{1, 22, 44, 66, 88, 100}
+	wssList := []float64{80, 60}
+	if o.Quick {
+		flashReads = []float64{1, 44, 88}
+		wssList = []float64{80}
+	}
+	archs := []flashsim.Architecture{flashsim.Lookaside, flashsim.Naive, flashsim.Unified}
+	base := flashsim.DefaultTiming()
+	ratio := float64(base.FlashWrite) / float64(base.FlashRead)
+	for _, wss := range wssList {
+		for _, arch := range archs {
+			s := fig.AddSeries(fmt.Sprintf("Read %s (%g GB)", arch, wss))
+			for _, fr := range flashReads {
+				cfg := baseline(o)
+				cfg.Arch = arch
+				cfg.Timing.FlashRead = sim.Time(fr * float64(sim.Microsecond))
+				cfg.Timing.FlashWrite = sim.Time(fr * ratio * float64(sim.Microsecond))
+				cfg.Workload.WorkingSetBlocks = gb(wss, scale)
+				cfg.Workload.FileSet = fs
+				res, err := run(o, fmt.Sprintf("fig9 %s wss=%g fr=%gus", arch, wss, fr), cfg)
+				if err != nil {
+					return nil, err
+				}
+				s.Add(fr, res.ReadLatencyMicros)
+			}
+		}
+	}
+	return &Report{
+		Name:        "fig9",
+		Description: "Sensitivity to flash timings (paper Figure 9)",
+		Figures:     []*stats.Figure{fig},
+	}, nil
+}

@@ -1,0 +1,86 @@
+// Package filer models the networked file server. The paper deliberately
+// uses a coarse model (§5): "a 'fast' latency for cache hits, a 'slow'
+// latency for misses, and a prefetch success rate that determines what
+// fraction of reads are fast. (Which reads are fast is random. Writes are
+// buffered and always fast.)" The filer itself is a high-end box with
+// sophisticated caching, so it serves requests concurrently; contention is
+// on the network segments, not inside the filer.
+package filer
+
+import (
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Filer is the shared file server.
+type Filer struct {
+	eng *sim.Engine
+	rnd *rng.RNG
+
+	fastRead     sim.Time
+	slowRead     sim.Time
+	write        sim.Time
+	prefetchRate float64
+
+	fastReads, slowReads, writes uint64
+}
+
+// New returns a filer with the given service latencies and prefetch
+// (fast-read) success rate in [0, 1].
+func New(eng *sim.Engine, rnd *rng.RNG, fastRead, slowRead, write sim.Time, prefetchRate float64) *Filer {
+	if fastRead < 0 || slowRead < 0 || write < 0 {
+		panic("filer: negative latency")
+	}
+	if prefetchRate < 0 || prefetchRate > 1 {
+		panic("filer: prefetch rate out of range")
+	}
+	return &Filer{
+		eng:          eng,
+		rnd:          rnd,
+		fastRead:     fastRead,
+		slowRead:     slowRead,
+		write:        write,
+		prefetchRate: prefetchRate,
+	}
+}
+
+// Read services a one-block read; done runs after the fast or slow latency,
+// chosen randomly by the prefetch success rate.
+func (f *Filer) Read(done func()) {
+	lat := f.slowRead
+	if f.rnd.Bool(f.prefetchRate) {
+		f.fastReads++
+		lat = f.fastRead
+	} else {
+		f.slowReads++
+	}
+	if done != nil {
+		f.eng.Schedule(lat, done)
+	}
+}
+
+// Write services a one-block write; writes hit the filer's nonvolatile
+// buffer and are always fast.
+func (f *Filer) Write(done func()) {
+	f.writes++
+	if done != nil {
+		f.eng.Schedule(f.write, done)
+	}
+}
+
+// PrefetchRate returns the configured fast-read rate.
+func (f *Filer) PrefetchRate() float64 { return f.prefetchRate }
+
+// FastReads, SlowReads and Writes report service counts.
+func (f *Filer) FastReads() uint64 { return f.fastReads }
+func (f *Filer) SlowReads() uint64 { return f.slowReads }
+func (f *Filer) Writes() uint64    { return f.writes }
+
+// MeanReadLatency returns the expected read service time given the
+// configured rates — useful for analytic cross-checks in tests.
+func (f *Filer) MeanReadLatency() sim.Time {
+	mean := f.prefetchRate*float64(f.fastRead) + (1-f.prefetchRate)*float64(f.slowRead)
+	return sim.Time(math.Round(mean))
+}

@@ -1,0 +1,130 @@
+package filer
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+const (
+	fastRead = 92 * sim.Microsecond
+	slowRead = 7952 * sim.Microsecond
+	writeLat = 92 * sim.Microsecond
+)
+
+func TestWriteAlwaysFast(t *testing.T) {
+	var e sim.Engine
+	f := New(&e, rng.New(1), fastRead, slowRead, writeLat, 0.9)
+	for i := 0; i < 100; i++ {
+		start := e.Now()
+		var done sim.Time
+		f.Write(func() { done = e.Now() })
+		e.Run()
+		if done-start != writeLat {
+			t.Fatalf("write latency %v", done-start)
+		}
+	}
+	if f.Writes() != 100 {
+		t.Fatalf("writes = %d", f.Writes())
+	}
+}
+
+func TestReadFastSlowMix(t *testing.T) {
+	var e sim.Engine
+	f := New(&e, rng.New(2), fastRead, slowRead, writeLat, 0.9)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		f.Read(nil)
+	}
+	e.Run()
+	rate := float64(f.FastReads()) / n
+	if math.Abs(rate-0.9) > 0.01 {
+		t.Fatalf("fast read rate = %v, want ~0.9", rate)
+	}
+	if f.FastReads()+f.SlowReads() != n {
+		t.Fatal("read counts do not sum")
+	}
+}
+
+func TestReadLatenciesAreFastOrSlow(t *testing.T) {
+	var e sim.Engine
+	f := New(&e, rng.New(3), fastRead, slowRead, writeLat, 0.5)
+	for i := 0; i < 50; i++ {
+		start := e.Now()
+		var done sim.Time
+		f.Read(func() { done = e.Now() })
+		e.Run()
+		lat := done - start
+		if lat != fastRead && lat != slowRead {
+			t.Fatalf("read latency %v is neither fast nor slow", lat)
+		}
+	}
+}
+
+func TestPrefetchRateExtremes(t *testing.T) {
+	var e sim.Engine
+	f := New(&e, rng.New(4), fastRead, slowRead, writeLat, 1.0)
+	for i := 0; i < 100; i++ {
+		f.Read(nil)
+	}
+	e.Run()
+	if f.SlowReads() != 0 {
+		t.Fatal("slow reads at prefetch rate 1.0")
+	}
+	f2 := New(&e, rng.New(5), fastRead, slowRead, writeLat, 0.0)
+	for i := 0; i < 100; i++ {
+		f2.Read(nil)
+	}
+	e.Run()
+	if f2.FastReads() != 0 {
+		t.Fatal("fast reads at prefetch rate 0.0")
+	}
+}
+
+func TestMeanReadLatency(t *testing.T) {
+	var e sim.Engine
+	f := New(&e, rng.New(6), 100, 1000, 50, 0.9)
+	want := sim.Time(0.9*100 + 0.1*1000)
+	if got := f.MeanReadLatency(); got != want {
+		t.Fatalf("mean read latency %v, want %v", got, want)
+	}
+	if f.PrefetchRate() != 0.9 {
+		t.Fatal("prefetch rate accessor wrong")
+	}
+}
+
+func TestFilerConcurrent(t *testing.T) {
+	// The filer serves requests concurrently: two simultaneous fast
+	// reads both finish at fastRead, not serialized.
+	var e sim.Engine
+	f := New(&e, rng.New(7), fastRead, slowRead, writeLat, 1.0)
+	var d1, d2 sim.Time
+	f.Read(func() { d1 = e.Now() })
+	f.Read(func() { d2 = e.Now() })
+	e.Run()
+	if d1 != fastRead || d2 != fastRead {
+		t.Fatalf("concurrent reads at %v/%v", d1, d2)
+	}
+}
+
+func TestBadPrefetchRatePanics(t *testing.T) {
+	var e sim.Engine
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(&e, rng.New(1), 1, 1, 1, 1.5)
+}
+
+func TestNegativeLatencyPanics(t *testing.T) {
+	var e sim.Engine
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(&e, rng.New(1), -1, 1, 1, 0.5)
+}

@@ -1,0 +1,272 @@
+package ftl
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func smallConfig() Config {
+	return Config{
+		EraseBlocks:          16,
+		PagesPerBlock:        32,
+		OverProvision:        0.15,
+		PageReadLat:          60 * sim.Microsecond,
+		PageProgramLat:       180 * sim.Microsecond,
+		EraseLat:             1500 * sim.Microsecond,
+		WriteAckLat:          21 * sim.Microsecond,
+		GCFreeBlocksLowWater: 2,
+		LatencyJitter:        0, // deterministic for tests
+		Seed:                 1,
+	}
+}
+
+func mustDevice(t *testing.T, eng *sim.Engine, cfg Config) *Device {
+	t.Helper()
+	d, err := NewDevice(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestGeometryValidation(t *testing.T) {
+	var e sim.Engine
+	cases := []Config{
+		{EraseBlocks: 2, PagesPerBlock: 32, OverProvision: 0.1, GCFreeBlocksLowWater: 1},
+		{EraseBlocks: 8, PagesPerBlock: 0, OverProvision: 0.1, GCFreeBlocksLowWater: 1},
+		{EraseBlocks: 8, PagesPerBlock: 32, OverProvision: 0.6, GCFreeBlocksLowWater: 1},
+		{EraseBlocks: 8, PagesPerBlock: 32, OverProvision: 0.1, GCFreeBlocksLowWater: 0},
+	}
+	for i, cfg := range cases {
+		if _, err := NewDevice(&e, cfg); err == nil {
+			t.Errorf("case %d: bad geometry accepted", i)
+		}
+	}
+}
+
+func TestWriteAckLatencyConstant(t *testing.T) {
+	var e sim.Engine
+	d := mustDevice(t, &e, smallConfig())
+	var lats []sim.Time
+	for i := 0; i < 50; i++ {
+		d.Write(i%d.LogicalPages(), func(l sim.Time) { lats = append(lats, l) })
+		e.Run()
+	}
+	for _, l := range lats {
+		if l != 21*sim.Microsecond {
+			t.Fatalf("write ack latency %v, want 21us", l)
+		}
+	}
+}
+
+func TestUnwrittenReadReturnsWithoutNAND(t *testing.T) {
+	var e sim.Engine
+	d := mustDevice(t, &e, smallConfig())
+	var lat sim.Time
+	d.Read(5, func(l sim.Time) { lat = l })
+	e.Run()
+	if d.Snapshot().NANDReads != 0 {
+		t.Fatal("unwritten read touched NAND")
+	}
+	if lat <= 0 {
+		t.Fatal("zero latency for unwritten read")
+	}
+}
+
+func TestReadAfterWriteUsesNAND(t *testing.T) {
+	var e sim.Engine
+	d := mustDevice(t, &e, smallConfig())
+	d.Write(7, nil)
+	e.Run()
+	var lat sim.Time
+	d.Read(7, func(l sim.Time) { lat = l })
+	e.Run()
+	if d.Snapshot().NANDReads != 1 {
+		t.Fatalf("NAND reads = %d, want 1", d.Snapshot().NANDReads)
+	}
+	if lat < 60*sim.Microsecond {
+		t.Fatalf("read latency %v below page read time", lat)
+	}
+}
+
+func TestOverwriteInvalidatesOldPage(t *testing.T) {
+	var e sim.Engine
+	d := mustDevice(t, &e, smallConfig())
+	for i := 0; i < 10; i++ {
+		d.Write(3, nil)
+		e.Run()
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	s := d.Snapshot()
+	if s.NANDPrograms != 10 {
+		t.Fatalf("programs = %d, want 10", s.NANDPrograms)
+	}
+}
+
+func TestGCReclaimsAndConservesData(t *testing.T) {
+	var e sim.Engine
+	cfg := smallConfig()
+	d := mustDevice(t, &e, cfg)
+	// Overwrite a small working set far beyond device capacity to force
+	// many GC cycles.
+	n := d.LogicalPages() / 2
+	for i := 0; i < n*20; i++ {
+		d.Write(i%n, nil)
+		e.Run()
+		if i%100 == 0 {
+			if err := d.CheckInvariants(); err != nil {
+				t.Fatalf("after %d writes: %v", i, err)
+			}
+		}
+	}
+	s := d.Snapshot()
+	if s.Erases == 0 {
+		t.Fatal("no erases after sustained overwrite")
+	}
+	if s.WriteAmplification < 1 {
+		t.Fatalf("write amplification %v < 1", s.WriteAmplification)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteAmplificationGrowsWithFill(t *testing.T) {
+	var e sim.Engine
+	cfg := smallConfig()
+	cfg.EraseBlocks = 32
+	d := mustDevice(t, &e, cfg)
+	r := rng.New(4)
+
+	churn := func(frac float64, writes int) float64 {
+		span := int(float64(d.LogicalPages()) * frac)
+		before := d.Snapshot()
+		for i := 0; i < writes; i++ {
+			d.Write(r.Intn(span), nil)
+			e.Run()
+		}
+		after := d.Snapshot()
+		return float64(after.NANDPrograms-before.NANDPrograms) /
+			float64(after.HostWrites-before.HostWrites)
+	}
+
+	low := churn(0.3, 4000)
+	high := churn(0.98, 4000)
+	if high <= low {
+		t.Fatalf("WA at high fill (%v) not above low fill (%v)", high, low)
+	}
+}
+
+func TestReadLatencyDegradesWithWritePressure(t *testing.T) {
+	// Figure 1's key shape: reads behind heavy write traffic on a full
+	// device are slower than on a fresh device.
+	var e sim.Engine
+	cfg := smallConfig()
+	d := mustDevice(t, &e, cfg)
+	r := rng.New(9)
+	n := d.LogicalPages()
+
+	measure := func(ops int) sim.Time {
+		var total sim.Time
+		var count int
+		for i := 0; i < ops; i++ {
+			lpn := r.Intn(n)
+			if r.Bool(0.7) {
+				d.Write(lpn, nil)
+			} else {
+				d.Read(lpn, func(l sim.Time) { total += l; count++ })
+			}
+			e.Run() // closed loop: one op at a time
+		}
+		if count == 0 {
+			return 0
+		}
+		return total / sim.Time(count)
+	}
+
+	early := measure(500)
+	for i := 0; i < 20000; i++ { // age the device
+		d.Write(r.Intn(n), nil)
+		e.Run()
+	}
+	late := measure(500)
+	if late < early {
+		t.Fatalf("aged read latency %v < fresh %v", late, early)
+	}
+}
+
+func TestEraseWearTracked(t *testing.T) {
+	var e sim.Engine
+	d := mustDevice(t, &e, smallConfig())
+	for i := 0; i < d.LogicalPages()*10; i++ {
+		d.Write(i%(d.LogicalPages()/3), nil)
+		e.Run()
+	}
+	s := d.Snapshot()
+	if s.MaxErase == 0 {
+		t.Fatal("no wear recorded")
+	}
+	if s.MinErase > s.MaxErase {
+		t.Fatal("wear bounds inverted")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	var e sim.Engine
+	d := mustDevice(t, &e, smallConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	d.Read(d.LogicalPages(), nil)
+}
+
+func TestDefaultConfigSane(t *testing.T) {
+	cfg := DefaultConfig(100000)
+	var e sim.Engine
+	d, err := NewDevice(&e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.LogicalPages() < 90000 {
+		t.Fatalf("logical pages %d far below requested", d.LogicalPages())
+	}
+}
+
+func TestJitterBounded(t *testing.T) {
+	var e sim.Engine
+	cfg := smallConfig()
+	cfg.LatencyJitter = 0.25
+	d := mustDevice(t, &e, cfg)
+	d.Write(0, nil)
+	e.Run()
+	for i := 0; i < 200; i++ {
+		var lat sim.Time
+		d.Read(0, func(l sim.Time) { lat = l })
+		e.Run()
+		if lat <= 0 {
+			t.Fatalf("non-positive jittered latency %v", lat)
+		}
+	}
+}
+
+func BenchmarkFTLWrite(b *testing.B) {
+	var e sim.Engine
+	cfg := smallConfig()
+	cfg.EraseBlocks = 64
+	d, err := NewDevice(&e, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Write(r.Intn(d.LogicalPages()), nil)
+		e.Run()
+	}
+}

@@ -1,0 +1,89 @@
+// Package netsim models the private network segments connecting each host
+// to the file server. Per the paper (§5): "each segment can carry one
+// packet at a time, and each I/O request uses one packet in each direction.
+// Each packet is assumed to incur a fixed latency (for headers, block
+// information, and so forth) plus a small amount of additional time per bit
+// of block data transferred."
+package netsim
+
+import "repro/internal/sim"
+
+// Segment is one host's private link to the filer. It is half-duplex: one
+// packet occupies the wire at a time regardless of direction, which is the
+// literal reading of the paper's model and produces the read/writeback
+// contention ("convoying") the paper reports. A duplex variant is available
+// for the ablation bench.
+type Segment struct {
+	up, down *sim.Server // duplex mode uses both; half-duplex aliases them
+	baseLat  sim.Time
+	perBit   sim.Time
+	packets  uint64
+	duplex   bool
+}
+
+// Direction selects which way a packet travels.
+type Direction int
+
+// Directions.
+const (
+	ToFiler Direction = iota
+	FromFiler
+)
+
+// NewSegment returns a half-duplex segment with the given fixed per-packet
+// latency and per-bit data latency.
+func NewSegment(eng *sim.Engine, name string, baseLat, perBit sim.Time) *Segment {
+	s := sim.NewServer(eng, name)
+	return &Segment{up: s, down: s, baseLat: baseLat, perBit: perBit}
+}
+
+// NewDuplexSegment returns a full-duplex segment: one packet per direction
+// at a time. Used by the ablation bench to quantify the half-duplex choice.
+func NewDuplexSegment(eng *sim.Engine, name string, baseLat, perBit sim.Time) *Segment {
+	return &Segment{
+		up:      sim.NewServer(eng, name+"/up"),
+		down:    sim.NewServer(eng, name+"/down"),
+		baseLat: baseLat,
+		perBit:  perBit,
+		duplex:  true,
+	}
+}
+
+// PacketTime returns the wire time for a packet carrying dataBytes of
+// payload.
+func (s *Segment) PacketTime(dataBytes int) sim.Time {
+	return s.baseLat + sim.Time(dataBytes*8)*s.perBit
+}
+
+// Send transmits a packet with dataBytes of payload in the given direction;
+// done runs when the packet has fully arrived.
+func (s *Segment) Send(dir Direction, dataBytes int, done func()) {
+	s.packets++
+	srv := s.up
+	if dir == FromFiler {
+		srv = s.down
+	}
+	srv.Use(s.PacketTime(dataBytes), done)
+}
+
+// Packets returns the number of packets sent.
+func (s *Segment) Packets() uint64 { return s.packets }
+
+// Duplex reports whether the segment is full-duplex.
+func (s *Segment) Duplex() bool { return s.duplex }
+
+// Busy returns total wire-busy time (sum of both directions when duplex).
+func (s *Segment) Busy() sim.Time {
+	if s.duplex {
+		return s.up.Busy() + s.down.Busy()
+	}
+	return s.up.Busy()
+}
+
+// Waited returns total packet queueing delay.
+func (s *Segment) Waited() sim.Time {
+	if s.duplex {
+		return s.up.Waited() + s.down.Waited()
+	}
+	return s.up.Waited()
+}

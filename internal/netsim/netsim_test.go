@@ -1,0 +1,100 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+const (
+	baseLat = 8200 * sim.Nanosecond // 8.2 us
+	perBit  = 1 * sim.Nanosecond
+)
+
+func TestPacketTime(t *testing.T) {
+	var e sim.Engine
+	s := NewSegment(&e, "host0", baseLat, perBit)
+	if got := s.PacketTime(0); got != baseLat {
+		t.Fatalf("empty packet time %v", got)
+	}
+	// 4 KiB = 32768 bits at 1 ns/bit.
+	want := baseLat + 32768*sim.Nanosecond
+	if got := s.PacketTime(4096); got != want {
+		t.Fatalf("4K packet time %v, want %v", got, want)
+	}
+}
+
+func TestHalfDuplexSerializesBothDirections(t *testing.T) {
+	var e sim.Engine
+	s := NewSegment(&e, "host0", 100, 0)
+	var done []sim.Time
+	s.Send(ToFiler, 0, func() { done = append(done, e.Now()) })
+	s.Send(FromFiler, 0, func() { done = append(done, e.Now()) })
+	e.Run()
+	if done[0] != 100 || done[1] != 200 {
+		t.Fatalf("half-duplex completions %v, want [100 200]", done)
+	}
+	if s.Duplex() {
+		t.Fatal("Duplex() = true")
+	}
+	if s.Packets() != 2 {
+		t.Fatalf("packets = %d", s.Packets())
+	}
+}
+
+func TestDuplexParallelDirections(t *testing.T) {
+	var e sim.Engine
+	s := NewDuplexSegment(&e, "host0", 100, 0)
+	var done []sim.Time
+	s.Send(ToFiler, 0, func() { done = append(done, e.Now()) })
+	s.Send(FromFiler, 0, func() { done = append(done, e.Now()) })
+	e.Run()
+	if done[0] != 100 || done[1] != 100 {
+		t.Fatalf("duplex completions %v, want [100 100]", done)
+	}
+	if !s.Duplex() {
+		t.Fatal("Duplex() = false")
+	}
+}
+
+func TestDuplexSerializesSameDirection(t *testing.T) {
+	var e sim.Engine
+	s := NewDuplexSegment(&e, "host0", 100, 0)
+	var done []sim.Time
+	s.Send(ToFiler, 0, func() { done = append(done, e.Now()) })
+	s.Send(ToFiler, 0, func() { done = append(done, e.Now()) })
+	e.Run()
+	if done[0] != 100 || done[1] != 200 {
+		t.Fatalf("same-direction completions %v", done)
+	}
+}
+
+func TestBusyAndWaited(t *testing.T) {
+	var e sim.Engine
+	s := NewSegment(&e, "host0", 50, 0)
+	s.Send(ToFiler, 0, nil)
+	s.Send(FromFiler, 0, nil)
+	e.Run()
+	if s.Busy() != 100 {
+		t.Fatalf("busy = %v", s.Busy())
+	}
+	if s.Waited() != 50 {
+		t.Fatalf("waited = %v", s.Waited())
+	}
+}
+
+func TestDataSizeAffectsOccupancy(t *testing.T) {
+	var e sim.Engine
+	s := NewSegment(&e, "host0", baseLat, perBit)
+	var reqDone, respDone sim.Time
+	// Request with no payload, then a 4 KiB response behind it.
+	s.Send(ToFiler, 0, func() { reqDone = e.Now() })
+	s.Send(FromFiler, 4096, func() { respDone = e.Now() })
+	e.Run()
+	if reqDone != baseLat {
+		t.Fatalf("request done %v", reqDone)
+	}
+	if respDone != baseLat+baseLat+32768 {
+		t.Fatalf("response done %v", respDone)
+	}
+}

@@ -1,0 +1,161 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine is callback-based: an event is a function scheduled to run at a
+// simulated time. Events at equal times run in schedule order (FIFO), which
+// together with seeded random number generation makes every simulation run
+// exactly reproducible. Shared hardware (a flash device, a network segment)
+// is modeled by Server, a single-server FIFO queue; pure delays (RAM access,
+// filer service time) use Schedule directly.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulated timestamp or duration in nanoseconds.
+type Time int64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// String formats the time in microseconds, the paper's reporting unit.
+func (t Time) String() string {
+	return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+}
+
+// Micros returns the time as a float64 number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Seconds returns the time as a float64 number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+type event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	daemon bool
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1].fn = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	now       Time
+	seq       uint64
+	events    eventHeap
+	processed uint64
+	nonDaemon int
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of scheduled, not-yet-run events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn after delay d. A negative delay panics: the simulator
+// never travels backwards in time.
+func (e *Engine) Schedule(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// ScheduleDaemon is Schedule for daemon events: background activity (e.g.
+// a periodic syncer's next tick) that should not by itself keep Run alive.
+// Run returns when only daemon events remain.
+func (e *Engine) ScheduleDaemon(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.at(e.now+d, fn, true)
+}
+
+// At runs fn at absolute time t, which must not be before Now.
+func (e *Engine) At(t Time, fn func()) {
+	e.at(t, fn, false)
+}
+
+func (e *Engine) at(t Time, fn func(), daemon bool) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	e.seq++
+	if !daemon {
+		e.nonDaemon++
+	}
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn, daemon: daemon})
+}
+
+// Step runs the next event, advancing the clock. It returns false when no
+// events remain.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.processed++
+	if !ev.daemon {
+		e.nonDaemon--
+	}
+	ev.fn()
+	return true
+}
+
+// Run executes events until only daemon events (if any) remain.
+func (e *Engine) Run() {
+	for e.nonDaemon > 0 && e.Step() {
+	}
+}
+
+// RunAll executes events until none remain, daemons included. Callers must
+// ensure daemon sources (tickers) have been stopped.
+func (e *Engine) RunAll() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then sets the clock to t.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunWhile executes events while cond() holds and events remain.
+func (e *Engine) RunWhile(cond func() bool) {
+	for cond() && e.Step() {
+	}
+}

@@ -1,0 +1,72 @@
+package sim
+
+// Ticker invokes a callback at a fixed simulated period, modeling daemon
+// threads such as the periodic writeback syncer. Ticks are daemon events:
+// they fire whenever foreground work advances the clock past them, but an
+// armed ticker does not by itself keep Engine.Run alive.
+type Ticker struct {
+	eng     *Engine
+	period  Time
+	fn      func()
+	stopped bool
+	fires   uint64
+}
+
+// NewTicker schedules fn every period, first firing one period from now.
+// It panics if period <= 0.
+func NewTicker(eng *Engine, period Time, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{eng: eng, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.eng.ScheduleDaemon(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fires++
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future firings. Safe to call multiple times.
+func (t *Ticker) Stop() { t.stopped = true }
+
+// Fires returns how many times the ticker has fired.
+func (t *Ticker) Fires() uint64 { return t.fires }
+
+// Join calls done after n completions have been signalled via its Done
+// method. It is the simulation analogue of sync.WaitGroup for fan-out
+// operations such as flushing a batch of dirty blocks.
+type Join struct {
+	remaining int
+	done      func()
+}
+
+// NewJoin returns a Join expecting n completions. If n == 0, done runs
+// immediately.
+func NewJoin(n int, done func()) *Join {
+	j := &Join{remaining: n, done: done}
+	if n == 0 && done != nil {
+		done()
+	}
+	return j
+}
+
+// Done signals one completion.
+func (j *Join) Done() {
+	if j.remaining <= 0 {
+		panic("sim: Join.Done called more times than expected")
+	}
+	j.remaining--
+	if j.remaining == 0 && j.done != nil {
+		j.done()
+	}
+}

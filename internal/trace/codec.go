@@ -1,0 +1,225 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Binary format: an 8-byte magic header followed by fixed 17-byte
+// little-endian records (host, thread, kind, file, block, count).
+var binaryMagic = [8]byte{'F', 'C', 'T', 'R', '1', '\n', 0, 0}
+
+const recordSize = 2 + 2 + 1 + 4 + 4 + 4
+
+// BinaryWriter encodes ops to the binary trace format.
+type BinaryWriter struct {
+	w     *bufio.Writer
+	count uint64
+}
+
+// NewBinaryWriter writes the magic header and returns the writer.
+func NewBinaryWriter(w io.Writer) (*BinaryWriter, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &BinaryWriter{w: bw}, nil
+}
+
+// Write appends one op.
+func (b *BinaryWriter) Write(op Op) error {
+	if err := op.Validate(); err != nil {
+		return err
+	}
+	var rec [recordSize]byte
+	binary.LittleEndian.PutUint16(rec[0:], op.Host)
+	binary.LittleEndian.PutUint16(rec[2:], op.Thread)
+	rec[4] = byte(op.Kind)
+	binary.LittleEndian.PutUint32(rec[5:], op.File)
+	binary.LittleEndian.PutUint32(rec[9:], op.Block)
+	binary.LittleEndian.PutUint32(rec[13:], op.Count)
+	if _, err := b.w.Write(rec[:]); err != nil {
+		return fmt.Errorf("trace: writing record: %w", err)
+	}
+	b.count++
+	return nil
+}
+
+// Count returns the number of ops written.
+func (b *BinaryWriter) Count() uint64 { return b.count }
+
+// Flush flushes buffered records to the underlying writer.
+func (b *BinaryWriter) Flush() error { return b.w.Flush() }
+
+// BinaryReader decodes the binary trace format and implements Source.
+type BinaryReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+// NewBinaryReader validates the magic header and returns the reader.
+func NewBinaryReader(r io.Reader) (*BinaryReader, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, errors.New("trace: bad magic (not a binary trace file)")
+	}
+	return &BinaryReader{r: br}, nil
+}
+
+// Next implements Source. After exhaustion or error it returns ok=false;
+// Err distinguishes clean EOF from corruption.
+func (b *BinaryReader) Next() (Op, bool) {
+	if b.err != nil {
+		return Op{}, false
+	}
+	var rec [recordSize]byte
+	if _, err := io.ReadFull(b.r, rec[:]); err != nil {
+		if err != io.EOF {
+			b.err = fmt.Errorf("trace: truncated record: %w", err)
+		}
+		return Op{}, false
+	}
+	op := Op{
+		Host:   binary.LittleEndian.Uint16(rec[0:]),
+		Thread: binary.LittleEndian.Uint16(rec[2:]),
+		Kind:   Kind(rec[4]),
+		File:   binary.LittleEndian.Uint32(rec[5:]),
+		Block:  binary.LittleEndian.Uint32(rec[9:]),
+		Count:  binary.LittleEndian.Uint32(rec[13:]),
+	}
+	if err := op.Validate(); err != nil {
+		b.err = err
+		return Op{}, false
+	}
+	return op, true
+}
+
+// Err returns the first decode error, or nil on clean EOF.
+func (b *BinaryReader) Err() error { return b.err }
+
+// TextWriter encodes ops as whitespace-separated text, one op per line:
+//
+//	host thread R|W file block count
+type TextWriter struct {
+	w     *bufio.Writer
+	count uint64
+}
+
+// NewTextWriter returns a text-format writer.
+func NewTextWriter(w io.Writer) *TextWriter {
+	return &TextWriter{w: bufio.NewWriter(w)}
+}
+
+// Write appends one op.
+func (t *TextWriter) Write(op Op) error {
+	if err := op.Validate(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(t.w, "%d %d %s %d %d %d\n",
+		op.Host, op.Thread, op.Kind, op.File, op.Block, op.Count)
+	if err != nil {
+		return fmt.Errorf("trace: writing text record: %w", err)
+	}
+	t.count++
+	return nil
+}
+
+// Count returns the number of ops written.
+func (t *TextWriter) Count() uint64 { return t.count }
+
+// Flush flushes buffered output.
+func (t *TextWriter) Flush() error { return t.w.Flush() }
+
+// TextReader decodes the text format and implements Source. Blank lines
+// and lines starting with '#' are skipped.
+type TextReader struct {
+	sc   *bufio.Scanner
+	err  error
+	line int
+}
+
+// NewTextReader returns a text-format reader.
+func NewTextReader(r io.Reader) *TextReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	return &TextReader{sc: sc}
+}
+
+// Next implements Source.
+func (t *TextReader) Next() (Op, bool) {
+	if t.err != nil {
+		return Op{}, false
+	}
+	for t.sc.Scan() {
+		t.line++
+		line := strings.TrimSpace(t.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		op, err := parseTextOp(line)
+		if err != nil {
+			t.err = fmt.Errorf("trace: line %d: %w", t.line, err)
+			return Op{}, false
+		}
+		return op, true
+	}
+	t.err = t.sc.Err()
+	return Op{}, false
+}
+
+// Err returns the first decode error, or nil on clean EOF.
+func (t *TextReader) Err() error { return t.err }
+
+func parseTextOp(line string) (Op, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 6 {
+		return Op{}, fmt.Errorf("want 6 fields, got %d", len(fields))
+	}
+	host, err := strconv.ParseUint(fields[0], 10, 16)
+	if err != nil {
+		return Op{}, fmt.Errorf("host: %w", err)
+	}
+	thread, err := strconv.ParseUint(fields[1], 10, 16)
+	if err != nil {
+		return Op{}, fmt.Errorf("thread: %w", err)
+	}
+	var kind Kind
+	switch fields[2] {
+	case "R", "r":
+		kind = Read
+	case "W", "w":
+		kind = Write
+	default:
+		return Op{}, fmt.Errorf("kind %q", fields[2])
+	}
+	file, err := strconv.ParseUint(fields[3], 10, 32)
+	if err != nil {
+		return Op{}, fmt.Errorf("file: %w", err)
+	}
+	block, err := strconv.ParseUint(fields[4], 10, 32)
+	if err != nil {
+		return Op{}, fmt.Errorf("block: %w", err)
+	}
+	count, err := strconv.ParseUint(fields[5], 10, 32)
+	if err != nil {
+		return Op{}, fmt.Errorf("count: %w", err)
+	}
+	op := Op{
+		Host:   uint16(host),
+		Thread: uint16(thread),
+		Kind:   kind,
+		File:   uint32(file),
+		Block:  uint32(block),
+		Count:  uint32(count),
+	}
+	return op, op.Validate()
+}

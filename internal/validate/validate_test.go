@@ -1,0 +1,88 @@
+package validate
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// validationTrace builds a single-threaded trace with enough reuse to
+// exercise hits, misses, dirty evictions and overwrite-in-place.
+func validationTrace(n, span int, writeFrac float64, seed uint64) []trace.Op {
+	r := rng.New(seed)
+	ops := make([]trace.Op, 0, n)
+	for i := 0; i < n; i++ {
+		kind := trace.Read
+		if r.Bool(writeFrac) {
+			kind = trace.Write
+		}
+		var blk int
+		if r.Bool(0.6) {
+			blk = r.Intn(span / 8)
+		} else {
+			blk = r.Intn(span)
+		}
+		ops = append(ops, trace.Op{
+			Kind:  kind,
+			File:  1,
+			Block: uint32(blk),
+			Count: uint32(1 + r.Intn(3)),
+		})
+	}
+	return ops
+}
+
+func TestCrossCheckExactAgreement(t *testing.T) {
+	ops := validationTrace(5000, 4096, 0.3, 7)
+	rep, err := CrossCheck(1024, ops, core.DefaultTiming(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + rep.String())
+	// Single-threaded, uncontended: the event-driven stack and the
+	// arithmetic reference must agree exactly (the paper's hardware
+	// validation allowed 10%; we demand 0.01%).
+	if rep.MaxRelError > 1e-4 {
+		t.Fatalf("models disagree by %.4f%%:\n%s", 100*rep.MaxRelError, rep)
+	}
+	if rep.StackFlashHits != rep.RefFlashHits {
+		t.Fatalf("hit counts differ: stack %d, ref %d", rep.StackFlashHits, rep.RefFlashHits)
+	}
+	if rep.StackFilerFetches != rep.RefFilerFetches {
+		t.Fatalf("fetch counts differ: stack %d, ref %d", rep.StackFilerFetches, rep.RefFilerFetches)
+	}
+}
+
+func TestCrossCheckAcrossConfigurations(t *testing.T) {
+	timings := []core.Timing{core.DefaultTiming()}
+	// A second, deliberately odd timing model.
+	odd := core.DefaultTiming()
+	odd.FlashRead = 13 * 1000
+	odd.FlashWrite = 7 * 1000
+	odd.FilerFastReadRate = 0.5
+	timings = append(timings, odd)
+	for ti, tm := range timings {
+		for _, flashBlocks := range []int{64, 512, 4096} {
+			for _, wf := range []float64{0, 0.3, 0.9} {
+				ops := validationTrace(2000, flashBlocks*3, wf, uint64(flashBlocks)+uint64(wf*10))
+				rep, err := CrossCheck(flashBlocks, ops, tm, 99)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.MaxRelError > 1e-4 {
+					t.Fatalf("timing %d flash=%d wf=%.1f: disagreement %.4f%%:\n%s",
+						ti, flashBlocks, wf, 100*rep.MaxRelError, rep)
+				}
+			}
+		}
+	}
+}
+
+func TestCrossCheckRejectsMultiThread(t *testing.T) {
+	ops := []trace.Op{{Thread: 1, Kind: trace.Read, File: 1, Count: 1}}
+	if _, err := CrossCheck(64, ops, core.DefaultTiming(), 1); err == nil {
+		t.Fatal("multi-thread trace accepted")
+	}
+}
