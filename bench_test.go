@@ -135,6 +135,50 @@ func BenchmarkArchUnified(b *testing.B) {
 	benchAblation(b, func(cfg *flashsim.Config) { cfg.Arch = flashsim.Unified })
 }
 
+// --- sweep runner benches ---
+
+// sweepConfigs builds the multi-point grid both sweep benches run: a
+// working-set sweep against one shared file-server model, the shape of
+// every figure in the paper's evaluation.
+func sweepConfigs(b *testing.B) []flashsim.Config {
+	b.Helper()
+	const scale = benchScale
+	fs, err := flashsim.GenerateFileSet(352*int64(flashsim.BlocksPerGB)/scale, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cfgs []flashsim.Config
+	for _, wssGB := range []int64{5, 20, 40, 60, 80, 120, 160} {
+		cfg := flashsim.ScaledConfig(scale)
+		cfg.Workload.WorkingSetBlocks = wssGB * int64(flashsim.BlocksPerGB) / scale
+		cfg.Workload.FileSet = fs
+		cfgs = append(cfgs, cfg)
+	}
+	return cfgs
+}
+
+// benchSweep runs the grid through flashsim.RunBatch at the given pool
+// size; the sequential/parallel pair makes the worker-pool speedup visible
+// in the benchmark trajectory (results are identical by construction).
+func benchSweep(b *testing.B, parallel int) {
+	b.Helper()
+	cfgs := sweepConfigs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := flashsim.RunBatch(cfgs, parallel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != len(cfgs) {
+			b.Fatalf("%d results for %d points", len(results), len(cfgs))
+		}
+	}
+	b.ReportMetric(float64(len(cfgs)), "points/op")
+}
+
+func BenchmarkSweepSequential(b *testing.B) { benchSweep(b, 1) }
+func BenchmarkSweepParallel(b *testing.B)   { benchSweep(b, 0) } // all CPUs
+
 // Raw simulator throughput: events per second through the full stack.
 func BenchmarkSimulatorEventThroughput(b *testing.B) {
 	cfg := flashsim.ScaledConfig(1024)

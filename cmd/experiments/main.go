@@ -6,9 +6,14 @@
 //	experiments -run fig4 -scale 64      # one figure, closer to full size
 //	experiments -run fig2 -quick         # trimmed sweeps
 //	experiments -run all -out results/   # also write CSV files
+//	experiments -run all -parallel 1     # sequential (identical output)
 //
 // Each experiment prints an ASCII rendition of its figures to stdout and,
 // with -out, writes one CSV per figure for external plotting.
+//
+// Every experiment's simulation points run on a bounded worker pool
+// (-parallel, default all CPUs); results and -v progress lines arrive in
+// declaration order, so output does not depend on the pool size.
 package main
 
 import (
@@ -25,6 +30,7 @@ func main() {
 	runName := flag.String("run", "all", "experiment to run (all, table1, fig1..fig12)")
 	scale := flag.Int("scale", 128, "size scale divisor (1 = the paper's full sizes)")
 	quick := flag.Bool("quick", false, "trim sweeps for a fast pass")
+	parallel := flag.Int("parallel", 0, "simulation worker pool size (0 = all CPUs, 1 = sequential; results are identical)")
 	outDir := flag.String("out", "", "directory for CSV output (optional)")
 	verbose := flag.Bool("v", false, "log each simulation as it completes")
 	list := flag.Bool("list", false, "list available experiments and exit")
@@ -37,7 +43,7 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Scale: *scale, Quick: *quick}
+	opts := experiments.Options{Scale: *scale, Quick: *quick, Parallel: *parallel}
 	if *verbose {
 		opts.Progress = os.Stderr
 	}

@@ -1,10 +1,17 @@
-// Command flashsim runs a single client-side flash caching simulation and
-// prints the measured latencies and cache statistics.
+// Command flashsim runs client-side flash caching simulations and prints
+// the measured latencies and cache statistics.
 //
 // Usage (paper baseline at 1:128 scale):
 //
 //	flashsim -arch naive -ram-policy p1 -flash-policy a \
 //	         -ram 8 -flash 64 -wss 60 -writes 30 -scale 128
+//
+// -wss and -writes accept comma-separated lists; multiple values declare a
+// point grid (the cross product, working-set major) that runs on a bounded
+// worker pool (-parallel, default all CPUs). Results print in declaration
+// order whatever the pool size.
+//
+//	flashsim -wss 40,60,80 -writes 10,30 -parallel 4
 //
 // Replaying a trace file instead of the synthetic workload:
 //
@@ -15,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/flashsim"
 	"repro/internal/trace"
@@ -26,8 +35,8 @@ func main() {
 	flashPolicy := flag.String("flash-policy", "a", "flash writeback policy: s, a, pN, n")
 	ramGB := flag.Float64("ram", 8, "RAM cache size in paper GB")
 	flashGB := flag.Float64("flash", 64, "flash cache size in paper GB")
-	wssGB := flag.Float64("wss", 60, "working set size in paper GB")
-	writes := flag.Float64("writes", 30, "write percentage")
+	wssGB := flag.String("wss", "60", "working set size(s) in paper GB, comma-separated")
+	writes := flag.String("writes", "30", "write percentage(s), comma-separated")
 	hosts := flag.Int("hosts", 1, "number of hosts")
 	threads := flag.Int("threads", 8, "threads per host")
 	shared := flag.Bool("shared-wss", false, "hosts share one working set")
@@ -40,55 +49,99 @@ func main() {
 	replacement := flag.String("replacement", "lru", "flash replacement policy: lru, fifo, clock, slru, 2q")
 	ftlBacked := flag.Bool("ftl", false, "route flash traffic through the FTL device simulator")
 	prefetch := flag.Float64("prefetch", 0.90, "filer fast-read (prefetch success) rate")
+	parallel := flag.Int("parallel", 0, "worker pool size for multi-point sweeps (0 = all CPUs)")
 	tracePath := flag.String("trace", "", "replay a binary trace file instead of synthesizing")
 	warmupBlocks := flag.Int64("warmup-blocks", 0, "warmup volume when replaying a trace")
 	flag.Parse()
 
-	cfg := flashsim.ScaledConfig(*scale)
-	var err error
-	cfg.Arch, err = flashsim.ParseArchitecture(*arch)
+	wssList, err := parseFloats(*wssGB)
+	die(err)
+	writesList, err := parseFloats(*writes)
+	die(err)
+
+	base := flashsim.ScaledConfig(*scale)
+	base.Arch, err = flashsim.ParseArchitecture(*arch)
 	die(err)
 	rp, err := flashsim.ParsePolicy(*ramPolicy)
 	die(err)
 	fp, err := flashsim.ParsePolicy(*flashPolicy)
 	die(err)
-	cfg.RAMPolicy = flashsim.ScalePolicy(rp, *scale)
-	cfg.FlashPolicy = flashsim.ScalePolicy(fp, *scale)
-	cfg.RAMBlocks = int(*ramGB * float64(flashsim.BlocksPerGB) / float64(*scale))
-	cfg.FlashBlocks = int(*flashGB * float64(flashsim.BlocksPerGB) / float64(*scale))
-	cfg.Hosts = *hosts
-	cfg.ThreadsPerHost = *threads
-	cfg.PersistentFlash = *persistent
-	cfg.ColdStart = *cold
-	cfg.RecoveredStart = *recovered
-	cfg.ConsistencyProtocol = *protocol
-	cfg.FTLBackedFlash = *ftlBacked
-	cfg.FlashReplacement, err = flashsim.ParseReplacement(*replacement)
+	base.RAMPolicy = flashsim.ScalePolicy(rp, *scale)
+	base.FlashPolicy = flashsim.ScalePolicy(fp, *scale)
+	base.RAMBlocks = int(*ramGB * float64(flashsim.BlocksPerGB) / float64(*scale))
+	base.FlashBlocks = int(*flashGB * float64(flashsim.BlocksPerGB) / float64(*scale))
+	base.Hosts = *hosts
+	base.ThreadsPerHost = *threads
+	base.PersistentFlash = *persistent
+	base.ColdStart = *cold
+	base.RecoveredStart = *recovered
+	base.ConsistencyProtocol = *protocol
+	base.FTLBackedFlash = *ftlBacked
+	base.FlashReplacement, err = flashsim.ParseReplacement(*replacement)
 	die(err)
-	cfg.Timing.FilerFastReadRate = *prefetch
-	cfg.Workload.WorkingSetBlocks = int64(*wssGB * float64(flashsim.BlocksPerGB) / float64(*scale))
-	cfg.Workload.WriteFraction = *writes / 100
-	cfg.Workload.SharedWorkingSet = *shared
-	cfg.Workload.Seed = *seed
+	base.Timing.FilerFastReadRate = *prefetch
+	base.Workload.SharedWorkingSet = *shared
+	base.Workload.Seed = *seed
 
-	var res *flashsim.Result
+	point := func(wss, wr float64) flashsim.Config {
+		cfg := base
+		cfg.Workload.WorkingSetBlocks = int64(wss * float64(flashsim.BlocksPerGB) / float64(*scale))
+		cfg.Workload.WriteFraction = wr / 100
+		return cfg
+	}
+	header := func(wss, wr float64) string {
+		return fmt.Sprintf("%s %s/%s ram=%gGB flash=%gGB wss=%gGB writes=%g%% scale=1:%d",
+			*arch, *ramPolicy, *flashPolicy, *ramGB, *flashGB, wss, wr, *scale)
+	}
+
 	if *tracePath != "" {
+		if len(wssList) > 1 || len(writesList) > 1 {
+			die(fmt.Errorf("trace replay takes a single -wss/-writes point"))
+		}
 		f, err := os.Open(*tracePath)
 		die(err)
 		defer f.Close()
 		r, err := trace.NewBinaryReader(f)
 		die(err)
-		res, err = flashsim.RunTrace(cfg, r, *warmupBlocks)
+		res, err := flashsim.RunTrace(point(wssList[0], writesList[0]), r, *warmupBlocks)
 		die(err)
 		die(r.Err())
-	} else {
-		res, err = flashsim.Run(cfg)
-		die(err)
+		fmt.Println(header(wssList[0], writesList[0]))
+		fmt.Print(res)
+		return
 	}
 
-	fmt.Printf("%s %s/%s ram=%gGB flash=%gGB wss=%gGB writes=%g%% scale=1:%d\n",
-		*arch, *ramPolicy, *flashPolicy, *ramGB, *flashGB, *wssGB, *writes, *scale)
-	fmt.Print(res)
+	// The cross product of the sweep lists is a point grid; the pool
+	// streams results back in declaration order, so single-point runs
+	// print exactly what they always did.
+	var cfgs []flashsim.Config
+	for _, wss := range wssList {
+		for _, wr := range writesList {
+			cfgs = append(cfgs, point(wss, wr))
+		}
+	}
+	_, err = flashsim.RunGrid(cfgs, *parallel, func(i int, res *flashsim.Result) {
+		fmt.Println(header(wssList[i/len(writesList)], writesList[i%len(writesList)]))
+		fmt.Print(res)
+		if len(cfgs) > 1 && i < len(cfgs)-1 {
+			fmt.Println()
+		}
+	})
+	die(err)
+}
+
+// parseFloats parses a comma-separated list of numbers.
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad sweep value %q: %v", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func die(err error) {

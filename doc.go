@@ -7,4 +7,24 @@
 // examples/. The root package exists to host the repository-level
 // benchmark suite (bench_test.go), which regenerates every table and
 // figure of the paper's evaluation in reduced form.
+//
+// # Sweep runner
+//
+// The paper's evaluation is a grid of independent simulation points —
+// every point builds its own engine, hosts and filer, and shares no
+// mutable state with its neighbours. The repository exploits that
+// independence with a three-layer runner:
+//
+//   - internal/runner/pool: a bounded worker pool with a determinism
+//     contract — results collected by index, completions delivered in
+//     index order, lowest-index error wins.
+//   - internal/runner: the declarative sweep model. A Point is one
+//     labeled flashsim.Config (optionally trace-driven); a Grid is an
+//     ordered set of points; Run executes a grid on the pool.
+//   - flashsim.RunBatch / flashsim.RunGrid: the public batch API over
+//     plain []Config.
+//
+// Every experiment in internal/experiments declares its sweeps as grids,
+// so output — figures, tables, even -v progress lines — is byte-identical
+// at any -parallel setting; only wall-clock time changes.
 package repro

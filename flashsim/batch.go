@@ -1,0 +1,29 @@
+package flashsim
+
+import "repro/internal/runner/pool"
+
+// RunBatch executes each configuration as an independent simulation on a
+// bounded worker pool and returns the results indexed like cfgs. Every
+// simulation owns its engine, hosts and filer, so points share no mutable
+// state (a Workload.FileSet pointer may be shared: a FileSet is read-only
+// after generation). parallel bounds the pool; <= 0 selects
+// runtime.NumCPU(); 1 runs sequentially on the calling goroutine.
+//
+// Results are deterministic: for a fixed cfgs slice the returned values are
+// identical for every parallel setting. If several configurations fail, the
+// error of the lowest-index one is returned, exactly as a sequential loop
+// would have reported.
+func RunBatch(cfgs []Config, parallel int) ([]*Result, error) {
+	return RunGrid(cfgs, parallel, nil)
+}
+
+// RunGrid is RunBatch with streaming progress: onResult, when non-nil,
+// observes each completed simulation in strict index order (point i only
+// after points 0..i-1) regardless of pool scheduling, so progress output is
+// byte-identical to a sequential run. onResult is called sequentially and
+// must not block on the pool.
+func RunGrid(cfgs []Config, parallel int, onResult func(i int, res *Result)) ([]*Result, error) {
+	return pool.Collect(len(cfgs), parallel,
+		func(i int) (*Result, error) { return Run(cfgs[i]) },
+		onResult)
+}

@@ -1,0 +1,81 @@
+package flashsim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/flashsim"
+)
+
+func batchConfigs(t *testing.T) []flashsim.Config {
+	t.Helper()
+	const scale = 16384
+	fs, err := flashsim.GenerateFileSet(176*int64(flashsim.BlocksPerGB)/scale, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cfgs []flashsim.Config
+	for _, wssGB := range []int64{5, 40, 60, 80} {
+		cfg := flashsim.ScaledConfig(scale)
+		cfg.Workload.WorkingSetBlocks = wssGB * int64(flashsim.BlocksPerGB) / scale
+		cfg.Workload.FileSet = fs
+		cfgs = append(cfgs, cfg)
+	}
+	return cfgs
+}
+
+// RunBatch agrees with Run point for point and is independent of the pool
+// size, even though every point samples the same shared FileSet.
+func TestRunBatchMatchesRun(t *testing.T) {
+	cfgs := batchConfigs(t)
+	want := make([]*flashsim.Result, len(cfgs))
+	for i, cfg := range cfgs {
+		res, err := flashsim.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+	for _, parallel := range []int{1, 4} {
+		got, err := flashsim.RunBatch(cfgs, parallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if !reflect.DeepEqual(want[i], got[i]) {
+				t.Errorf("parallel=%d: batch result %d differs from Run", parallel, i)
+			}
+		}
+	}
+}
+
+// RunGrid streams completions in index order whatever the parallelism.
+func TestRunGridOrderedDelivery(t *testing.T) {
+	cfgs := batchConfigs(t)
+	var order []int
+	results, err := flashsim.RunGrid(cfgs, 4, func(i int, res *flashsim.Result) {
+		order = append(order, i)
+		if res == nil {
+			t.Errorf("point %d delivered nil", i)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != len(results) {
+		t.Fatalf("%d deliveries for %d results", len(order), len(results))
+	}
+	for i, o := range order {
+		if o != i {
+			t.Fatalf("delivery order %v", order)
+		}
+	}
+}
+
+func TestRunBatchError(t *testing.T) {
+	cfgs := batchConfigs(t)
+	cfgs[2].Hosts = 0 // fails Validate
+	if _, err := flashsim.RunBatch(cfgs, 4); err == nil {
+		t.Fatal("invalid batch ran")
+	}
+}

@@ -7,6 +7,11 @@
 // scaling every size by the same factor preserves the fit/overflow
 // crossovers that drive the results, while the unscaled Table 1 timing
 // model keeps latencies comparable to the paper's axes).
+//
+// Every experiment declares its simulation points as a grid (see sweep and
+// internal/runner) which a bounded worker pool executes with
+// Options.Parallel workers; results and progress are delivered in
+// declaration order, so reports are identical for every parallelism level.
 package experiments
 
 import (
@@ -15,6 +20,7 @@ import (
 	"sort"
 
 	"repro/flashsim"
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
@@ -24,6 +30,10 @@ type Options struct {
 	Scale int
 	// Quick trims sweeps for benchmark use.
 	Quick bool
+	// Parallel bounds the simulation worker pool; <= 0 selects
+	// runtime.NumCPU() and 1 forces sequential execution. Reports are
+	// identical for every setting.
+	Parallel int
 	// Progress, if non-nil, receives one line per completed simulation.
 	Progress io.Writer
 }
@@ -35,7 +45,7 @@ func (o Options) scale() int {
 	return o.Scale
 }
 
-func (o Options) logf(format string, args ...interface{}) {
+func (o Options) logf(format string, args ...any) {
 	if o.Progress != nil {
 		fmt.Fprintf(o.Progress, format+"\n", args...)
 	}
@@ -97,7 +107,9 @@ func baseline(o Options) flashsim.Config {
 
 // sharedServer builds the figure's shared file-server model, the analogue
 // of the paper's single 1.4 TB Impressions model, sized to cover the
-// largest working set in the sweep.
+// largest working set in the sweep. A FileSet is read-only after
+// generation, so every point of a grid can sample the same model
+// concurrently.
 func sharedServer(o Options, maxWSGB float64) (*flashsim.FileSet, error) {
 	sizeGB := 1400.0
 	if maxWSGB*2.2 > sizeGB {
@@ -106,15 +118,48 @@ func sharedServer(o Options, maxWSGB float64) (*flashsim.FileSet, error) {
 	return flashsim.GenerateFileSet(gb(sizeGB, o.scale()), 42)
 }
 
-// run executes one simulation with progress logging.
-func run(o Options, label string, cfg flashsim.Config) (*flashsim.Result, error) {
-	res, err := flashsim.Run(cfg)
+// sweep is the experiments-side view of a runner grid: each declared point
+// carries a collector closure that consumes its result. Declaration builds
+// the grid; run executes it on the worker pool and applies the collectors
+// in declaration order, so figures, tables and progress output are
+// byte-identical to a sequential loop no matter how the pool scheduled the
+// points.
+type sweep struct {
+	o       Options
+	grid    runner.Grid
+	collect []func(*flashsim.Result)
+}
+
+// newSweep starts an empty grid declaration for one experiment.
+func newSweep(o Options, name string) *sweep {
+	return &sweep{o: o, grid: runner.Grid{Name: name}}
+}
+
+// add declares one simulation point. collect, which may be nil, receives
+// the point's result during run, after all earlier points' collectors.
+func (s *sweep) add(label string, cfg flashsim.Config, collect func(*flashsim.Result)) {
+	s.grid.Add(label, cfg)
+	s.collect = append(s.collect, collect)
+}
+
+// run executes the declared points and applies their collectors in order.
+func (s *sweep) run() error {
+	results, err := runner.Run(&s.grid, runner.Options{
+		Parallel: s.o.Parallel,
+		OnPoint: func(i int, p runner.Point, res *flashsim.Result) {
+			s.o.logf("  %-40s read %8.1f us  write %8.1f us", p.Label,
+				res.ReadLatencyMicros, res.WriteLatencyMicros)
+		},
+	})
 	if err != nil {
-		return nil, fmt.Errorf("experiments: %s: %w", label, err)
+		return fmt.Errorf("experiments: %w", err)
 	}
-	o.logf("  %-40s read %8.1f us  write %8.1f us", label,
-		res.ReadLatencyMicros, res.WriteLatencyMicros)
-	return res, nil
+	for i, res := range results {
+		if c := s.collect[i]; c != nil {
+			c(res)
+		}
+	}
+	return nil
 }
 
 // wssSweepGB returns the working-set sweep points (in paper GB).

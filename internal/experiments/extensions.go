@@ -43,6 +43,7 @@ func ExtReplacement(o Options) (*Report, error) {
 	if o.Quick {
 		kinds = []flashsim.ReplacementKind{flashsim.ReplaceLRU, flashsim.ReplaceFIFO, flashsim.Replace2Q}
 	}
+	s := newSweep(o, "ext-replacement")
 	for _, kind := range kinds {
 		rs := readFig.AddSeries(kind.String())
 		hs := hitFig.AddSeries(kind.String())
@@ -51,13 +52,15 @@ func ExtReplacement(o Options) (*Report, error) {
 			cfg.FlashReplacement = kind
 			cfg.Workload.WorkingSetBlocks = gb(wss, scale)
 			cfg.Workload.FileSet = fs
-			res, err := run(o, fmt.Sprintf("ext-repl %s wss=%g", kind, wss), cfg)
-			if err != nil {
-				return nil, err
-			}
-			rs.Add(wss, res.ReadLatencyMicros)
-			hs.Add(wss, 100*res.FlashHitRate)
+			s.add(fmt.Sprintf("ext-repl %s wss=%g", kind, wss), cfg,
+				func(res *flashsim.Result) {
+					rs.Add(wss, res.ReadLatencyMicros)
+					hs.Add(wss, 100*res.FlashHitRate)
+				})
 		}
+	}
+	if err := s.run(); err != nil {
+		return nil, err
 	}
 	return &Report{
 		Name:        "ext-replacement",
@@ -90,6 +93,7 @@ func ExtWriteback(o Options) (*Report, error) {
 		"policy index", "write latency (us)")
 	ws := fig.AddSeries("write latency")
 	wbs := fig.AddSeries("filer writebacks (k)")
+	s := newSweep(o, "ext-writeback")
 	for i, ps := range policies {
 		pol, err := flashsim.ParsePolicy(ps)
 		if err != nil {
@@ -98,15 +102,16 @@ func ExtWriteback(o Options) (*Report, error) {
 		cfg := baseline(o)
 		cfg.RAMPolicy = flashsim.ScalePolicy(pol, scale)
 		cfg.Workload.FileSet = fs
-		res, err := run(o, "ext-wb "+ps, cfg)
-		if err != nil {
-			return nil, err
-		}
-		fmt.Fprintf(&table, "%-8s %12.1f %12.1f %16d %14d\n",
-			ps, res.ReadLatencyMicros, res.WriteLatencyMicros,
-			res.Hosts.FilerWritebacks, res.Hosts.SyncEvictions)
-		ws.Add(float64(i), res.WriteLatencyMicros)
-		wbs.Add(float64(i), float64(res.Hosts.FilerWritebacks)/1000)
+		s.add("ext-wb "+ps, cfg, func(res *flashsim.Result) {
+			fmt.Fprintf(&table, "%-8s %12.1f %12.1f %16d %14d\n",
+				ps, res.ReadLatencyMicros, res.WriteLatencyMicros,
+				res.Hosts.FilerWritebacks, res.Hosts.SyncEvictions)
+			ws.Add(float64(i), res.WriteLatencyMicros)
+			wbs.Add(float64(i), float64(res.Hosts.FilerWritebacks)/1000)
+		})
+	}
+	if err := s.run(); err != nil {
+		return nil, err
 	}
 	return &Report{
 		Name:        "ext-writeback",
@@ -129,21 +134,23 @@ func ExtWear(o Options) (*Report, error) {
 	var table strings.Builder
 	fmt.Fprintf(&table, "%-10s %18s %18s %20s\n",
 		"arch", "dev writes/app wr", "dev writes/app op", "flash busy (%)")
+	s := newSweep(o, "ext-wear")
 	for _, arch := range []flashsim.Architecture{flashsim.Naive, flashsim.Lookaside, flashsim.Unified} {
 		cfg := baseline(o)
 		cfg.Arch = arch
 		cfg.Workload.FileSet = fs
-		res, err := run(o, "ext-wear "+arch.String(), cfg)
-		if err != nil {
-			return nil, err
-		}
-		appWrites := float64(res.Hosts.BlocksWritten)
-		appOps := float64(res.Hosts.BlocksWritten + res.Hosts.BlocksRead)
-		fmt.Fprintf(&table, "%-10s %18.2f %18.2f %20.1f\n",
-			arch,
-			float64(res.FlashDeviceWrites)/appWrites,
-			float64(res.FlashDeviceWrites)/appOps,
-			100*res.FlashBusyFraction)
+		s.add("ext-wear "+arch.String(), cfg, func(res *flashsim.Result) {
+			appWrites := float64(res.Hosts.BlocksWritten)
+			appOps := float64(res.Hosts.BlocksWritten + res.Hosts.BlocksRead)
+			fmt.Fprintf(&table, "%-10s %18.2f %18.2f %20.1f\n",
+				arch,
+				float64(res.FlashDeviceWrites)/appWrites,
+				float64(res.FlashDeviceWrites)/appOps,
+				100*res.FlashBusyFraction)
+		})
+	}
+	if err := s.run(); err != nil {
+		return nil, err
 	}
 
 	// NAND-level amplification below the block interface: churn an FTL

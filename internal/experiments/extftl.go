@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/flashsim"
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/filer"
@@ -32,6 +33,7 @@ func ExtFTL(o Options) (*Report, error) {
 	var table strings.Builder
 	fmt.Fprintf(&table, "%-22s %12s %12s %12s %8s\n",
 		"device", "read (us)", "write (us)", "read p99", "WA")
+	s := newSweep(o, "ext-ftl")
 	for _, wf := range []float64{0.3, 0.7} {
 		for _, ftlBacked := range []bool{false, true} {
 			cfg := baseline(o)
@@ -44,20 +46,21 @@ func ExtFTL(o Options) (*Report, error) {
 			if ftlBacked {
 				name = fmt.Sprintf("ftl-backed (%.0f%% wr)", wf*100)
 			}
-			res, err := run(o, "ext-ftl "+name, cfg)
-			if err != nil {
-				return nil, err
-			}
-			wa := "-"
-			if ftlBacked {
-				// The FTL's write amplification is not in Result; a
-				// second tiny churn through core exposes it via the
-				// host snapshot below.
-				wa = fmt.Sprintf("%.2f", ftlAmplification(o))
-			}
-			fmt.Fprintf(&table, "%-22s %12.1f %12.1f %12.1f %8s\n",
-				name, res.ReadLatencyMicros, res.WriteLatencyMicros, res.ReadP99Micros, wa)
+			s.add("ext-ftl "+name, cfg, func(res *flashsim.Result) {
+				wa := "-"
+				if ftlBacked {
+					// The FTL's write amplification is not in Result; a
+					// second tiny churn through core exposes it via the
+					// host snapshot below.
+					wa = fmt.Sprintf("%.2f", ftlAmplification(o))
+				}
+				fmt.Fprintf(&table, "%-22s %12.1f %12.1f %12.1f %8s\n",
+					name, res.ReadLatencyMicros, res.WriteLatencyMicros, res.ReadP99Micros, wa)
+			})
 		}
+	}
+	if err := s.run(); err != nil {
+		return nil, err
 	}
 	return &Report{
 		Name:        "ext-ftl",

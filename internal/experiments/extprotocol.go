@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/flashsim"
 	"repro/internal/stats"
 )
 
@@ -36,6 +37,7 @@ func ExtProtocol(o Options) (*Report, error) {
 	var table strings.Builder
 	fmt.Fprintf(&table, "%-10s %-10s %12s %12s %12s %12s %12s\n",
 		"writes(%)", "mode", "read (us)", "write (us)", "ctl msgs", "acquires", "downgrades")
+	s := newSweep(o, "ext-protocol")
 	for _, pct := range pcts {
 		for _, protocol := range []bool{false, true} {
 			cfg := consistencyConfig(o, 64, 60, pct, fs)
@@ -44,19 +46,21 @@ func ExtProtocol(o Options) (*Report, error) {
 			if protocol {
 				mode = "callback"
 			}
-			res, err := run(o, fmt.Sprintf("ext-protocol %s writes=%g%%", mode, pct), cfg)
-			if err != nil {
-				return nil, err
-			}
-			fmt.Fprintf(&table, "%-10g %-10s %12.1f %12.1f %12d %12d %12d\n",
-				pct, mode, res.ReadLatencyMicros, res.WriteLatencyMicros,
-				res.ControlMessages, res.OwnershipAcquires, res.Downgrades)
-			if protocol {
-				protoSeries.Add(pct, res.WriteLatencyMicros)
-			} else {
-				instSeries.Add(pct, res.WriteLatencyMicros)
-			}
+			s.add(fmt.Sprintf("ext-protocol %s writes=%g%%", mode, pct), cfg,
+				func(res *flashsim.Result) {
+					fmt.Fprintf(&table, "%-10g %-10s %12.1f %12.1f %12d %12d %12d\n",
+						pct, mode, res.ReadLatencyMicros, res.WriteLatencyMicros,
+						res.ControlMessages, res.OwnershipAcquires, res.Downgrades)
+					if protocol {
+						protoSeries.Add(pct, res.WriteLatencyMicros)
+					} else {
+						instSeries.Add(pct, res.WriteLatencyMicros)
+					}
+				})
 		}
+	}
+	if err := s.run(); err != nil {
+		return nil, err
 	}
 	return &Report{
 		Name:        "ext-protocol",

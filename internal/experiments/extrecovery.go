@@ -34,7 +34,14 @@ func ExtRecovery(o Options) (*Report, error) {
 	var table strings.Builder
 	fmt.Fprintf(&table, "%-8s %14s %18s %16s %16s\n",
 		"WS (GB)", "cold read (us)", "recovered read (us)", "warm read (us)", "recovery (s)")
-	for _, wss := range sweeps {
+	// The three restart modes of one row are independent simulations, so
+	// they too are grid points; the row is assembled once all arrive.
+	type row struct {
+		cold, recovered, warm *flashsim.Result
+	}
+	rows := make([]row, len(sweeps))
+	s := newSweep(o, "ext-recovery")
+	for i, wss := range sweeps {
 		mk := func() flashsim.Config {
 			cfg := baseline(o)
 			cfg.PersistentFlash = true
@@ -44,25 +51,24 @@ func ExtRecovery(o Options) (*Report, error) {
 		}
 		cold := mk()
 		cold.ColdStart = true
-		coldRes, err := run(o, fmt.Sprintf("ext-recovery cold wss=%g", wss), cold)
-		if err != nil {
-			return nil, err
-		}
+		s.add(fmt.Sprintf("ext-recovery cold wss=%g", wss), cold,
+			func(res *flashsim.Result) { rows[i].cold = res })
 		rec := mk()
 		rec.RecoveredStart = true
 		rec.RecoveryDirtyFraction = 0.05
-		recRes, err := run(o, fmt.Sprintf("ext-recovery recovered wss=%g", wss), rec)
-		if err != nil {
-			return nil, err
-		}
+		s.add(fmt.Sprintf("ext-recovery recovered wss=%g", wss), rec,
+			func(res *flashsim.Result) { rows[i].recovered = res })
 		warm := mk()
-		warmRes, err := run(o, fmt.Sprintf("ext-recovery warm wss=%g", wss), warm)
-		if err != nil {
-			return nil, err
-		}
+		s.add(fmt.Sprintf("ext-recovery warm wss=%g", wss), warm,
+			func(res *flashsim.Result) { rows[i].warm = res })
+	}
+	if err := s.run(); err != nil {
+		return nil, err
+	}
+	for i, wss := range sweeps {
 		fmt.Fprintf(&table, "%-8g %14.1f %18.1f %16.1f %16.3f\n",
-			wss, coldRes.ReadLatencyMicros, recRes.ReadLatencyMicros,
-			warmRes.ReadLatencyMicros, recRes.RecoverySeconds)
+			wss, rows[i].cold.ReadLatencyMicros, rows[i].recovered.ReadLatencyMicros,
+			rows[i].warm.ReadLatencyMicros, rows[i].recovered.RecoverySeconds)
 	}
 	fmt.Fprintf(&table, "\nrecovery delay scales with the scale factor; multiply by %d for full-size caches\n", scale)
 	return &Report{

@@ -30,8 +30,9 @@ func Fig10(o Options) (*Report, error) {
 		{"64 GB flash, not warmed", 64, true},
 		{"64 GB flash warmed", 64, false},
 	}
+	s := newSweep(o, "fig10")
 	for _, v := range variants {
-		s := fig.AddSeries(v.name)
+		series := fig.AddSeries(v.name)
 		for _, wss := range wssSweepGB(o) {
 			cfg := baseline(o)
 			cfg.FlashBlocks = int(gb(v.flashGB, scale))
@@ -39,12 +40,12 @@ func Fig10(o Options) (*Report, error) {
 			cfg.PersistentFlash = v.flashGB > 0
 			cfg.Workload.WorkingSetBlocks = gb(wss, scale)
 			cfg.Workload.FileSet = fs
-			res, err := run(o, fmt.Sprintf("fig10 %s wss=%g", v.name, wss), cfg)
-			if err != nil {
-				return nil, err
-			}
-			s.Add(wss, res.ReadLatencyMicros)
+			s.add(fmt.Sprintf("fig10 %s wss=%g", v.name, wss), cfg,
+				func(res *flashsim.Result) { series.Add(wss, res.ReadLatencyMicros) })
 		}
+	}
+	if err := s.run(); err != nil {
+		return nil, err
 	}
 	return &Report{
 		Name:        "fig10",
@@ -84,6 +85,7 @@ func Fig11(o Options) (*Report, error) {
 	if o.Quick {
 		pcts = []float64{10, 30, 60}
 	}
+	s := newSweep(o, "fig11")
 	for _, flashGB := range []float64{0, 64} {
 		for _, wss := range []float64{80, 60} {
 			name := fmt.Sprintf("No flash (%g GB)", wss)
@@ -94,14 +96,16 @@ func Fig11(o Options) (*Report, error) {
 			rs := readFig.AddSeries(name)
 			for _, pct := range pcts {
 				cfg := consistencyConfig(o, flashGB, wss, pct, fs)
-				res, err := run(o, fmt.Sprintf("fig11 flash=%g wss=%g writes=%g%%", flashGB, wss, pct), cfg)
-				if err != nil {
-					return nil, err
-				}
-				is.Add(pct, 100*res.InvalidationFraction)
-				rs.Add(pct, res.ReadLatencyMicros)
+				s.add(fmt.Sprintf("fig11 flash=%g wss=%g writes=%g%%", flashGB, wss, pct), cfg,
+					func(res *flashsim.Result) {
+						is.Add(pct, 100*res.InvalidationFraction)
+						rs.Add(pct, res.ReadLatencyMicros)
+					})
 			}
 		}
+	}
+	if err := s.run(); err != nil {
+		return nil, err
 	}
 	return &Report{
 		Name:        "fig11",
@@ -124,6 +128,7 @@ func Fig12(o Options) (*Report, error) {
 	readFig := stats.NewFigure(
 		"Figure 12b: read latency vs working set size (2 hosts, shared working set)",
 		"working set (GB)", "read latency (us)")
+	s := newSweep(o, "fig12")
 	for _, flashGB := range []float64{0, 64} {
 		name := "No flash"
 		if flashGB > 0 {
@@ -133,13 +138,15 @@ func Fig12(o Options) (*Report, error) {
 		rs := readFig.AddSeries(name)
 		for _, wss := range wssSweepGB(o) {
 			cfg := consistencyConfig(o, flashGB, wss, 30, fs)
-			res, err := run(o, fmt.Sprintf("fig12 flash=%g wss=%g", flashGB, wss), cfg)
-			if err != nil {
-				return nil, err
-			}
-			is.Add(wss, 100*res.InvalidationFraction)
-			rs.Add(wss, res.ReadLatencyMicros)
+			s.add(fmt.Sprintf("fig12 flash=%g wss=%g", flashGB, wss), cfg,
+				func(res *flashsim.Result) {
+					is.Add(wss, 100*res.InvalidationFraction)
+					rs.Add(wss, res.ReadLatencyMicros)
+				})
 		}
+	}
+	if err := s.run(); err != nil {
+		return nil, err
 	}
 	return &Report{
 		Name:        "fig12",

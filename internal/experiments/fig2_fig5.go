@@ -39,6 +39,7 @@ func Fig2(o Options) (*Report, error) {
 	var table strings.Builder
 	fmt.Fprintf(&table, "%-10s %-5s %-6s %12s %12s\n", "arch", "ram", "flash", "read (us)", "write (us)")
 
+	s := newSweep(o, "fig2")
 	for _, arch := range archs {
 		rs := readFig.AddSeries(arch.String())
 		ws := writeFig.AddSeries(arch.String())
@@ -50,18 +51,19 @@ func Fig2(o Options) (*Report, error) {
 				cfg.FlashPolicy = flashsim.ScalePolicy(fp, scale)
 				cfg.Workload.WorkingSetBlocks = gb(80, scale)
 				cfg.Workload.FileSet = fs
-				label := fmt.Sprintf("fig2 %s ram=%s flash=%s", arch, rp, fp)
-				res, err := run(o, label, cfg)
-				if err != nil {
-					return nil, err
-				}
 				x := float64(ri*len(policies) + fi)
-				rs.Add(x, res.ReadLatencyMicros)
-				ws.Add(x, res.WriteLatencyMicros)
-				fmt.Fprintf(&table, "%-10s %-5s %-6s %12.1f %12.1f\n",
-					arch, rp, fp, res.ReadLatencyMicros, res.WriteLatencyMicros)
+				s.add(fmt.Sprintf("fig2 %s ram=%s flash=%s", arch, rp, fp), cfg,
+					func(res *flashsim.Result) {
+						rs.Add(x, res.ReadLatencyMicros)
+						ws.Add(x, res.WriteLatencyMicros)
+						fmt.Fprintf(&table, "%-10s %-5s %-6s %12.1f %12.1f\n",
+							arch, rp, fp, res.ReadLatencyMicros, res.WriteLatencyMicros)
+					})
 			}
 		}
+	}
+	if err := s.run(); err != nil {
+		return nil, err
 	}
 	return &Report{
 		Name: "fig2",
@@ -97,8 +99,9 @@ func Fig3(o Options) (*Report, error) {
 		{"8G RAM, 64G RAM, Naive", flashsim.Naive, 8, 64, true},
 		{"8G RAM, 56G RAM, Unified", flashsim.Unified, 8, 56, true},
 	}
+	s := newSweep(o, "fig3")
 	for _, v := range variants {
-		s := fig.AddSeries(v.name)
+		series := fig.AddSeries(v.name)
 		for _, wss := range wssSweepGB(o) {
 			cfg := baseline(o)
 			cfg.Arch = v.arch
@@ -110,12 +113,12 @@ func Fig3(o Options) (*Report, error) {
 			}
 			cfg.Workload.WorkingSetBlocks = gb(wss, scale)
 			cfg.Workload.FileSet = fs
-			res, err := run(o, fmt.Sprintf("fig3 %s wss=%g", v.name, wss), cfg)
-			if err != nil {
-				return nil, err
-			}
-			s.Add(wss, res.ReadLatencyMicros)
+			s.add(fmt.Sprintf("fig3 %s wss=%g", v.name, wss), cfg,
+				func(res *flashsim.Result) { series.Add(wss, res.ReadLatencyMicros) })
 		}
+	}
+	if err := s.run(); err != nil {
+		return nil, err
 	}
 	return &Report{
 		Name:        "fig3",
@@ -135,23 +138,24 @@ func Fig4(o Options) (*Report, error) {
 	fig := stats.NewFigure(
 		"Figure 4: read latency vs working set size across flash sizes",
 		"working set (GB)", "read latency (us)")
+	s := newSweep(o, "fig4")
 	for _, flashGB := range []float64{0, 32, 64, 128} {
 		name := "No flash"
 		if flashGB > 0 {
 			name = fmt.Sprintf("%g GB flash", flashGB)
 		}
-		s := fig.AddSeries(name)
+		series := fig.AddSeries(name)
 		for _, wss := range wssSweepGB(o) {
 			cfg := baseline(o)
 			cfg.FlashBlocks = int(gb(flashGB, scale))
 			cfg.Workload.WorkingSetBlocks = gb(wss, scale)
 			cfg.Workload.FileSet = fs
-			res, err := run(o, fmt.Sprintf("fig4 flash=%g wss=%g", flashGB, wss), cfg)
-			if err != nil {
-				return nil, err
-			}
-			s.Add(wss, res.ReadLatencyMicros)
+			s.add(fmt.Sprintf("fig4 flash=%g wss=%g", flashGB, wss), cfg,
+				func(res *flashsim.Result) { series.Add(wss, res.ReadLatencyMicros) })
 		}
+	}
+	if err := s.run(); err != nil {
+		return nil, err
 	}
 	return &Report{
 		Name:        "fig4",
@@ -172,26 +176,27 @@ func Fig5(o Options) (*Report, error) {
 	fig := stats.NewFigure(
 		"Figure 5: read latency vs working set size for two filer prefetch rates",
 		"working set (GB)", "read latency (us)")
+	s := newSweep(o, "fig5")
 	for _, flashGB := range []float64{0, 64} {
 		for _, rate := range []float64{0.80, 0.95} {
 			name := fmt.Sprintf("No flash; %.0f%% prefetch rate", rate*100)
 			if flashGB > 0 {
 				name = fmt.Sprintf("%g GB flash; %.0f%% prefetch rate", flashGB, rate*100)
 			}
-			s := fig.AddSeries(name)
+			series := fig.AddSeries(name)
 			for _, wss := range wssSweepGB(o) {
 				cfg := baseline(o)
 				cfg.FlashBlocks = int(gb(flashGB, scale))
 				cfg.Timing.FilerFastReadRate = rate
 				cfg.Workload.WorkingSetBlocks = gb(wss, scale)
 				cfg.Workload.FileSet = fs
-				res, err := run(o, fmt.Sprintf("fig5 flash=%g rate=%g wss=%g", flashGB, rate, wss), cfg)
-				if err != nil {
-					return nil, err
-				}
-				s.Add(wss, res.ReadLatencyMicros)
+				s.add(fmt.Sprintf("fig5 flash=%g rate=%g wss=%g", flashGB, rate, wss), cfg,
+					func(res *flashsim.Result) { series.Add(wss, res.ReadLatencyMicros) })
 			}
 		}
+	}
+	if err := s.run(); err != nil {
+		return nil, err
 	}
 	return &Report{
 		Name:        "fig5",

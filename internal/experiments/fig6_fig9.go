@@ -27,8 +27,9 @@ func ramSweepBlocks(o Options) []int {
 	return append(out, top)
 }
 
-// smallRAMFigure runs the Figure 6/7 sweep for one working-set size.
-func smallRAMFigure(o Options, wssGB float64, fs *flashsim.FileSet) (*stats.Figure, error) {
+// declareSmallRAM declares the Figure 6/7 sweep for one working-set size
+// onto s and returns the figure its collectors fill in.
+func declareSmallRAM(s *sweep, o Options, wssGB float64, fs *flashsim.FileSet) *stats.Figure {
 	scale := o.scale()
 	fig := stats.NewFigure(
 		fmt.Sprintf("Read and write latency vs RAM size (%g GB working set)", wssGB),
@@ -50,17 +51,15 @@ func smallRAMFigure(o Options, wssGB float64, fs *flashsim.FileSet) (*stats.Figu
 			cfg.RAMPolicy = v.pol
 			cfg.Workload.WorkingSetBlocks = gb(wssGB, scale)
 			cfg.Workload.FileSet = fs
-			label := fmt.Sprintf("fig6/7 wss=%g ram=%d blocks pol=%s", wssGB, ramBlocks, v.name)
-			res, err := run(o, label, cfg)
-			if err != nil {
-				return nil, err
-			}
 			x := float64(ramBlocks) * 4 // KB
-			rs.Add(x, res.ReadLatencyMicros)
-			ws.Add(x, res.WriteLatencyMicros)
+			s.add(fmt.Sprintf("fig6/7 wss=%g ram=%d blocks pol=%s", wssGB, ramBlocks, v.name), cfg,
+				func(res *flashsim.Result) {
+					rs.Add(x, res.ReadLatencyMicros)
+					ws.Add(x, res.WriteLatencyMicros)
+				})
 		}
 	}
-	return fig, nil
+	return fig
 }
 
 // Fig6 regenerates Figure 6: tiny RAM caches in front of the baseline
@@ -75,12 +74,12 @@ func Fig6(o Options) (*Report, error) {
 	if o.Quick {
 		sweeps = []float64{60}
 	}
+	s := newSweep(o, "fig6")
 	for _, wss := range sweeps {
-		fig, err := smallRAMFigure(o, wss, fs)
-		if err != nil {
-			return nil, err
-		}
-		figs = append(figs, fig)
+		figs = append(figs, declareSmallRAM(s, o, wss, fs))
+	}
+	if err := s.run(); err != nil {
+		return nil, err
 	}
 	return &Report{
 		Name:        "fig6",
@@ -96,8 +95,9 @@ func Fig7(o Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	fig, err := smallRAMFigure(o, 5, fs)
-	if err != nil {
+	s := newSweep(o, "fig7")
+	fig := declareSmallRAM(s, o, 5, fs)
+	if err := s.run(); err != nil {
 		return nil, err
 	}
 	return &Report{
@@ -125,6 +125,7 @@ func Fig8(o Options) (*Report, error) {
 	if o.Quick {
 		pcts = []float64{10, 30, 60, 90}
 	}
+	s := newSweep(o, "fig8")
 	for _, wss := range []float64{80, 60} {
 		rs := readFig.AddSeries(fmt.Sprintf("Read (%g GB)", wss))
 		ws := writeFig.AddSeries(fmt.Sprintf("Write (%g GB)", wss))
@@ -133,17 +134,19 @@ func Fig8(o Options) (*Report, error) {
 			cfg.Workload.WorkingSetBlocks = gb(wss, scale)
 			cfg.Workload.WriteFraction = pct / 100
 			cfg.Workload.FileSet = fs
-			res, err := run(o, fmt.Sprintf("fig8 wss=%g writes=%g%%", wss, pct), cfg)
-			if err != nil {
-				return nil, err
-			}
-			if res.ReadLatencyMicros > 0 {
-				rs.Add(pct, res.ReadLatencyMicros)
-			}
-			if res.WriteLatencyMicros > 0 && pct > 0 {
-				ws.Add(pct, res.WriteLatencyMicros)
-			}
+			s.add(fmt.Sprintf("fig8 wss=%g writes=%g%%", wss, pct), cfg,
+				func(res *flashsim.Result) {
+					if res.ReadLatencyMicros > 0 {
+						rs.Add(pct, res.ReadLatencyMicros)
+					}
+					if res.WriteLatencyMicros > 0 && pct > 0 {
+						ws.Add(pct, res.WriteLatencyMicros)
+					}
+				})
 		}
+	}
+	if err := s.run(); err != nil {
+		return nil, err
 	}
 	return &Report{
 		Name:        "fig8",
@@ -173,9 +176,10 @@ func Fig9(o Options) (*Report, error) {
 	archs := []flashsim.Architecture{flashsim.Lookaside, flashsim.Naive, flashsim.Unified}
 	base := flashsim.DefaultTiming()
 	ratio := float64(base.FlashWrite) / float64(base.FlashRead)
+	s := newSweep(o, "fig9")
 	for _, wss := range wssList {
 		for _, arch := range archs {
-			s := fig.AddSeries(fmt.Sprintf("Read %s (%g GB)", arch, wss))
+			series := fig.AddSeries(fmt.Sprintf("Read %s (%g GB)", arch, wss))
 			for _, fr := range flashReads {
 				cfg := baseline(o)
 				cfg.Arch = arch
@@ -183,13 +187,13 @@ func Fig9(o Options) (*Report, error) {
 				cfg.Timing.FlashWrite = sim.Time(fr * ratio * float64(sim.Microsecond))
 				cfg.Workload.WorkingSetBlocks = gb(wss, scale)
 				cfg.Workload.FileSet = fs
-				res, err := run(o, fmt.Sprintf("fig9 %s wss=%g fr=%gus", arch, wss, fr), cfg)
-				if err != nil {
-					return nil, err
-				}
-				s.Add(fr, res.ReadLatencyMicros)
+				s.add(fmt.Sprintf("fig9 %s wss=%g fr=%gus", arch, wss, fr), cfg,
+					func(res *flashsim.Result) { series.Add(fr, res.ReadLatencyMicros) })
 			}
 		}
+	}
+	if err := s.run(); err != nil {
+		return nil, err
 	}
 	return &Report{
 		Name:        "fig9",

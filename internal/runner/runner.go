@@ -1,0 +1,109 @@
+// Package runner executes declarative simulation sweeps on a bounded,
+// deterministic worker pool.
+//
+// The paper's evaluation is a grid of independent simulation points: every
+// point builds its own engine, hosts and filer and shares no mutable state
+// with its neighbours (the only sharing is the read-only FileSet server
+// model). The runner exploits that independence. An experiment declares its
+// sweep as a Grid of labeled Points, hands it to Run, and receives results
+// ordered exactly like the points — byte-identical to a sequential run
+// regardless of how the pool scheduled the work.
+//
+//	g := &runner.Grid{Name: "fig4"}
+//	for _, wss := range sweep {
+//		cfg := base
+//		cfg.Workload.WorkingSetBlocks = wss
+//		g.Add(fmt.Sprintf("fig4 wss=%d", wss), cfg)
+//	}
+//	results, err := runner.Run(g, runner.Options{Parallel: n})
+//
+// Error handling matches a sequential loop: the lowest-index failing point
+// determines the returned error, and no new points are dispatched after a
+// failure.
+package runner
+
+import (
+	"fmt"
+
+	"repro/flashsim"
+	"repro/internal/runner/pool"
+)
+
+// Point is one unit of sweep work: a labeled simulation configuration,
+// optionally driven by an explicit trace source instead of the synthetic
+// workload generator.
+type Point struct {
+	// Label names the point in progress output and error messages.
+	Label string
+	// Config is the simulation to run.
+	Config flashsim.Config
+	// Trace, when non-nil, replays this source through flashsim.RunTrace
+	// instead of synthesizing a workload. A source is consumed by its
+	// run, so each point needs its own.
+	Trace flashsim.TraceSource
+	// WarmupBlocks is the warmup volume for trace replay.
+	WarmupBlocks int64
+}
+
+// Grid is an ordered set of points — the declarative form of one
+// experiment's sweep loops.
+type Grid struct {
+	// Name identifies the grid in error messages.
+	Name string
+	// Points are executed independently; results keep this order.
+	Points []Point
+}
+
+// Add appends a config-driven point and returns its index.
+func (g *Grid) Add(label string, cfg flashsim.Config) int {
+	g.Points = append(g.Points, Point{Label: label, Config: cfg})
+	return len(g.Points) - 1
+}
+
+// AddTrace appends a trace-replay point and returns its index.
+func (g *Grid) AddTrace(label string, cfg flashsim.Config, src flashsim.TraceSource, warmupBlocks int64) int {
+	g.Points = append(g.Points, Point{Label: label, Config: cfg, Trace: src, WarmupBlocks: warmupBlocks})
+	return len(g.Points) - 1
+}
+
+// Len returns the number of points.
+func (g *Grid) Len() int { return len(g.Points) }
+
+// Options tunes a grid run.
+type Options struct {
+	// Parallel bounds the worker pool; <= 0 selects runtime.NumCPU().
+	Parallel int
+	// OnPoint, when non-nil, observes each completed point in strict
+	// index order (point i only after points 0..i-1), independent of
+	// scheduling. It is called sequentially and must not block on the
+	// pool.
+	OnPoint func(i int, p Point, res *flashsim.Result)
+}
+
+// Run executes every point of the grid on the worker pool and returns the
+// results indexed like g.Points. The output is identical for any Parallel
+// value; on failure the lowest-index point error is returned, wrapped with
+// the grid and point labels.
+func Run(g *Grid, opts Options) ([]*flashsim.Result, error) {
+	exec := func(i int) (*flashsim.Result, error) {
+		p := g.Points[i]
+		var (
+			res *flashsim.Result
+			err error
+		)
+		if p.Trace != nil {
+			res, err = flashsim.RunTrace(p.Config, p.Trace, p.WarmupBlocks)
+		} else {
+			res, err = flashsim.Run(p.Config)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("runner: grid %s point %d (%s): %w", g.Name, i, p.Label, err)
+		}
+		return res, nil
+	}
+	var deliver func(i int, res *flashsim.Result)
+	if opts.OnPoint != nil {
+		deliver = func(i int, res *flashsim.Result) { opts.OnPoint(i, g.Points[i], res) }
+	}
+	return pool.Collect(g.Len(), opts.Parallel, exec, deliver)
+}

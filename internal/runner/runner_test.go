@@ -1,0 +1,150 @@
+package runner
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/flashsim"
+	"repro/internal/trace"
+)
+
+// testGrid declares a small working-set sweep at a tiny scale, every point
+// its own independent simulation.
+func testGrid(t *testing.T) *Grid {
+	t.Helper()
+	const scale = 16384
+	fs, err := flashsim.GenerateFileSet(176*int64(flashsim.BlocksPerGB)/scale, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &Grid{Name: "test"}
+	for _, wssGB := range []int64{5, 40, 60, 80} {
+		cfg := flashsim.ScaledConfig(scale)
+		cfg.Workload.WorkingSetBlocks = wssGB * int64(flashsim.BlocksPerGB) / scale
+		cfg.Workload.FileSet = fs
+		g.Add(fmt.Sprintf("wss=%dGB", wssGB), cfg)
+	}
+	return g
+}
+
+// The tentpole contract: a grid run at -parallel 1 and at -parallel 8
+// produces identical Result structs, point for point.
+func TestRunDeterministicAcrossParallelism(t *testing.T) {
+	g := testGrid(t)
+	seq, err := Run(g, Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(g, Options{Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != g.Len() || len(par) != g.Len() {
+		t.Fatalf("got %d and %d results for %d points", len(seq), len(par), g.Len())
+	}
+	for i := range seq {
+		if !reflect.DeepEqual(seq[i], par[i]) {
+			t.Errorf("point %d (%s): sequential and parallel results differ:\nseq: %+v\npar: %+v",
+				i, g.Points[i].Label, seq[i], par[i])
+		}
+	}
+}
+
+// OnPoint observes completions in index order with the matching results,
+// regardless of pool scheduling.
+func TestRunOnPointOrdered(t *testing.T) {
+	g := testGrid(t)
+	var order []int
+	results, err := Run(g, Options{
+		Parallel: 8,
+		OnPoint: func(i int, p Point, res *flashsim.Result) {
+			order = append(order, i)
+			if p.Label != g.Points[i].Label {
+				t.Errorf("point %d delivered label %q", i, p.Label)
+			}
+			if res == nil {
+				t.Errorf("point %d delivered nil result", i)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != len(results) {
+		t.Fatalf("%d deliveries for %d results", len(order), len(results))
+	}
+	for i, o := range order {
+		if o != i {
+			t.Fatalf("delivery order %v", order)
+		}
+	}
+}
+
+// An invalid point aborts the run; with several failures the lowest-index
+// point's error is reported, wrapped with grid and point labels.
+func TestRunErrorPropagation(t *testing.T) {
+	g := testGrid(t)
+	bad := flashsim.ScaledConfig(16384)
+	bad.Hosts = 0 // fails Validate
+	g.Points[1].Config = bad
+	g.Points[1].Label = "bad-point"
+	g.Points[3].Config = bad
+
+	for _, parallel := range []int{1, 8} {
+		res, err := Run(g, Options{Parallel: parallel})
+		if err == nil {
+			t.Fatalf("parallel=%d: invalid grid ran", parallel)
+		}
+		if res != nil {
+			t.Fatalf("parallel=%d: partial results returned", parallel)
+		}
+		for _, want := range []string{"grid test", "point 1", "bad-point"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("parallel=%d: error %q missing %q", parallel, err, want)
+			}
+		}
+	}
+}
+
+// Trace-driven points route through flashsim.RunTrace and are just as
+// deterministic; each run needs a fresh source since replay consumes it.
+func TestRunTracePoints(t *testing.T) {
+	const nops = 400
+	mkOps := func() []flashsim.TraceOp {
+		ops := make([]flashsim.TraceOp, 0, nops)
+		for i := 0; i < nops; i++ {
+			kind := trace.Read
+			if i%3 == 0 {
+				kind = trace.Write
+			}
+			ops = append(ops, flashsim.TraceOp{Kind: kind, File: 1, Block: uint32(i % 64), Count: 1})
+		}
+		return ops
+	}
+	mkGrid := func() *Grid {
+		g := &Grid{Name: "trace"}
+		for p := 0; p < 3; p++ {
+			cfg := flashsim.ScaledConfig(16384)
+			g.AddTrace(fmt.Sprintf("trace-%d", p), cfg, flashsim.NewTraceSlice(mkOps()), 0)
+		}
+		return g
+	}
+	seq, err := Run(mkGrid(), Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(mkGrid(), Options{Parallel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i].BlocksIssued != nops {
+			t.Errorf("point %d issued %d blocks, want %d", i, seq[i].BlocksIssued, nops)
+		}
+		if !reflect.DeepEqual(seq[i], par[i]) {
+			t.Errorf("trace point %d differs across parallelism", i)
+		}
+	}
+}
