@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -34,7 +35,11 @@ func main() {
 	outDir := flag.String("out", "", "directory for CSV output (optional)")
 	verbose := flag.Bool("v", false, "log each simulation as it completes")
 	list := flag.Bool("list", false, "list available experiments and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	defer profiling.Start(*cpuprofile, *memprofile, "experiments")()
 
 	if *list {
 		for _, n := range experiments.Names() {
@@ -59,23 +64,20 @@ func main() {
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+			fatal(1, "experiments: %v", err)
 		}
 	}
 
 	for _, name := range names {
 		runner, ok := experiments.Lookup(name)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (have: %s)\n",
+			fatal(2, "experiments: unknown experiment %q (have: %s)",
 				name, strings.Join(experiments.Names(), ", "))
-			os.Exit(2)
 		}
 		fmt.Printf("==> %s\n", name)
 		rep, err := runner(opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
-			os.Exit(1)
+			fatal(1, "experiments: %s: %v", name, err)
 		}
 		fmt.Printf("%s\n\n", rep.Description)
 		for _, tbl := range rep.Tables {
@@ -86,12 +88,19 @@ func main() {
 			if *outDir != "" {
 				path := filepath.Join(*outDir, fmt.Sprintf("%s_%d.csv", rep.Name, i))
 				if err := os.WriteFile(path, []byte(fig.CSV()), 0o644); err != nil {
-					fmt.Fprintf(os.Stderr, "experiments: writing %s: %v\n", path, err)
-					os.Exit(1)
+					fatal(1, "experiments: writing %s: %v", path, err)
 				}
 				fmt.Printf("  wrote %s\n", path)
 			}
 		}
 		fmt.Println()
 	}
+}
+
+// fatal finalizes any in-progress profiles (os.Exit skips defers), reports
+// the error, and exits.
+func fatal(code int, format string, args ...any) {
+	profiling.Flush()
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(code)
 }

@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"repro/flashsim"
+	"repro/internal/profiling"
 	"repro/internal/trace"
 )
 
@@ -52,7 +53,11 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker pool size for multi-point sweeps (0 = all CPUs)")
 	tracePath := flag.String("trace", "", "replay a binary trace file instead of synthesizing")
 	warmupBlocks := flag.Int64("warmup-blocks", 0, "warmup volume when replaying a trace")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	defer profiling.Start(*cpuprofile, *memprofile, "flashsim")()
 
 	wssList, err := parseFloats(*wssGB)
 	die(err)
@@ -146,6 +151,7 @@ func parseFloats(s string) ([]float64, error) {
 
 func die(err error) {
 	if err != nil {
+		profiling.Flush() // os.Exit skips defers; salvage requested profiles
 		fmt.Fprintf(os.Stderr, "flashsim: %v\n", err)
 		os.Exit(1)
 	}

@@ -27,4 +27,17 @@
 // Every experiment in internal/experiments declares its sweeps as grids,
 // so output — figures, tables, even -v progress lines — is byte-identical
 // at any -parallel setting; only wall-clock time changes.
+//
+// # Allocation-free event core
+//
+// The engine (internal/sim) queues events on a hand-rolled indexed 4-ary
+// min-heap over event structs — no interface boxing, no per-push
+// allocation — and offers arg-carrying scheduling forms (Schedule2,
+// Server.Use2, Segment.Send2, ...) whose callbacks are static func(any)
+// values. The request path in internal/core runs on pooled per-block
+// records recycled through host-local free lists, and cache entries
+// recycle through per-cache free lists with generation counters. Golden
+// checksum tests pin simulation output to the pre-refactor engine bit for
+// bit; BENCH_2.json records the measured speedup. Both CLIs take
+// -cpuprofile / -memprofile for hot-path measurement.
 package repro

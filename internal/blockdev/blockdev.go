@@ -55,6 +55,11 @@ func NewContendedFlashDevice(eng *sim.Engine, name string, readLat, writeLat sim
 	return d
 }
 
+// noop is the shared placeholder completion for nil-done requests: the
+// delay event must still occupy the engine (a drained engine means idle
+// hardware) but nothing is allocated per call.
+func noop() {}
+
 func (d *FlashDevice) access(lat sim.Time, done func()) {
 	d.busy += lat
 	if d.srv != nil {
@@ -62,9 +67,18 @@ func (d *FlashDevice) access(lat sim.Time, done func()) {
 		return
 	}
 	if done == nil {
-		done = func() {}
+		done = noop
 	}
 	d.eng.Schedule(lat, done)
+}
+
+func (d *FlashDevice) access2(lat sim.Time, fn func(any), arg any) {
+	d.busy += lat
+	if d.srv != nil {
+		d.srv.Use2(lat, fn, arg)
+		return
+	}
+	d.eng.Schedule2(lat, fn, arg) // nil fn schedules the engine's shared no-op
 }
 
 // Read services a one-block read; done runs at completion.
@@ -73,16 +87,32 @@ func (d *FlashDevice) Read(done func()) {
 	d.access(d.readLat, done)
 }
 
+// Read2 is the allocation-free form of Read: fn is a static func(any) run
+// with arg at completion; a nil fn schedules the shared placeholder.
+func (d *FlashDevice) Read2(fn func(any), arg any) {
+	d.reads++
+	d.access2(d.readLat, fn, arg)
+}
+
 // Write services a one-block write; done runs at completion. In persistent
 // mode the block's cache metadata is journalled alongside, costing a second
 // write.
 func (d *FlashDevice) Write(done func()) {
 	d.writes++
-	lat := d.writeLat
+	d.access(d.effectiveWriteLat(), done)
+}
+
+// Write2 is the allocation-free form of Write.
+func (d *FlashDevice) Write2(fn func(any), arg any) {
+	d.writes++
+	d.access2(d.effectiveWriteLat(), fn, arg)
+}
+
+func (d *FlashDevice) effectiveWriteLat() sim.Time {
 	if d.persistent {
-		lat *= 2
+		return d.writeLat * 2
 	}
-	d.access(lat, done)
+	return d.writeLat
 }
 
 // Contended reports whether the device serializes requests.
@@ -155,18 +185,30 @@ func NewRAMDevice(eng *sim.Engine, readLat, writeLat sim.Time) *RAMDevice {
 func (d *RAMDevice) Read(done func()) {
 	d.reads++
 	if done == nil {
-		done = func() {}
+		done = noop
 	}
 	d.eng.Schedule(d.readLat, done)
+}
+
+// Read2 is the allocation-free form of Read.
+func (d *RAMDevice) Read2(fn func(any), arg any) {
+	d.reads++
+	d.eng.Schedule2(d.readLat, fn, arg)
 }
 
 // Write schedules done after one block-write delay.
 func (d *RAMDevice) Write(done func()) {
 	d.writes++
 	if done == nil {
-		done = func() {}
+		done = noop
 	}
 	d.eng.Schedule(d.writeLat, done)
+}
+
+// Write2 is the allocation-free form of Write.
+func (d *RAMDevice) Write2(fn func(any), arg any) {
+	d.writes++
+	d.eng.Schedule2(d.writeLat, fn, arg)
 }
 
 // ReadLatency and WriteLatency return the per-block access times.

@@ -64,6 +64,14 @@ type Entry struct {
 	prev, next           *Entry // LRU list
 	dirtyPrev, dirtyNext *Entry // dirty list
 	inDirty              bool
+
+	// gen counts how many times this Entry struct has been removed from
+	// its cache. Entries are recycled through a per-cache free list, so a
+	// retained pointer alone no longer proves identity: code that holds
+	// an entry across an asynchronous boundary must capture Gen() at a
+	// point of known validity and re-check it (together with the index
+	// lookup) before trusting the pointer.
+	gen uint64
 }
 
 // Key returns the entry's block key.
@@ -71,6 +79,39 @@ func (e *Entry) Key() Key { return e.key }
 
 // Medium returns the medium backing this entry's buffer.
 func (e *Entry) Medium() Medium { return e.medium }
+
+// Gen returns the entry's reuse generation; it increments every time the
+// entry is removed from its cache. (pointer, Gen) pairs identify a logical
+// residency the way bare pointers did before entries were pooled.
+func (e *Entry) Gen() uint64 { return e.gen }
+
+// entryPool is a per-cache free list of Entry structs: eviction/insert
+// churn at steady state recycles entries instead of allocating. The free
+// list threads through the (otherwise nil) LRU next pointer.
+type entryPool struct {
+	free *Entry
+}
+
+// get returns a reset entry for key on medium m, recycling if possible.
+// The reuse generation survives the reset.
+func (p *entryPool) get(key Key, m Medium) *Entry {
+	e := p.free
+	if e == nil {
+		return &Entry{key: key, medium: m}
+	}
+	p.free = e.next
+	gen := e.gen
+	*e = Entry{key: key, medium: m, gen: gen}
+	return e
+}
+
+// put recycles a removed (fully unlinked) entry, bumping its generation so
+// stale (pointer, gen) holders can detect the reuse.
+func (p *entryPool) put(e *Entry) {
+	e.gen++
+	e.next = p.free
+	p.free = e
+}
 
 // list is an intrusive circular doubly-linked list with a sentinel.
 type list struct {
@@ -152,6 +193,7 @@ type LRU struct {
 	index    map[Key]*Entry
 	lru      list
 	dirties  list
+	pool     entryPool
 
 	// Statistics.
 	hits, misses, evictions uint64
@@ -250,7 +292,7 @@ func (c *LRU) Insert(key Key) *Entry {
 	if c.lru.len >= c.capacity {
 		panic("cache: insert into full cache")
 	}
-	e := &Entry{key: key, medium: c.medium}
+	e := c.pool.get(key, c.medium)
 	c.index[key] = e
 	c.lru.pushFront(e)
 	return e
@@ -270,6 +312,7 @@ func (c *LRU) Remove(e *Entry) {
 	delete(c.index, e.key)
 	c.lru.remove(e)
 	c.evictions++
+	c.pool.put(e)
 }
 
 // MarkDirty flags e dirty and places it on the dirty list.

@@ -20,6 +20,7 @@ type SLRU struct {
 	probation    list
 	protected    list
 	dirties      list
+	pool         entryPool
 
 	hits, misses, evictions uint64
 }
@@ -128,7 +129,8 @@ func (s *SLRU) Insert(key Key) *Entry {
 	if s.Len() >= s.capacity {
 		panic("cache: insert into full SLRU")
 	}
-	e := &Entry{key: key, medium: s.medium, seg: segProbation}
+	e := s.pool.get(key, s.medium)
+	e.seg = segProbation
 	s.index[key] = e
 	s.probation.pushFront(e)
 	return e
@@ -151,6 +153,7 @@ func (s *SLRU) Remove(e *Entry) {
 		s.probation.remove(e)
 	}
 	s.evictions++
+	s.pool.put(e)
 }
 
 // MarkDirty implements BlockCache.

@@ -28,6 +28,8 @@ type TwoQ struct {
 	ghostHead  *ghostNode // most recent
 	ghostTail  *ghostNode // oldest
 	ghostCount int
+	pool       entryPool
+	ghostPool  *ghostNode // free list of ghost nodes
 
 	hits, misses, evictions uint64
 }
@@ -135,7 +137,7 @@ func (q *TwoQ) Insert(key Key) *Entry {
 	if q.Len() >= q.capacity {
 		panic("cache: insert into full 2Q")
 	}
-	e := &Entry{key: key, medium: q.medium}
+	e := q.pool.get(key, q.medium)
 	if g, remembered := q.ghost[key]; remembered {
 		q.ghostRemove(g)
 		e.seg = segAm
@@ -166,6 +168,7 @@ func (q *TwoQ) Remove(e *Entry) {
 		q.ghostAdd(e.key)
 	}
 	q.evictions++
+	q.pool.put(e)
 }
 
 func (q *TwoQ) ghostAdd(key Key) {
@@ -175,7 +178,14 @@ func (q *TwoQ) ghostAdd(key Key) {
 	if g, ok := q.ghost[key]; ok {
 		q.ghostRemove(g)
 	}
-	g := &ghostNode{key: key}
+	g := q.ghostPool
+	if g == nil {
+		g = &ghostNode{}
+	} else {
+		q.ghostPool = g.next
+	}
+	g.key = key
+	g.prev = nil
 	g.next = q.ghostHead
 	if q.ghostHead != nil {
 		q.ghostHead.prev = g
@@ -204,6 +214,9 @@ func (q *TwoQ) ghostRemove(g *ghostNode) {
 	}
 	delete(q.ghost, g.key)
 	q.ghostCount--
+	g.prev = nil
+	g.next = q.ghostPool
+	q.ghostPool = g
 }
 
 // MarkDirty implements BlockCache.

@@ -11,6 +11,7 @@ type Unified struct {
 	index   map[Key]*Entry
 	lru     list
 	dirties list
+	pool    entryPool
 
 	ramBufs, flashBufs int // total buffers per medium
 	freeRAM, freeFlash int // unallocated buffers per medium
@@ -138,7 +139,7 @@ func (u *Unified) Insert(key Key) *Entry {
 	} else {
 		u.freeFlash--
 	}
-	e := &Entry{key: key, medium: m}
+	e := u.pool.get(key, m)
 	u.index[key] = e
 	u.lru.pushFront(e)
 	return e
@@ -163,6 +164,7 @@ func (u *Unified) Remove(e *Entry) {
 		u.freeFlash++
 	}
 	u.evictions++
+	u.pool.put(e)
 }
 
 // MarkDirty flags e dirty and places it on the dirty list.

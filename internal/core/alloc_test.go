@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// The pooled request path's contract: once a host is warm (request records
+// pooled, cache entries recycling through their free lists, the engine's
+// heap at its high-water mark), serving a block request allocates at most
+// a small fixed amount — independent of how many requests have run.
+//
+// The budget is deliberately not zero: Go map internals (the fetch-dedup
+// pending table, cache indexes) may occasionally rehash, and the filer's
+// RNG draw feeds a histogram. It is a ceiling on the *steady state*, where
+// the closure-based predecessor allocated on every asynchronous hop.
+const allocBudgetPerRequest = 4.0
+
+func TestWarmBlockPathAllocationBudget(t *testing.T) {
+	cfg := baseCfg(Naive)
+	cfg.RAMBlocks = 32
+	cfg.FlashBlocks = 128
+	r := newRig(t, cfg, testTiming())
+
+	const span = 512 // working set far larger than flash: steady eviction churn
+	key := func(i int) cache.Key { return cache.Key(i % span) }
+
+	// Warm: fill caches, populate free lists, grow the event heap.
+	for i := 0; i < 4*span; i++ {
+		if i%3 == 0 {
+			r.host.Write(key(i), nil)
+		} else {
+			r.host.Read(key(i), nil)
+		}
+		r.eng.Run()
+	}
+
+	i := 0
+	allocs := testing.AllocsPerRun(2000, func() {
+		if i%3 == 0 {
+			r.host.Write(key(i), nil)
+		} else {
+			r.host.Read(key(i), nil)
+		}
+		i++
+		r.eng.Run()
+	})
+	if allocs > allocBudgetPerRequest {
+		t.Errorf("warm block request allocated %v per run, budget %v", allocs, allocBudgetPerRequest)
+	}
+}
+
+// A warm RAM hit — the most common event in every experiment — must be
+// fully allocation-free.
+func TestWarmRAMHitAllocationFree(t *testing.T) {
+	cfg := baseCfg(Naive)
+	r := newRig(t, cfg, testTiming())
+
+	r.host.Read(1, nil)
+	r.eng.Run()
+	allocs := testing.AllocsPerRun(2000, func() {
+		r.host.Read(1, nil)
+		r.eng.Run()
+	})
+	if allocs != 0 {
+		t.Errorf("warm RAM read hit allocated %v per run, want 0", allocs)
+	}
+}

@@ -25,6 +25,7 @@ type Driver struct {
 	busy    map[uint32]bool
 	held    *trace.Op // head-of-line op whose thread queue is full
 	srcDone bool
+	freeOps *opTask // free list of per-op execution records
 
 	window       int
 	issuedBlocks int64
@@ -125,29 +126,66 @@ func (d *Driver) kick(tk uint32) {
 	d.runOp(tk, op)
 }
 
+// opTask is one trace op's execution record: the blocks of a multi-block
+// request access the cache sequentially, and the record carries the cursor
+// between completions. Records recycle through the driver's free list, so
+// the per-block step allocates nothing (the closure-based predecessor
+// allocated one continuation per block).
+type opTask struct {
+	d    *Driver
+	tk   uint32
+	op   trace.Op
+	i    uint32
+	next *opTask // free-list link
+}
+
+func (d *Driver) getOp() *opTask {
+	t := d.freeOps
+	if t == nil {
+		return &opTask{d: d}
+	}
+	d.freeOps = t.next
+	return t
+}
+
+func (d *Driver) putOp(t *opTask) {
+	*t = opTask{d: t.d, next: d.freeOps}
+	d.freeOps = t
+}
+
 // runOp executes one trace op: its blocks access the cache sequentially.
 func (d *Driver) runOp(tk uint32, op trace.Op) {
-	h := d.hostFor(op)
-	var step func(i uint32)
-	step = func(i uint32) {
-		if i >= op.Count {
-			d.opsInFlight--
-			d.opsCompleted++
-			d.busy[tk] = false
-			d.pump()
-			d.kick(tk)
-			return
-		}
-		d.noteIssue(1)
-		key := cache.Key(trace.BlockKey(op.File, op.Block+i))
-		next := func() { step(i + 1) }
-		if op.Kind == trace.Write {
-			h.Write(key, next)
-		} else {
-			h.Read(key, next)
-		}
+	t := d.getOp()
+	t.tk = tk
+	t.op = op
+	opStep(t)
+}
+
+// opStep issues the op's next block, or completes the op and kicks the
+// thread's queue. It is both the initial call and every block's completion
+// continuation.
+func opStep(a any) {
+	t := a.(*opTask)
+	d := t.d
+	if t.i >= t.op.Count {
+		d.opsInFlight--
+		d.opsCompleted++
+		d.busy[t.tk] = false
+		tk := t.tk
+		d.putOp(t)
+		d.pump()
+		d.kick(tk)
+		return
 	}
-	step(0)
+	d.noteIssue(1)
+	key := cache.Key(trace.BlockKey(t.op.File, t.op.Block+t.i))
+	t.i++
+	h := d.hostFor(t.op)
+	if t.op.Kind == trace.Write {
+		h.write(key, cont{opStep, t})
+	} else {
+		h.read(key, cont{opStep, t})
+	}
 }
 
 // noteIssue advances the warmup accounting.

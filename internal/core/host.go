@@ -16,6 +16,11 @@ import (
 // cache in front of the shared filer, reached over a private network
 // segment. All block I/O enters through Read and Write; completions are
 // delivered by callback in simulated time.
+//
+// The request path is written in explicit continuation-passing style over
+// pooled hostReq records (see req.go): every asynchronous hand-off goes
+// through a static func(any) plus a recycled record, so a warm host serves
+// block requests without allocating.
 type Host struct {
 	eng    *sim.Engine
 	cfg    HostConfig
@@ -42,8 +47,15 @@ type Host struct {
 	reg   *consistency.Registry // nil when consistency is not modeled
 
 	// pending de-duplicates concurrent demand fetches of the same block:
-	// waiters are woken when the single fetch completes.
-	pending map[cache.Key][]func()
+	// waiters are woken when the single fetch completes. Waiter slices
+	// are recycled through waiterFree.
+	pending    map[cache.Key][]cont
+	waiterFree [][]cont
+
+	// freeReq is the host-local free list of request records (req.go).
+	freeReq *hostReq
+	// dirtyScratch is the reusable buffer behind periodic flush scans.
+	dirtyScratch []*cache.Entry
 
 	collect bool
 	st      HostStats
@@ -95,7 +107,7 @@ func NewHost(eng *sim.Engine, cfg HostConfig, timing Timing,
 		bgSeg:   bgSeg,
 		fsrv:    fsrv,
 		reg:     reg,
-		pending: make(map[cache.Key][]func()),
+		pending: make(map[cache.Key][]cont),
 	}
 	if cfg.Arch == Unified {
 		h.uni = cache.NewUnified(cfg.RAMBlocks, cfg.FlashBlocks)
@@ -173,262 +185,357 @@ func (h *Host) Invalidate(key uint64) bool {
 }
 
 // Read performs a one-block application read; done runs at completion.
-func (h *Host) Read(key cache.Key, done func()) {
-	start := h.eng.Now()
-	collect := h.collect
-	finish := func() {
-		if collect {
-			lat := h.eng.Now() - start
-			h.st.ReadLat.Add(lat)
-			h.st.ReadHist.Add(lat)
-			h.st.BlocksRead++
-		}
-		if done != nil {
-			done()
-		}
-	}
-	proceed := func() {
-		if h.cfg.Arch == Unified {
-			h.readUnified(key, collect, finish)
-		} else {
-			h.readLayered(key, collect, finish)
-		}
-	}
+func (h *Host) Read(key cache.Key, done func()) { h.read(key, funcCont(done)) }
+
+// read is the pooled-record form of Read.
+func (h *Host) read(key cache.Key, done cont) {
+	r := h.getReq()
+	r.key = key
+	r.start = h.eng.Now()
+	r.collect = h.collect
+	r.c = done
 	if h.reg != nil {
 		// Under the callback protocol an exclusively-owned block must be
 		// downgraded (and its dirty data flushed) before the read; under
 		// the paper's instant model this continues immediately.
-		h.reg.AcquireRead(h.cfg.ID, uint64(key), proceed)
+		h.reg.AcquireRead(h.cfg.ID, uint64(key), func() { readProceed(r) })
 		return
 	}
-	proceed()
+	readProceed(r)
+}
+
+// readProceed routes the request once any consistency acquisition is done.
+func readProceed(a any) {
+	r := a.(*hostReq)
+	if r.h.cfg.Arch == Unified {
+		r.h.readUnified(r)
+	} else {
+		r.h.readLayered(r)
+	}
+}
+
+// finishRead records latency statistics and completes the application
+// callback. It is the terminal stage of every read chain.
+func finishRead(a any) {
+	r := a.(*hostReq)
+	h := r.h
+	if r.collect {
+		lat := h.eng.Now() - r.start
+		h.st.ReadLat.Add(lat)
+		h.st.ReadHist.Add(lat)
+		h.st.BlocksRead++
+	}
+	done := r.c
+	h.putReq(r)
+	done.run()
 }
 
 // Write performs a one-block application write; done runs when the write
 // is durable to the degree the configured policies require (normally: when
 // it lands in the RAM cache).
-func (h *Host) Write(key cache.Key, done func()) {
-	start := h.eng.Now()
-	collect := h.collect
-	finish := func() {
-		if collect {
-			lat := h.eng.Now() - start
-			h.st.WriteLat.Add(lat)
-			h.st.WriteHist.Add(lat)
-			h.st.BlocksWritten++
-		}
-		if done != nil {
-			done()
-		}
-	}
-	proceed := func() {
-		if h.cfg.Arch == Unified {
-			h.writeUnified(key, finish)
-		} else {
-			h.writeLayered(key, finish)
-		}
-	}
+func (h *Host) Write(key cache.Key, done func()) { h.write(key, funcCont(done)) }
+
+// write is the pooled-record form of Write.
+func (h *Host) write(key cache.Key, done cont) {
+	r := h.getReq()
+	r.key = key
+	r.start = h.eng.Now()
+	r.collect = h.collect
+	r.c = done
 	// A new version is born in this host's cache: all other copies are
 	// now stale. Under the paper's model the invalidation is instant and
 	// free (§3.8); under the callback protocol the writer first acquires
 	// exclusive ownership, paying the message round trips.
 	if h.reg != nil {
-		h.reg.AcquireWrite(h.cfg.ID, uint64(key), proceed)
+		h.reg.AcquireWrite(h.cfg.ID, uint64(key), func() { writeProceed(r) })
 		return
 	}
-	proceed()
+	writeProceed(r)
+}
+
+func writeProceed(a any) {
+	r := a.(*hostReq)
+	if r.h.cfg.Arch == Unified {
+		r.h.writeUnified(r)
+	} else {
+		r.h.writeLayered(r)
+	}
+}
+
+// finishWrite is the terminal stage of every write chain.
+func finishWrite(a any) {
+	r := a.(*hostReq)
+	h := r.h
+	if r.collect {
+		lat := h.eng.Now() - r.start
+		h.st.WriteLat.Add(lat)
+		h.st.WriteHist.Add(lat)
+		h.st.BlocksWritten++
+	}
+	done := r.c
+	h.putReq(r)
+	done.run()
 }
 
 // --- layered (naive / lookaside) read path ---
 
-func (h *Host) readLayered(key cache.Key, collect bool, finish func()) {
+func (h *Host) readLayered(r *hostReq) {
+	key := r.key
 	if h.ram.Capacity() > 0 {
 		if e := h.ram.Get(key); e != nil {
-			if collect {
+			if r.collect {
 				h.st.RAMHits++
 			}
-			h.ramDev.Read(finish)
+			h.ramDev.Read2(finishRead, r)
 			return
 		}
 	}
-	if collect {
+	if r.collect {
 		h.st.RAMMisses++
 	}
 	if h.flash.Capacity() > 0 {
 		if e := h.flash.Get(key); e != nil {
-			if collect {
+			if r.collect {
 				h.st.FlashHits++
 			}
-			h.flashIO.Read(key, func() {
-				h.installRAMClean(key, finish)
-			})
+			h.flashIO.Read2(key, readFillRAM, r)
 			return
 		}
-		if collect {
+		if r.collect {
 			h.st.FlashMisses++
 		}
 	}
-	h.fetchFromFiler(key, func() {
-		h.installRAMClean(key, finish)
-	})
+	h.fetchFromFiler(key, cont{readFillRAM, r})
+}
+
+// readFillRAM resumes a read once the block's data is available (from a
+// flash hit or a filer fetch): install a clean RAM copy, then finish.
+func readFillRAM(a any) {
+	r := a.(*hostReq)
+	r.h.installRAMClean(r.key, cont{finishRead, r})
 }
 
 // installRAMClean places a just-read block into the RAM cache (read fill).
 // The RAM cache remains a subset of flash on this path because the block
 // was installed in flash first (naive placement, §3.2).
-func (h *Host) installRAMClean(key cache.Key, cont func()) {
+func (h *Host) installRAMClean(key cache.Key, c cont) {
 	if h.ram.Capacity() == 0 {
-		cont()
+		c.run()
 		return
 	}
 	if e := h.ram.Peek(key); e != nil {
 		h.ram.Touch(e)
-		h.ramDev.Read(cont) // data handed to the application from RAM
+		h.ramDev.Read2(c.fn, c.arg) // data handed to the application from RAM
 		return
 	}
-	h.makeRoomRAM(func() {
-		if h.ram.Peek(key) == nil && !h.ram.NeedsEviction() {
-			h.ram.Insert(key)
-		}
-		h.ramDev.Write(cont)
-	})
+	r := h.getReq()
+	r.key = key
+	r.c = c
+	h.makeRoomRAM(cont{installRAMCleanRoom, r})
+}
+
+func installRAMCleanRoom(a any) {
+	r := a.(*hostReq)
+	h := r.h
+	key, c := r.key, r.c
+	h.putReq(r)
+	if h.ram.Peek(key) == nil && !h.ram.NeedsEviction() {
+		h.ram.Insert(key)
+	}
+	h.ramDev.Write2(c.fn, c.arg)
 }
 
 // --- layered write path ---
 
-func (h *Host) writeLayered(key cache.Key, finish func()) {
+func (h *Host) writeLayered(r *hostReq) {
 	if h.ram.Capacity() == 0 {
-		h.writeNoRAM(key, finish)
+		key := r.key
+		h.writeNoRAM(key, cont{finishWrite, r})
 		return
 	}
-	if e := h.ram.Get(key); e != nil {
-		h.commitRAMWrite(e, finish)
+	if e := h.ram.Get(r.key); e != nil {
+		h.commitRAMWrite(e, cont{finishWrite, r})
 		return
 	}
 	// Write-allocate: traces are block-granular, so no read-modify-write
 	// fetch is needed.
-	h.makeRoomRAM(func() {
-		e := h.ram.Peek(key)
-		if e == nil {
-			if h.ram.NeedsEviction() {
-				// Room vanished to a racing insert; retry.
-				h.writeLayered(key, finish)
-				return
-			}
-			e = h.ram.Insert(key)
+	h.makeRoomRAM(cont{writeLayeredRoom, r})
+}
+
+func writeLayeredRoom(a any) {
+	r := a.(*hostReq)
+	h := r.h
+	e := h.ram.Peek(r.key)
+	if e == nil {
+		if h.ram.NeedsEviction() {
+			// Room vanished to a racing insert; retry.
+			h.writeLayered(r)
+			return
 		}
-		h.commitRAMWrite(e, finish)
-	})
+		e = h.ram.Insert(r.key)
+	}
+	h.commitRAMWrite(e, cont{finishWrite, r})
 }
 
 // commitRAMWrite applies the data write to a resident RAM entry and then
 // the RAM writeback policy.
-func (h *Host) commitRAMWrite(e *cache.Entry, finish func()) {
+func (h *Host) commitRAMWrite(e *cache.Entry, c cont) {
 	e.DirtyEpoch++
 	h.ram.MarkDirty(e)
-	h.ramDev.Write(func() {
-		h.applyPolicy(h.cfg.RAMPolicy, h.ramWritebackFn(), layeredRAM{h}, e, finish)
-	})
+	r := h.getReq()
+	r.key = e.Key()
+	r.e = e
+	r.gen = e.Gen()
+	r.c = c
+	h.ramDev.Write2(commitRAMWritten, r)
+}
+
+func commitRAMWritten(a any) {
+	r := a.(*hostReq)
+	h := r.h
+	key, e, gen, c := r.key, r.e, r.gen, r.c
+	h.putReq(r)
+	h.applyPolicy(h.cfg.RAMPolicy, h.ramMove(), tierRAM, key, e, gen, c)
 }
 
 // writeNoRAM handles writes with no RAM tier (paper §7.5's "0 really means
 // 0" point): the write lands directly in flash, or goes to the filer when
 // there is no flash either.
-func (h *Host) writeNoRAM(key cache.Key, finish func()) {
+func (h *Host) writeNoRAM(key cache.Key, c cont) {
 	if h.flash.Capacity() == 0 {
-		h.writeBlockToFiler(key, demandLane, finish)
+		h.writeBlockToFiler(key, demandLane, c)
 		return
 	}
-	h.ensureFlashEntry(key, func(e *cache.Entry) {
-		if e == nil { // could not place (transient); go straight through
-			h.writeBlockToFiler(key, demandLane, finish)
-			return
-		}
-		e.DirtyEpoch++
-		if h.cfg.Arch == Lookaside {
-			// Lookaside flash never holds dirty data: write the filer
-			// first, then update the flash copy.
-			h.writeBlockToFiler(key, demandLane, func() {
-				h.flashIO.Write(key, nil)
-				finish()
-			})
-			return
-		}
-		h.flash.MarkDirty(e)
-		h.flashIO.Write(key, func() {
-			h.applyPolicy(h.cfg.FlashPolicy, h.flashWritebackFn(), layeredFlash{h}, e, finish)
-		})
-	})
+	r := h.getReq()
+	r.key = key
+	r.c = c
+	h.ensureFlashEntry(key, writeNoRAMEntry, r)
+}
+
+func writeNoRAMEntry(a any, e *cache.Entry) {
+	r := a.(*hostReq)
+	h := r.h
+	if e == nil { // could not place (transient); go straight through
+		key, c := r.key, r.c
+		h.putReq(r)
+		h.writeBlockToFiler(key, demandLane, c)
+		return
+	}
+	e.DirtyEpoch++
+	if h.cfg.Arch == Lookaside {
+		// Lookaside flash never holds dirty data: write the filer
+		// first, then update the flash copy.
+		h.writeBlockToFiler(r.key, demandLane, cont{writeNoRAMLookaside, r})
+		return
+	}
+	h.flash.MarkDirty(e)
+	r.e = e
+	r.gen = e.Gen()
+	h.flashIO.Write2(r.key, writeNoRAMFlashed, r)
+}
+
+func writeNoRAMLookaside(a any) {
+	r := a.(*hostReq)
+	h := r.h
+	key, c := r.key, r.c
+	h.putReq(r)
+	h.flashIO.Write2(key, nil, nil)
+	c.run()
+}
+
+func writeNoRAMFlashed(a any) {
+	r := a.(*hostReq)
+	h := r.h
+	key, e, gen, c := r.key, r.e, r.gen, r.c
+	h.putReq(r)
+	h.applyPolicy(h.cfg.FlashPolicy, moveToFiler, tierFlash, key, e, gen, c)
 }
 
 // --- unified paths ---
 
-func (h *Host) readUnified(key cache.Key, collect bool, finish func()) {
-	if e := h.uni.Get(key); e != nil {
+func (h *Host) readUnified(r *hostReq) {
+	if e := h.uni.Get(r.key); e != nil {
 		if e.Medium() == cache.RAM {
-			if collect {
+			if r.collect {
 				h.st.RAMHits++
 			}
-			h.ramDev.Read(finish)
+			h.ramDev.Read2(finishRead, r)
 		} else {
-			if collect {
+			if r.collect {
 				// A flash-buffer hit missed the "RAM level" and hit
 				// the "flash level" for accounting purposes, keeping
 				// hit-rate partitions comparable across architectures.
 				h.st.RAMMisses++
 				h.st.FlashHits++
 			}
-			h.flashIO.Read(key, finish)
+			h.flashIO.Read2(r.key, finishRead, r)
 		}
 		return
 	}
-	if collect {
+	if r.collect {
 		h.st.RAMMisses++
 		h.st.FlashMisses++
 	}
-	h.fetchFromFiler(key, finish)
+	h.fetchFromFiler(r.key, cont{finishRead, r})
 }
 
-func (h *Host) writeUnified(key cache.Key, finish func()) {
+func (h *Host) writeUnified(r *hostReq) {
 	if h.uni.Capacity() == 0 {
-		h.writeBlockToFiler(key, demandLane, finish)
+		key := r.key
+		h.writeBlockToFiler(key, demandLane, cont{finishWrite, r})
 		return
 	}
-	if e := h.uni.Get(key); e != nil {
-		h.commitUnifiedWrite(e, finish)
+	if e := h.uni.Get(r.key); e != nil {
+		h.commitUnifiedWrite(e, cont{finishWrite, r})
 		return
 	}
-	h.makeRoomUnified(func() {
-		e := h.uni.Peek(key)
-		if e == nil {
-			if h.uni.NeedsEviction() {
-				h.writeUnified(key, finish)
-				return
-			}
-			e = h.uni.Insert(key)
+	h.makeRoomUnified(cont{writeUnifiedRoom, r})
+}
+
+func writeUnifiedRoom(a any) {
+	r := a.(*hostReq)
+	h := r.h
+	e := h.uni.Peek(r.key)
+	if e == nil {
+		if h.uni.NeedsEviction() {
+			h.writeUnified(r)
+			return
 		}
-		h.commitUnifiedWrite(e, finish)
-	})
+		e = h.uni.Insert(r.key)
+	}
+	h.commitUnifiedWrite(e, cont{finishWrite, r})
 }
 
 // commitUnifiedWrite pays the medium's write cost and applies the policy
 // of the tier the block happens to live in: the paper's unified cache
 // exposes flash write latency for the ~8/9 of blocks in flash buffers.
-func (h *Host) commitUnifiedWrite(e *cache.Entry, finish func()) {
+func (h *Host) commitUnifiedWrite(e *cache.Entry, c cont) {
 	e.DirtyEpoch++
 	h.uni.MarkDirty(e)
-	policy := h.cfg.RAMPolicy
-	var write func(func())
+	r := h.getReq()
+	r.key = e.Key()
+	r.e = e
+	r.gen = e.Gen()
+	r.c = c
 	if e.Medium() == cache.RAM {
-		write = h.ramDev.Write
-	} else {
-		key := e.Key()
-		write = func(done func()) { h.flashIO.Write(key, done) }
+		r.t = tierRAM // marks which policy applies after the write
+		h.ramDev.Write2(commitUnifiedWritten, r)
+		return
+	}
+	r.t = tierFlash
+	h.flashIO.Write2(r.key, commitUnifiedWritten, r)
+}
+
+func commitUnifiedWritten(a any) {
+	r := a.(*hostReq)
+	h := r.h
+	key, e, gen, c := r.key, r.e, r.gen, r.c
+	policy := h.cfg.RAMPolicy
+	if r.t == tierFlash {
 		policy = h.cfg.FlashPolicy
 	}
-	write(func() {
-		h.applyPolicy(policy, h.filerWritebackFn(), unifiedCache{h}, e, finish)
-	})
+	h.putReq(r)
+	h.applyPolicy(policy, moveToFiler, tierUnified, key, e, gen, c)
 }
 
 // --- demand fetch ---
@@ -436,113 +543,176 @@ func (h *Host) commitUnifiedWrite(e *cache.Entry, finish func()) {
 // fetchFromFiler fetches key from the filer, de-duplicating concurrent
 // requests for the same block, installs it in the appropriate cache, and
 // wakes all waiters.
-func (h *Host) fetchFromFiler(key cache.Key, cont func()) {
+func (h *Host) fetchFromFiler(key cache.Key, c cont) {
 	if h.cfg.DisableFetchDedup {
 		if h.collect {
 			h.st.FilerFetches++
 		}
-		h.seg.Send(netsim.ToFiler, 0, func() {
-			h.fsrv.Read(func() {
-				h.seg.Send(netsim.FromFiler, trace.BlockSize, func() {
-					h.installAfterFetch(key, cont)
-				})
-			})
-		})
+		r := h.getReq()
+		r.key = key
+		r.c = c
+		h.seg.Send2(netsim.ToFiler, 0, fetchSent, r)
 		return
 	}
 	if waiters, inflight := h.pending[key]; inflight {
-		h.pending[key] = append(waiters, cont)
+		h.pending[key] = append(waiters, c)
 		return
 	}
-	h.pending[key] = []func(){cont}
+	h.pending[key] = h.newWaiters(c)
 	if h.collect {
 		h.st.FilerFetches++
 	}
-	h.seg.Send(netsim.ToFiler, 0, func() {
-		h.fsrv.Read(func() {
-			h.seg.Send(netsim.FromFiler, trace.BlockSize, func() {
-				h.installAfterFetch(key, func() {
-					waiters := h.pending[key]
-					delete(h.pending, key)
-					for _, w := range waiters {
-						w()
-					}
-				})
-			})
-		})
-	})
+	r := h.getReq()
+	r.key = key
+	r.dedup = true
+	h.seg.Send2(netsim.ToFiler, 0, fetchSent, r)
+}
+
+// newWaiters starts a pending-fetch waiter list, recycling a previously
+// drained slice when one is available.
+func (h *Host) newWaiters(c cont) []cont {
+	if n := len(h.waiterFree); n > 0 {
+		w := h.waiterFree[n-1]
+		h.waiterFree = h.waiterFree[:n-1]
+		return append(w, c)
+	}
+	return append(make([]cont, 0, 4), c)
+}
+
+func fetchSent(a any) {
+	r := a.(*hostReq)
+	r.h.fsrv.Read2(fetchServed, r)
+}
+
+func fetchServed(a any) {
+	r := a.(*hostReq)
+	r.h.seg.Send2(netsim.FromFiler, trace.BlockSize, fetchArrived, r)
+}
+
+func fetchArrived(a any) {
+	r := a.(*hostReq)
+	h := r.h
+	if r.dedup {
+		h.installAfterFetch(r.key, cont{fetchWake, r})
+		return
+	}
+	key, c := r.key, r.c
+	h.putReq(r)
+	h.installAfterFetch(key, c)
+}
+
+// fetchWake completes a de-duplicated fetch: every waiter queued while the
+// single filer round trip was in flight resumes, in arrival order.
+func fetchWake(a any) {
+	r := a.(*hostReq)
+	h := r.h
+	key := r.key
+	h.putReq(r)
+	waiters := h.pending[key]
+	delete(h.pending, key)
+	for _, w := range waiters {
+		w.run()
+	}
+	h.waiterFree = append(h.waiterFree, waiters[:0])
 }
 
 // installAfterFetch places a freshly fetched block into the flash tier
 // (layered) or the unified cache. The requester is not charged for the
 // install data write — it proceeds once the block is indexed; the write
 // occupies the device in the background. (Ablation: SyncFill charges it.)
-func (h *Host) installAfterFetch(key cache.Key, cont func()) {
+func (h *Host) installAfterFetch(key cache.Key, c cont) {
 	if h.cfg.Arch == Unified {
 		if h.uni.Capacity() == 0 {
-			cont()
+			c.run()
 			return
 		}
-		h.makeRoomUnified(func() {
-			if h.uni.Peek(key) == nil && !h.uni.NeedsEviction() {
-				e := h.uni.Insert(key)
-				if e.Medium() == cache.Flash {
-					if h.cfg.SyncMissFill {
-						h.flashIO.Write(key, cont)
-						return
-					}
-					h.flashIO.Write(key, nil)
-				}
-			}
-			cont()
-		})
+		r := h.getReq()
+		r.key = key
+		r.c = c
+		h.makeRoomUnified(cont{installUnifiedRoom, r})
 		return
 	}
 	if h.flash.Capacity() == 0 {
-		cont()
+		c.run()
 		return
 	}
-	h.makeRoomFlash(func() {
-		if h.flash.Peek(key) == nil && !h.flash.NeedsEviction() {
-			h.flash.Insert(key)
-			if h.collect {
-				h.st.FlashFills++
-			}
+	r := h.getReq()
+	r.key = key
+	r.c = c
+	h.makeRoomFlash(cont{installFlashRoom, r})
+}
+
+func installUnifiedRoom(a any) {
+	r := a.(*hostReq)
+	h := r.h
+	key, c := r.key, r.c
+	h.putReq(r)
+	if h.uni.Peek(key) == nil && !h.uni.NeedsEviction() {
+		e := h.uni.Insert(key)
+		if e.Medium() == cache.Flash {
 			if h.cfg.SyncMissFill {
-				h.flashIO.Write(key, cont)
+				h.flashIO.Write2(key, c.fn, c.arg)
 				return
 			}
-			h.flashIO.Write(key, nil)
+			h.flashIO.Write2(key, nil, nil)
 		}
-		cont()
-	})
+	}
+	c.run()
+}
+
+func installFlashRoom(a any) {
+	r := a.(*hostReq)
+	h := r.h
+	key, c := r.key, r.c
+	h.putReq(r)
+	if h.flash.Peek(key) == nil && !h.flash.NeedsEviction() {
+		h.flash.Insert(key)
+		if h.collect {
+			h.st.FlashFills++
+		}
+		if h.cfg.SyncMissFill {
+			h.flashIO.Write2(key, c.fn, c.arg)
+			return
+		}
+		h.flashIO.Write2(key, nil, nil)
+	}
+	c.run()
 }
 
 // ensureFlashEntry makes key resident in the flash cache (inserting and
-// evicting as needed) and hands the entry to cont. cont receives nil only
-// if the flash tier has zero capacity.
-func (h *Host) ensureFlashEntry(key cache.Key, cont func(*cache.Entry)) {
+// evicting as needed) and hands the entry to fn(arg, e). fn receives nil
+// only if the flash tier has zero capacity.
+func (h *Host) ensureFlashEntry(key cache.Key, fn func(any, *cache.Entry), arg any) {
 	if h.flash.Capacity() == 0 {
-		cont(nil)
+		fn(arg, nil)
 		return
 	}
 	if e := h.flash.Peek(key); e != nil {
 		h.flash.Touch(e)
-		cont(e)
+		fn(arg, e)
 		return
 	}
-	h.makeRoomFlash(func() {
-		if e := h.flash.Peek(key); e != nil {
-			cont(e)
-			return
-		}
-		if h.flash.NeedsEviction() {
-			// Lost the race for the freed slot; try again.
-			h.ensureFlashEntry(key, cont)
-			return
-		}
-		cont(h.flash.Insert(key))
-	})
+	r := h.getReq()
+	r.key = key
+	r.ec = entryCont{fn, arg}
+	h.makeRoomFlash(cont{ensureFlashRoom, r})
+}
+
+func ensureFlashRoom(a any) {
+	r := a.(*hostReq)
+	h := r.h
+	key, ec := r.key, r.ec
+	h.putReq(r)
+	if e := h.flash.Peek(key); e != nil {
+		ec.fn(ec.arg, e)
+		return
+	}
+	if h.flash.NeedsEviction() {
+		// Lost the race for the freed slot; try again.
+		h.ensureFlashEntry(key, ec.fn, ec.arg)
+		return
+	}
+	ec.fn(ec.arg, h.flash.Insert(key))
 }
 
 // --- room making (eviction) ---
@@ -551,106 +721,165 @@ func (h *Host) ensureFlashEntry(key cache.Key, cont func(*cache.Entry)) {
 // Dirty victims are written down first — to flash under naive, to the
 // filer under lookaside — synchronously, blocking the requester, which is
 // how the "none" policy's eviction convoys arise (paper §7.1).
-func (h *Host) makeRoomRAM(cont func()) {
+func (h *Host) makeRoomRAM(c cont) {
 	if !h.ram.NeedsEviction() {
-		cont()
+		c.run()
 		return
 	}
 	v := h.ram.Victim()
 	if v == nil {
 		h.st.EvictionRetries++
-		h.eng.Schedule(evictionRetryDelay, func() { h.makeRoomRAM(cont) })
+		r := h.getReq()
+		r.c = c
+		h.eng.Schedule2(evictionRetryDelay, retryRoomRAM, r)
 		return
 	}
 	if !v.Dirty {
 		h.ram.Remove(v)
-		h.makeRoomRAM(cont)
+		h.makeRoomRAM(c)
 		return
 	}
 	if h.collect {
 		h.st.SyncEvictions++
 	}
 	v.Pinned = true
-	key := v.Key()
-	writeDown := h.ramWritebackFn()
-	writeDown(key, demandLane, func() {
-		if h.ram.Peek(key) == v {
-			v.Pinned = false
-			h.ram.MarkClean(v)
-			h.ram.Remove(v)
-		}
-		h.makeRoomRAM(cont)
-	})
+	r := h.getReq()
+	r.key = v.Key()
+	r.e = v
+	r.gen = v.Gen()
+	r.c = c
+	h.move(h.ramMove(), r.key, demandLane, cont{ramEvictWritten, r})
+}
+
+func retryRoomRAM(a any) {
+	r := a.(*hostReq)
+	h := r.h
+	c := r.c
+	h.putReq(r)
+	h.makeRoomRAM(c)
+}
+
+func ramEvictWritten(a any) {
+	r := a.(*hostReq)
+	h := r.h
+	if h.ram.Peek(r.key) == r.e && r.e.Gen() == r.gen {
+		r.e.Pinned = false
+		h.ram.MarkClean(r.e)
+		h.ram.Remove(r.e)
+	}
+	c := r.c
+	h.putReq(r)
+	h.makeRoomRAM(c)
 }
 
 // makeRoomFlash evicts from the flash cache until an insert can proceed.
 // Clean RAM copies of the evicted block are shot down to preserve the
 // RAM ⊆ flash property; dirty RAM copies survive (they will re-insert into
 // flash when written back).
-func (h *Host) makeRoomFlash(cont func()) {
+func (h *Host) makeRoomFlash(c cont) {
 	if !h.flash.NeedsEviction() {
-		cont()
+		c.run()
 		return
 	}
 	v := h.flash.Victim()
 	if v == nil {
 		h.st.EvictionRetries++
-		h.eng.Schedule(evictionRetryDelay, func() { h.makeRoomFlash(cont) })
+		r := h.getReq()
+		r.c = c
+		h.eng.Schedule2(evictionRetryDelay, retryRoomFlash, r)
 		return
 	}
 	if !v.Dirty {
 		h.shootdownRAMSubset(v.Key())
 		h.flash.Remove(v)
-		h.makeRoomFlash(cont)
+		h.makeRoomFlash(c)
 		return
 	}
 	if h.collect {
 		h.st.SyncEvictions++
 	}
 	v.Pinned = true
-	key := v.Key()
-	h.writeBlockToFiler(key, demandLane, func() {
-		if h.flash.Peek(key) == v {
-			v.Pinned = false
-			h.flash.MarkClean(v)
-			h.shootdownRAMSubset(key)
-			h.flash.Remove(v)
-		}
-		h.makeRoomFlash(cont)
-	})
+	r := h.getReq()
+	r.key = v.Key()
+	r.e = v
+	r.gen = v.Gen()
+	r.c = c
+	h.writeBlockToFiler(r.key, demandLane, cont{flashEvictWritten, r})
+}
+
+func retryRoomFlash(a any) {
+	r := a.(*hostReq)
+	h := r.h
+	c := r.c
+	h.putReq(r)
+	h.makeRoomFlash(c)
+}
+
+func flashEvictWritten(a any) {
+	r := a.(*hostReq)
+	h := r.h
+	if h.flash.Peek(r.key) == r.e && r.e.Gen() == r.gen {
+		r.e.Pinned = false
+		h.flash.MarkClean(r.e)
+		h.shootdownRAMSubset(r.key)
+		h.flash.Remove(r.e)
+	}
+	c := r.c
+	h.putReq(r)
+	h.makeRoomFlash(c)
 }
 
 // makeRoomUnified evicts from the unified cache; dirty victims write back
 // to the filer synchronously.
-func (h *Host) makeRoomUnified(cont func()) {
+func (h *Host) makeRoomUnified(c cont) {
 	if !h.uni.NeedsEviction() {
-		cont()
+		c.run()
 		return
 	}
 	v := h.uni.Victim()
 	if v == nil {
 		h.st.EvictionRetries++
-		h.eng.Schedule(evictionRetryDelay, func() { h.makeRoomUnified(cont) })
+		r := h.getReq()
+		r.c = c
+		h.eng.Schedule2(evictionRetryDelay, retryRoomUnified, r)
 		return
 	}
 	if !v.Dirty {
 		h.uni.Remove(v)
-		h.makeRoomUnified(cont)
+		h.makeRoomUnified(c)
 		return
 	}
 	if h.collect {
 		h.st.SyncEvictions++
 	}
 	v.Pinned = true
-	key := v.Key()
-	h.writeBlockToFiler(key, demandLane, func() {
-		if h.uni.Peek(key) == v {
-			v.Pinned = false
-			h.uni.MarkClean(v)
-			h.uni.Remove(v)
-		}
-		h.makeRoomUnified(cont)
-	})
+	r := h.getReq()
+	r.key = v.Key()
+	r.e = v
+	r.gen = v.Gen()
+	r.c = c
+	h.writeBlockToFiler(r.key, demandLane, cont{unifiedEvictWritten, r})
+}
+
+func retryRoomUnified(a any) {
+	r := a.(*hostReq)
+	h := r.h
+	c := r.c
+	h.putReq(r)
+	h.makeRoomUnified(c)
+}
+
+func unifiedEvictWritten(a any) {
+	r := a.(*hostReq)
+	h := r.h
+	if h.uni.Peek(r.key) == r.e && r.e.Gen() == r.gen {
+		r.e.Pinned = false
+		h.uni.MarkClean(r.e)
+		h.uni.Remove(r.e)
+	}
+	c := r.c
+	h.putReq(r)
+	h.makeRoomUnified(c)
 }
 
 // shootdownRAMSubset drops a clean RAM copy when its flash backing is

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"repro/internal/cache"
+	"repro/internal/sim"
+)
+
+// This file holds the pooled request-record machinery that keeps the
+// steady-state block-request path allocation-free. Before it existed,
+// every asynchronous step in core captured its state in a fresh closure
+// (~49 closure sites in host.go alone, one or more per simulated block
+// access); now each step is a package-level func(any) and its state rides
+// in a hostReq record recycled through a host-local free list.
+//
+// Correctness rule: cache entries are themselves pooled (see
+// cache.entryPool), so a retained *cache.Entry does not prove identity
+// across an asynchronous boundary. Whenever a record carries an entry past
+// one, it carries (key, entry, Gen()) captured at a point of known
+// validity, and the resuming stage re-checks
+//
+//	tierPeek(tier, key) == entry && entry.Gen() == gen
+//
+// before mutating the entry. Event-generating work (device writes, filer
+// round trips) is performed unconditionally, exactly as the closure-based
+// code did for entries that were evicted in flight — the golden
+// determinism tests hold the refactor to byte-identical reports.
+
+// cont is a pre-bound continuation: a static callback plus its state.
+// Passing one copies two words; running one calls fn(arg). The zero cont
+// is a no-op, used where the closure-based code passed a nil callback.
+type cont struct {
+	fn  func(any)
+	arg any
+}
+
+func (c cont) run() {
+	if c.fn != nil {
+		c.fn(c.arg)
+	}
+}
+
+// callFunc adapts a caller-supplied func() completion (the public Read/
+// Write API) to the cont shape. Wrapping a func value in an interface does
+// not allocate.
+func callFunc(a any) { a.(func())() }
+
+// funcCont wraps a possibly-nil func() as a cont.
+func funcCont(done func()) cont {
+	if done == nil {
+		return cont{}
+	}
+	return cont{fn: callFunc, arg: done}
+}
+
+// entryCont is a continuation receiving a cache entry (ensureFlashEntry's
+// callback shape).
+type entryCont struct {
+	fn  func(any, *cache.Entry)
+	arg any
+}
+
+// hostReq carries one asynchronous step's state between a schedule point
+// and its static resumption function. Records are owned by a single chain
+// at a time: the stage that consumes a record's fields releases it (putReq)
+// before — never after — running any continuation that might reuse it.
+type hostReq struct {
+	h   *Host
+	key cache.Key
+	ln  lane
+	c   cont
+	ec  entryCont
+
+	// Entry identity captured at a validity point; see file comment.
+	e     *cache.Entry
+	gen   uint64
+	epoch uint64
+	t     tier
+	mv    moveKind
+
+	// Read/Write bookkeeping.
+	start   sim.Time
+	collect bool
+	dedup   bool
+
+	next *hostReq // free-list link
+}
+
+// getReq takes a record from the host's free list, allocating only when
+// the list is empty (i.e. only to raise the high-water mark of in-flight
+// steps; steady state recycles).
+func (h *Host) getReq() *hostReq {
+	r := h.freeReq
+	if r == nil {
+		return &hostReq{h: h}
+	}
+	h.freeReq = r.next
+	return r
+}
+
+// putReq resets and recycles a record. Callers must copy out any fields
+// they still need first.
+func (h *Host) putReq(r *hostReq) {
+	*r = hostReq{h: r.h, next: h.freeReq}
+	h.freeReq = r
+}

@@ -19,149 +19,234 @@ const (
 	bgLane
 )
 
-// writebackFn moves one block's dirty data to the next tier down on the
-// given lane and calls cont when the data is durable there.
-type writebackFn func(key cache.Key, ln lane, cont func())
+// moveKind names the writeback route for one block: down into the flash
+// cache (naive RAM tier), straight to the filer, or the lookaside dance
+// (filer first, then a clean flash copy). It replaces the closure-valued
+// writebackFn the pre-pooling code threaded around: a one-byte enum travels
+// inside a pooled record for free, where binding a method value allocated.
+type moveKind uint8
 
-// tierOps abstracts the cache a policy operates on, so the same policy
-// machinery drives the layered RAM tier, the layered flash tier, and both
-// media of the unified cache.
-type tierOps interface {
-	peek(key cache.Key) *cache.Entry
-	markClean(e *cache.Entry)
+const (
+	moveToFiler moveKind = iota
+	moveToFlash
+	moveLookaside
+)
+
+// ramMove returns the mover for dirty RAM blocks: to flash under naive,
+// directly to the filer under lookaside (§3.3). writeBlockToFlash itself
+// degenerates to the filer when no flash tier is configured.
+func (h *Host) ramMove() moveKind {
+	if h.cfg.Arch == Lookaside {
+		return moveLookaside
+	}
+	return moveToFlash
 }
 
-type layeredRAM struct{ h *Host }
+// move routes one dirty block down the chosen path on the given lane and
+// runs c when the data is durable there.
+func (h *Host) move(mv moveKind, key cache.Key, ln lane, c cont) {
+	switch mv {
+	case moveToFlash:
+		h.writeBlockToFlash(key, ln, c)
+	case moveLookaside:
+		h.writeLookaside(key, ln, c)
+	default:
+		h.writeBlockToFiler(key, ln, c)
+	}
+}
 
-func (t layeredRAM) peek(key cache.Key) *cache.Entry { return t.h.ram.Peek(key) }
-func (t layeredRAM) markClean(e *cache.Entry)        { t.h.ram.MarkClean(e) }
+// tier names the cache a policy operates on, so the same policy machinery
+// drives the layered RAM tier, the layered flash tier, and both media of
+// the unified cache. (The pre-pooling code boxed per-tier adapter structs
+// into an interface at every call; an enum rides in the pooled record.)
+type tier uint8
 
-type layeredFlash struct{ h *Host }
+const (
+	tierRAM tier = iota
+	tierFlash
+	tierUnified
+)
 
-func (t layeredFlash) peek(key cache.Key) *cache.Entry { return t.h.flash.Peek(key) }
-func (t layeredFlash) markClean(e *cache.Entry)        { t.h.flash.MarkClean(e) }
+func (h *Host) tierPeek(t tier, key cache.Key) *cache.Entry {
+	switch t {
+	case tierRAM:
+		return h.ram.Peek(key)
+	case tierFlash:
+		return h.flash.Peek(key)
+	default:
+		return h.uni.Peek(key)
+	}
+}
 
-type unifiedCache struct{ h *Host }
-
-func (t unifiedCache) peek(key cache.Key) *cache.Entry { return t.h.uni.Peek(key) }
-func (t unifiedCache) markClean(e *cache.Entry)        { t.h.uni.MarkClean(e) }
+func (h *Host) tierMarkClean(t tier, e *cache.Entry) {
+	switch t {
+	case tierRAM:
+		h.ram.MarkClean(e)
+	case tierFlash:
+		h.flash.MarkClean(e)
+	default:
+		h.uni.MarkClean(e)
+	}
+}
 
 // applyPolicy runs after a write has been committed to a tier. For
 // write-through policies every write propagates to the next tier (sync
 // blocks the requester and rides the demand lane; async rides the
 // background lane); periodic and none leave the dirty block for the syncer
 // or the eviction path.
-func (h *Host) applyPolicy(p Policy, move writebackFn, tier tierOps, e *cache.Entry, finish func()) {
+//
+// (key, e, gen) identify the written entry as of the caller's last validity
+// point; the entry may since have been evicted (and possibly recycled), so
+// downstream stages re-verify before mutating it.
+func (h *Host) applyPolicy(p Policy, mv moveKind, t tier, key cache.Key, e *cache.Entry, gen uint64, c cont) {
 	switch p.Kind {
 	case WriteThroughSync:
-		h.propagate(move, tier, e, demandLane, finish)
+		h.propagate(mv, t, key, e, gen, demandLane, c)
 	case WriteThroughAsync:
-		h.propagate(move, tier, e, bgLane, nil)
-		finish()
+		h.propagate(mv, t, key, e, gen, bgLane, cont{})
+		c.run()
 	case Delayed:
-		h.scheduleDelayed(p.Period, move, tier, e)
-		finish()
+		h.scheduleDelayed(p.Period, mv, t, key, e, gen)
+		c.run()
 	default: // Periodic, Trickle, None
-		finish()
+		c.run()
 	}
 }
 
 // scheduleDelayed arms a per-block timer: the block writes back Period
 // after this write, unless a newer write supersedes it (the newer write's
 // own timer then covers the block — natural coalescing via DirtyEpoch).
-func (h *Host) scheduleDelayed(period sim.Time, move writebackFn, tier tierOps, e *cache.Entry) {
-	key := e.Key()
-	epoch := e.DirtyEpoch
-	h.eng.Schedule(period, func() {
-		cur := tier.peek(key)
-		if cur != e || !e.Dirty || e.DirtyEpoch != epoch || e.WritebackInFlight || e.Pinned {
-			return
-		}
-		h.propagate(move, tier, e, bgLane, nil)
-	})
+func (h *Host) scheduleDelayed(period sim.Time, mv moveKind, t tier, key cache.Key, e *cache.Entry, gen uint64) {
+	r := h.getReq()
+	r.key = key
+	r.e = e
+	r.gen = gen
+	r.epoch = e.DirtyEpoch
+	r.t = t
+	r.mv = mv
+	h.eng.Schedule2(period, delayedFire, r)
+}
+
+func delayedFire(a any) {
+	r := a.(*hostReq)
+	h := r.h
+	key, e, gen, epoch, t, mv := r.key, r.e, r.gen, r.epoch, r.t, r.mv
+	h.putReq(r)
+	if h.tierPeek(t, key) != e || e.Gen() != gen ||
+		!e.Dirty || e.DirtyEpoch != epoch || e.WritebackInFlight || e.Pinned {
+		return
+	}
+	h.propagate(mv, t, key, e, gen, bgLane, cont{})
 }
 
 // propagate writes e's current version to the next tier; on completion the
 // entry is marked clean unless it was re-dirtied or replaced in flight.
-// cont (if non-nil) runs when the data is durable below.
-func (h *Host) propagate(move writebackFn, tier tierOps, e *cache.Entry, ln lane, cont func()) {
-	key := e.Key()
+// c runs when the data is durable below. The move itself is unconditional
+// — mirroring the closure-based code, which kept writing even for entries
+// evicted mid-chain — but entry mutation happens only while (key, e, gen)
+// still name the resident entry.
+func (h *Host) propagate(mv moveKind, t tier, key cache.Key, e *cache.Entry, gen uint64, ln lane, c cont) {
 	epoch := e.DirtyEpoch
-	e.WritebackInFlight = true
-	move(key, ln, func() {
-		if cur := tier.peek(key); cur == e {
-			e.WritebackInFlight = false
-			if e.DirtyEpoch == epoch {
-				tier.markClean(e)
-			}
-		}
-		if cont != nil {
-			cont()
-		}
-	})
+	if h.tierPeek(t, key) == e && e.Gen() == gen {
+		e.WritebackInFlight = true
+	}
+	r := h.getReq()
+	r.key = key
+	r.e = e
+	r.gen = gen
+	r.epoch = epoch
+	r.t = t
+	r.c = c
+	h.move(mv, key, ln, cont{propagated, r})
 }
 
-// ramWritebackFn returns the mover for dirty RAM blocks: to flash under
-// naive, directly to the filer under lookaside (§3.3). With no flash tier
-// configured, naive also degenerates to writing the filer.
-func (h *Host) ramWritebackFn() writebackFn {
-	if h.cfg.Arch == Lookaside {
-		return func(key cache.Key, ln lane, cont func()) {
-			h.writeBlockToFiler(key, ln, func() {
-				// "The flash is updated after the file server and never
-				// contains dirty data."
-				h.installFlashCleanCopy(key)
-				cont()
-			})
+func propagated(a any) {
+	r := a.(*hostReq)
+	h := r.h
+	if cur := h.tierPeek(r.t, r.key); cur == r.e && r.e.Gen() == r.gen {
+		r.e.WritebackInFlight = false
+		if r.e.DirtyEpoch == r.epoch {
+			h.tierMarkClean(r.t, r.e)
 		}
 	}
-	return h.writeBlockToFlash
+	c := r.c
+	h.putReq(r)
+	c.run()
 }
 
-// flashWritebackFn returns the mover for dirty flash blocks (always the
-// filer).
-func (h *Host) flashWritebackFn() writebackFn { return h.writeBlockToFiler }
+// writeLookaside moves one dirty RAM block under the lookaside
+// architecture: the filer is written first, then the flash copy is
+// refreshed — "the flash is updated after the file server and never
+// contains dirty data."
+func (h *Host) writeLookaside(key cache.Key, ln lane, c cont) {
+	r := h.getReq()
+	r.key = key
+	r.c = c
+	h.writeBlockToFiler(key, ln, cont{lookasideFilerWritten, r})
+}
 
-// filerWritebackFn is the unified cache's mover: both media write back to
-// the filer.
-func (h *Host) filerWritebackFn() writebackFn { return h.writeBlockToFiler }
+func lookasideFilerWritten(a any) {
+	r := a.(*hostReq)
+	h := r.h
+	key, c := r.key, r.c
+	h.putReq(r)
+	h.installFlashCleanCopy(key)
+	c.run()
+}
 
 // writeBlockToFlash moves one dirty RAM block down into the flash cache:
 // the block becomes resident and dirty in flash, the flash device write is
 // paid, and the flash tier's own writeback policy is applied to the new
-// dirty flash data. cont runs when the block is durable in flash.
-func (h *Host) writeBlockToFlash(key cache.Key, ln lane, cont func()) {
+// dirty flash data. c runs when the block is durable in flash.
+func (h *Host) writeBlockToFlash(key cache.Key, ln lane, c cont) {
 	if h.flash.Capacity() == 0 {
 		// No flash tier: RAM's next tier is the filer.
-		h.writeBlockToFiler(key, ln, cont)
+		h.writeBlockToFiler(key, ln, c)
 		return
 	}
 	if h.collect {
 		h.st.FlashWritebacks++
 	}
-	h.ensureFlashEntry(key, func(e *cache.Entry) {
-		if e == nil {
-			h.writeBlockToFiler(key, ln, cont)
-			return
-		}
-		e.DirtyEpoch++
-		h.flash.MarkDirty(e)
-		h.flashIO.Write(key, func() {
-			// The data is durable in flash; now the flash tier's policy
-			// decides when it reaches the filer. A synchronous flash
-			// policy inside a demand chain keeps blocking the requester
-			// on the demand lane.
-			switch h.cfg.FlashPolicy.Kind {
-			case WriteThroughSync:
-				h.propagate(h.flashWritebackFn(), layeredFlash{h}, e, ln, cont)
-			case WriteThroughAsync:
-				h.propagate(h.flashWritebackFn(), layeredFlash{h}, e, bgLane, nil)
-				cont()
-			default:
-				cont()
-			}
-		})
-	})
+	r := h.getReq()
+	r.key = key
+	r.ln = ln
+	r.c = c
+	h.ensureFlashEntry(key, flashWBEntry, r)
+}
+
+func flashWBEntry(a any, e *cache.Entry) {
+	r := a.(*hostReq)
+	h := r.h
+	if e == nil {
+		key, ln, c := r.key, r.ln, r.c
+		h.putReq(r)
+		h.writeBlockToFiler(key, ln, c)
+		return
+	}
+	e.DirtyEpoch++
+	h.flash.MarkDirty(e)
+	r.e = e
+	r.gen = e.Gen()
+	h.flashIO.Write2(r.key, flashWBWritten, r)
+}
+
+func flashWBWritten(a any) {
+	r := a.(*hostReq)
+	h := r.h
+	key, ln, c, e, gen := r.key, r.ln, r.c, r.e, r.gen
+	h.putReq(r)
+	// The data is durable in flash; now the flash tier's policy decides
+	// when it reaches the filer. A synchronous flash policy inside a
+	// demand chain keeps blocking the requester on the demand lane.
+	switch h.cfg.FlashPolicy.Kind {
+	case WriteThroughSync:
+		h.propagate(moveToFiler, tierFlash, key, e, gen, ln, c)
+	case WriteThroughAsync:
+		h.propagate(moveToFiler, tierFlash, key, e, gen, bgLane, cont{})
+		c.run()
+	default:
+		c.run()
+	}
 }
 
 // installFlashCleanCopy updates or inserts a clean copy of key in flash
@@ -172,44 +257,69 @@ func (h *Host) installFlashCleanCopy(key cache.Key) {
 	}
 	if e := h.flash.Peek(key); e != nil {
 		h.flash.Touch(e)
-		h.flashIO.Write(key, nil)
+		h.flashIO.Write2(key, nil, nil)
 		return
 	}
-	h.makeRoomFlash(func() {
-		if h.flash.Peek(key) == nil && !h.flash.NeedsEviction() {
-			h.flash.Insert(key)
-			if h.collect {
-				h.st.FlashFills++
-			}
-			h.flashIO.Write(key, nil)
+	r := h.getReq()
+	r.key = key
+	h.makeRoomFlash(cont{installCleanCopyRoom, r})
+}
+
+func installCleanCopyRoom(a any) {
+	r := a.(*hostReq)
+	h := r.h
+	key := r.key
+	h.putReq(r)
+	if h.flash.Peek(key) == nil && !h.flash.NeedsEviction() {
+		h.flash.Insert(key)
+		if h.collect {
+			h.st.FlashFills++
 		}
-	})
+		h.flashIO.Write2(key, nil, nil)
+	}
 }
 
 // writeBlockToFiler writes one block to the filer over the chosen lane:
 // a data packet out, the filer's buffered write, and an acknowledgement
 // packet back.
-func (h *Host) writeBlockToFiler(key cache.Key, ln lane, cont func()) {
+func (h *Host) writeBlockToFiler(key cache.Key, ln lane, c cont) {
 	_ = key // the filer model is content-free; the key documents intent
 	if h.collect {
 		h.st.FilerWritebacks++
 	}
-	seg := h.seg
+	r := h.getReq()
+	r.ln = ln
+	r.c = c
+	h.lane(ln).Send2(netsim.ToFiler, trace.BlockSize, filerWriteSent, r)
+}
+
+// lane returns the network segment carrying the given lane's traffic.
+func (h *Host) lane(ln lane) *netsim.Segment {
 	if ln == bgLane {
-		seg = h.bgSeg
+		return h.bgSeg
 	}
-	seg.Send(netsim.ToFiler, trace.BlockSize, func() {
-		h.fsrv.Write(func() {
-			seg.Send(netsim.FromFiler, 0, cont)
-		})
-	})
+	return h.seg
+}
+
+func filerWriteSent(a any) {
+	r := a.(*hostReq)
+	r.h.fsrv.Write2(filerWriteServed, r)
+}
+
+func filerWriteServed(a any) {
+	r := a.(*hostReq)
+	h := r.h
+	ln, c := r.ln, r.c
+	h.putReq(r)
+	h.lane(ln).Send2(netsim.FromFiler, 0, c.fn, c.arg)
 }
 
 // --- periodic syncers ---
 
 // startSyncers launches the periodic writeback daemons the configured
 // policies require. Lookaside's flash tier never holds dirty data, so its
-// flash syncer is pointless and skipped.
+// flash syncer is pointless and skipped. (These closures are built once
+// per host at construction; the per-tick path allocates nothing.)
 func (h *Host) startSyncers() {
 	// limit <= 0 flushes everything (Periodic); Trickle drains one block
 	// per tick.
@@ -238,9 +348,10 @@ func (h *Host) startSyncers() {
 // already mid-writeback. limit bounds how many blocks are flushed; <= 0
 // means all.
 func (h *Host) flushRAM(limit int) {
-	move := h.ramWritebackFn()
+	mv := h.ramMove()
 	flushed := 0
-	for _, e := range h.ram.AppendDirty(nil) {
+	h.dirtyScratch = h.ram.AppendDirty(h.dirtyScratch[:0])
+	for _, e := range h.dirtyScratch {
 		if limit > 0 && flushed >= limit {
 			break
 		}
@@ -250,7 +361,7 @@ func (h *Host) flushRAM(limit int) {
 			}
 			continue
 		}
-		h.propagate(move, layeredRAM{h}, e, bgLane, nil)
+		h.propagate(mv, tierRAM, e.Key(), e, e.Gen(), bgLane, cont{})
 		flushed++
 	}
 }
@@ -258,7 +369,8 @@ func (h *Host) flushRAM(limit int) {
 // flushFlash writes dirty flash blocks back to the filer.
 func (h *Host) flushFlash(limit int) {
 	flushed := 0
-	for _, e := range h.flash.AppendDirty(nil) {
+	h.dirtyScratch = h.flash.AppendDirty(h.dirtyScratch[:0])
+	for _, e := range h.dirtyScratch {
 		if limit > 0 && flushed >= limit {
 			break
 		}
@@ -268,7 +380,7 @@ func (h *Host) flushFlash(limit int) {
 			}
 			continue
 		}
-		h.propagate(h.flashWritebackFn(), layeredFlash{h}, e, bgLane, nil)
+		h.propagate(moveToFiler, tierFlash, e.Key(), e, e.Gen(), bgLane, cont{})
 		flushed++
 	}
 }
@@ -276,7 +388,8 @@ func (h *Host) flushFlash(limit int) {
 // flushUnified writes back dirty unified entries living on medium m.
 func (h *Host) flushUnified(m cache.Medium, limit int) {
 	flushed := 0
-	for _, e := range h.uni.AppendDirty(nil) {
+	h.dirtyScratch = h.uni.AppendDirty(h.dirtyScratch[:0])
+	for _, e := range h.dirtyScratch {
 		if limit > 0 && flushed >= limit {
 			break
 		}
@@ -289,7 +402,7 @@ func (h *Host) flushUnified(m cache.Medium, limit int) {
 			}
 			continue
 		}
-		h.propagate(h.filerWritebackFn(), unifiedCache{h}, e, bgLane, nil)
+		h.propagate(moveToFiler, tierUnified, e.Key(), e, e.Gen(), bgLane, cont{})
 		flushed++
 	}
 }

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+)
+
+// Golden determinism lock for the event-core refactor: an experiment's
+// Report serialization must hash to the value produced by the pre-refactor
+// container/heap engine (commit 6833c1e) at every parallelism level. The
+// sweep runner already guarantees parallel == sequential; these constants
+// additionally pin the sequential result itself across engine rewrites.
+const (
+	goldenFig4 = "b5a49972e9d8e6511580d83f739d2c96ceeddb31f45abc66fe746a060aab1bbf"
+	goldenFig8 = "db36b16636ba7939237dc28627a1ec4f63cfb79358e7668909d79bed434930a2"
+)
+
+// reportChecksum hashes everything a Report renders: name, description,
+// tables, and each figure's CSV (points at full float precision).
+func reportChecksum(rep *Report) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n%s\n", rep.Name, rep.Description)
+	for _, tbl := range rep.Tables {
+		fmt.Fprintln(h, tbl)
+	}
+	for _, fig := range rep.Figures {
+		fmt.Fprintln(h, fig.CSV())
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func TestGoldenReportChecksums(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		run  Runner
+		want string
+	}{
+		{"fig4", Fig4, goldenFig4},
+		{"fig8", Fig8, goldenFig8},
+	} {
+		for _, par := range []int{1, 4, 8} {
+			t.Run(fmt.Sprintf("%s/parallel=%d", tc.name, par), func(t *testing.T) {
+				opts := quickOpts()
+				opts.Parallel = par
+				rep, err := tc.run(opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := reportChecksum(rep); got != tc.want {
+					t.Errorf("report checksum drifted from pre-refactor engine:\ngot  %s\nwant %s", got, tc.want)
+				}
+			})
+		}
+	}
+}

@@ -49,16 +49,27 @@ func New(eng *sim.Engine, rnd *rng.RNG, fastRead, slowRead, write sim.Time, pref
 // Read services a one-block read; done runs after the fast or slow latency,
 // chosen randomly by the prefetch success rate.
 func (f *Filer) Read(done func()) {
-	lat := f.slowRead
-	if f.rnd.Bool(f.prefetchRate) {
-		f.fastReads++
-		lat = f.fastRead
-	} else {
-		f.slowReads++
-	}
+	lat := f.readLatency()
 	if done != nil {
 		f.eng.Schedule(lat, done)
 	}
+}
+
+// Read2 is the allocation-free form of Read: fn is a static func(any) run
+// with arg after the service latency. Unlike Read(nil), a nil fn still
+// schedules a (shared, no-op) completion event.
+func (f *Filer) Read2(fn func(any), arg any) {
+	f.eng.Schedule2(f.readLatency(), fn, arg)
+}
+
+// readLatency draws one read's service time (and counts the outcome).
+func (f *Filer) readLatency() sim.Time {
+	if f.rnd.Bool(f.prefetchRate) {
+		f.fastReads++
+		return f.fastRead
+	}
+	f.slowReads++
+	return f.slowRead
 }
 
 // Write services a one-block write; writes hit the filer's nonvolatile
@@ -68,6 +79,13 @@ func (f *Filer) Write(done func()) {
 	if done != nil {
 		f.eng.Schedule(f.write, done)
 	}
+}
+
+// Write2 is the allocation-free form of Write. Unlike Write(nil), a nil fn
+// still schedules a (shared, no-op) completion event.
+func (f *Filer) Write2(fn func(any), arg any) {
+	f.writes++
+	f.eng.Schedule2(f.write, fn, arg)
 }
 
 // PrefetchRate returns the configured fast-read rate.

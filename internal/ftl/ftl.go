@@ -188,6 +188,23 @@ func (d *Device) Read(lpn int, done func(lat sim.Time)) {
 	})
 }
 
+// Read2 is the allocation-free form of Read for callers that do not need
+// the observed latency: fn is a static func(any) run with arg at
+// completion; a nil fn schedules the engine's shared placeholder.
+func (d *Device) Read2(lpn int, fn func(any), arg any) {
+	if lpn < 0 || lpn >= d.logicalPages {
+		panic(fmt.Sprintf("ftl: read of LPN %d out of range", lpn))
+	}
+	d.hostReads++
+	if d.mapping[lpn] == invalidPPN {
+		// Unwritten page: device returns zeroes without touching NAND.
+		d.eng.Schedule2(d.jitter(d.cfg.WriteAckLat/2), fn, arg)
+		return
+	}
+	d.nandReads++
+	d.die.Use2(d.jitter(d.cfg.PageReadLat), fn, arg)
+}
+
 // Write services a host write of logical page lpn. The host is acknowledged
 // after the buffer-insert latency; the NAND program (and any garbage
 // collection it forces) proceeds in the background on the die.
@@ -202,6 +219,18 @@ func (d *Device) Write(lpn int, done func(lat sim.Time)) {
 			done(d.eng.Now() - start)
 		}
 	})
+	d.program(lpn, false)
+	d.maybeGC()
+}
+
+// Write2 is the allocation-free form of Write for callers that do not need
+// the observed latency.
+func (d *Device) Write2(lpn int, fn func(any), arg any) {
+	if lpn < 0 || lpn >= d.logicalPages {
+		panic(fmt.Sprintf("ftl: write of LPN %d out of range", lpn))
+	}
+	d.hostWrites++
+	d.eng.Schedule2(d.jitter(d.cfg.WriteAckLat), fn, arg)
 	d.program(lpn, false)
 	d.maybeGC()
 }

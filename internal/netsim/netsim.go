@@ -66,6 +66,17 @@ func (s *Segment) Send(dir Direction, dataBytes int, done func()) {
 	srv.Use(s.PacketTime(dataBytes), done)
 }
 
+// Send2 is the allocation-free form of Send: fn is a static func(any) run
+// with arg when the packet has fully arrived.
+func (s *Segment) Send2(dir Direction, dataBytes int, fn func(any), arg any) {
+	s.packets++
+	srv := s.up
+	if dir == FromFiler {
+		srv = s.down
+	}
+	srv.Use2(s.PacketTime(dataBytes), fn, arg)
+}
+
 // Packets returns the number of packets sent.
 func (s *Segment) Packets() uint64 { return s.packets }
 

@@ -1,0 +1,65 @@
+// Package profiling implements the -cpuprofile / -memprofile flag
+// behavior shared by the CLIs, so hot-path work is measurable without
+// editing code.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// active finalizes the current Start call's profiles; Flush runs it on
+// error exits, where os.Exit would otherwise skip the deferred stop and
+// leave a trailerless (unparseable) CPU profile.
+var active func()
+
+// Start begins CPU profiling (when cpu is non-empty) and returns the
+// function that stops it and writes the heap profile (when mem is
+// non-empty). Callers defer the returned function around their main body;
+// it is idempotent, so fatal-error paths can also finalize early via
+// Flush. errPrefix names the program in failure messages. Any profiling
+// error is fatal — a requested-but-broken profile is worse than a loud
+// exit.
+func Start(cpu, mem, errPrefix string) func() {
+	fail := func(err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", errPrefix, err)
+			os.Exit(1)
+		}
+	}
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		fail(err)
+		fail(pprof.StartCPUProfile(f))
+	}
+	stopped := false
+	stop := func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		active = nil
+		if cpu != "" {
+			pprof.StopCPUProfile()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			fail(err)
+			runtime.GC() // settle the heap so the profile shows retention
+			fail(pprof.WriteHeapProfile(f))
+			fail(f.Close())
+		}
+	}
+	active = stop
+	return stop
+}
+
+// Flush finalizes any in-progress profiles. Fatal-error paths call it
+// right before os.Exit; without an active Start it does nothing.
+func Flush() {
+	if active != nil {
+		active()
+	}
+}

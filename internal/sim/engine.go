@@ -6,12 +6,25 @@
 // exactly reproducible. Shared hardware (a flash device, a network segment)
 // is modeled by Server, a single-server FIFO queue; pure delays (RAM access,
 // filer service time) use Schedule directly.
+//
+// # Allocation behavior
+//
+// The event queue is a hand-rolled indexed 4-ary min-heap laid out directly
+// over a slice of event structs: pushing an event is an append plus a
+// sift-up, with no interface boxing and no per-event allocation (the prior
+// implementation boxed every event into an `any` for container/heap). The
+// slice doubles as its own free list — popping shrinks the length but keeps
+// the backing array, so after the first Run phase reaches its high-water
+// mark, steady-state Schedule/Step cycles allocate nothing, across as many
+// Run/RunUntil phases as the caller interleaves.
+//
+// Hot callers that would otherwise allocate a closure per event can use the
+// arg-carrying forms (Schedule2, At2, ScheduleDaemon2): the callback is a
+// static func(any) and the argument rides inside the event struct. Passing
+// a pointer (or any pointer-shaped value) as the argument does not allocate.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a simulated timestamp or duration in nanoseconds.
 type Time int64
@@ -35,31 +48,76 @@ func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
 // Seconds returns the time as a float64 number of seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
+// event is one scheduled callback. Exactly one of fn and afn is non-nil:
+// fn is the closure form, afn the arg-carrying form whose argument is
+// stored inline in the event.
 type event struct {
 	at     Time
 	seq    uint64
 	fn     func()
+	afn    func(any)
+	arg    any
 	daemon bool
 }
 
+// noop is the shared placeholder completion scheduled when a caller has no
+// callback of its own but the engine must still see a drain-blocking event.
+func noop() {}
+
+// noopArg is noop's arg-carrying twin, substituted when an arg-carrying
+// schedule call passes a nil callback: the event still occupies the engine
+// (a drained engine means idle hardware) and nothing is allocated.
+func noopArg(any) {}
+
+// eventHeap is an implicit (array-indexed) 4-ary min-heap ordered by
+// (at, seq): children of slot i live at 4i+1..4i+4. The 4-ary layout
+// halves tree depth versus a binary heap, trading a wider (branch-light,
+// cache-local) min-of-children scan on the way down for fewer levels —
+// the classic d-ary win for push-heavy workloads like a simulator, where
+// every push bubbles up but many pops terminate high.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1].fn = nil
-	*h = old[:n-1]
-	return e
+
+func (h eventHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h eventHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if h.less(c, min) {
+				min = c
+			}
+		}
+		if !h.less(min, i) {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
 }
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
@@ -89,6 +147,16 @@ func (e *Engine) Schedule(d Time, fn func()) {
 	e.At(e.now+d, fn)
 }
 
+// Schedule2 is the allocation-free form of Schedule: fn is expected to be a
+// static (package-level or pre-bound) func(any) and arg its state. It runs
+// fn(arg) after delay d.
+func (e *Engine) Schedule2(d Time, fn func(any), arg any) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.at2(e.now+d, fn, arg, false)
+}
+
 // ScheduleDaemon is Schedule for daemon events: background activity (e.g.
 // a periodic syncer's next tick) that should not by itself keep Run alive.
 // Run returns when only daemon events remain.
@@ -99,9 +167,22 @@ func (e *Engine) ScheduleDaemon(d Time, fn func()) {
 	e.at(e.now+d, fn, true)
 }
 
+// ScheduleDaemon2 is the arg-carrying form of ScheduleDaemon.
+func (e *Engine) ScheduleDaemon2(d Time, fn func(any), arg any) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.at2(e.now+d, fn, arg, true)
+}
+
 // At runs fn at absolute time t, which must not be before Now.
 func (e *Engine) At(t Time, fn func()) {
 	e.at(t, fn, false)
+}
+
+// At2 is the arg-carrying form of At.
+func (e *Engine) At2(t Time, fn func(any), arg any) {
+	e.at2(t, fn, arg, false)
 }
 
 func (e *Engine) at(t Time, fn func(), daemon bool) {
@@ -112,22 +193,52 @@ func (e *Engine) at(t Time, fn func(), daemon bool) {
 	if !daemon {
 		e.nonDaemon++
 	}
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn, daemon: daemon})
+	e.events = append(e.events, event{at: t, seq: e.seq, fn: fn, daemon: daemon})
+	e.events.siftUp(len(e.events) - 1)
+}
+
+func (e *Engine) at2(t Time, fn func(any), arg any, daemon bool) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		// One shared placeholder serves every callback-less event; callers
+		// need no nil guards of their own.
+		fn, arg = noopArg, nil
+	}
+	e.seq++
+	if !daemon {
+		e.nonDaemon++
+	}
+	e.events = append(e.events, event{at: t, seq: e.seq, afn: fn, arg: arg, daemon: daemon})
+	e.events.siftUp(len(e.events) - 1)
 }
 
 // Step runs the next event, advancing the clock. It returns false when no
 // events remain.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	h := e.events
+	if len(h) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // clear callback and arg references for the GC
+	e.events = h[:n]
+	if n > 0 {
+		e.events.siftDown(0)
+	}
 	e.now = ev.at
 	e.processed++
 	if !ev.daemon {
 		e.nonDaemon--
 	}
-	ev.fn()
+	if ev.afn != nil {
+		ev.afn(ev.arg)
+	} else {
+		ev.fn()
+	}
 	return true
 }
 

@@ -23,17 +23,22 @@ func NewTicker(eng *Engine, period Time, fn func()) *Ticker {
 	return t
 }
 
+// tickerFire is the shared tick callback: the ticker itself rides in the
+// event's argument slot, so rearming never allocates.
+func tickerFire(a any) {
+	t := a.(*Ticker)
+	if t.stopped {
+		return
+	}
+	t.fires++
+	t.fn()
+	if !t.stopped {
+		t.arm()
+	}
+}
+
 func (t *Ticker) arm() {
-	t.eng.ScheduleDaemon(t.period, func() {
-		if t.stopped {
-			return
-		}
-		t.fires++
-		t.fn()
-		if !t.stopped {
-			t.arm()
-		}
-	})
+	t.eng.ScheduleDaemon2(t.period, tickerFire, t)
 }
 
 // Stop cancels future firings. Safe to call multiple times.
