@@ -16,6 +16,14 @@
 // Replaying a trace file instead of the synthetic workload:
 //
 //	flashsim -trace workload.fctr -warmup-blocks 100000
+//
+// Running a scripted scenario (a built-in name or a JSON file) instead of
+// a steady-state run, optionally exporting the time-resolved telemetry
+// (CSV, or NDJSON when the path ends in .ndjson; "-" writes to stdout):
+//
+//	flashsim -scenario crash-recovery -persistent -scale 2048
+//	flashsim -scenario my-scenario.json -telemetry telemetry.csv
+//	flashsim -list-scenarios
 package main
 
 import (
@@ -51,6 +59,9 @@ func main() {
 	ftlBacked := flag.Bool("ftl", false, "route flash traffic through the FTL device simulator")
 	prefetch := flag.Float64("prefetch", 0.90, "filer fast-read (prefetch success) rate")
 	parallel := flag.Int("parallel", 0, "worker pool size for multi-point sweeps (0 = all CPUs)")
+	scenarioName := flag.String("scenario", "", "run a scripted scenario: a built-in name or a JSON file path")
+	listScenarios := flag.Bool("list-scenarios", false, "list built-in scenarios and exit")
+	telemetryPath := flag.String("telemetry", "", "write scenario telemetry to this file (.ndjson for NDJSON, else CSV; - for stdout)")
 	tracePath := flag.String("trace", "", "replay a binary trace file instead of synthesizing")
 	warmupBlocks := flag.Int64("warmup-blocks", 0, "warmup volume when replaying a trace")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -58,6 +69,15 @@ func main() {
 	flag.Parse()
 
 	defer profiling.Start(*cpuprofile, *memprofile, "flashsim")()
+
+	if *listScenarios {
+		for _, name := range flashsim.BuiltinScenarioNames() {
+			sc, err := flashsim.BuiltinScenario(name)
+			die(err)
+			fmt.Printf("%-16s %s\n", name, sc.Description)
+		}
+		return
+	}
 
 	wssList, err := parseFloats(*wssGB)
 	die(err)
@@ -99,6 +119,31 @@ func main() {
 			*arch, *ramPolicy, *flashPolicy, *ramGB, *flashGB, wss, wr, *scale)
 	}
 
+	if *scenarioName != "" {
+		if len(wssList) > 1 || len(writesList) > 1 {
+			die(fmt.Errorf("a scenario run takes a single -wss/-writes point"))
+		}
+		if *tracePath != "" {
+			die(fmt.Errorf("-scenario and -trace are mutually exclusive"))
+		}
+		var sc *flashsim.Scenario
+		if strings.HasSuffix(*scenarioName, ".json") {
+			sc, err = flashsim.LoadScenario(*scenarioName)
+		} else {
+			sc, err = flashsim.BuiltinScenario(*scenarioName)
+		}
+		die(err)
+		res, err := flashsim.RunScenario(point(wssList[0], writesList[0]), sc)
+		die(err)
+		fmt.Println(header(wssList[0], writesList[0]))
+		fmt.Print(res)
+		die(writeTelemetry(*telemetryPath, res.Telemetry))
+		return
+	}
+	if *telemetryPath != "" {
+		die(fmt.Errorf("-telemetry requires -scenario"))
+	}
+
 	if *tracePath != "" {
 		if len(wssList) > 1 || len(writesList) > 1 {
 			die(fmt.Errorf("trace replay takes a single -wss/-writes point"))
@@ -133,6 +178,28 @@ func main() {
 		}
 	})
 	die(err)
+}
+
+// writeTelemetry exports a scenario's telemetry series. An empty path
+// skips the export; "-" writes to stdout; a .ndjson suffix selects NDJSON,
+// anything else CSV.
+func writeTelemetry(path string, ts *flashsim.TimeSeries) error {
+	if path == "" {
+		return nil
+	}
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if strings.HasSuffix(path, ".ndjson") {
+		return ts.WriteNDJSON(out)
+	}
+	return ts.WriteCSV(out)
 }
 
 // parseFloats parses a comma-separated list of numbers.

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+// buildCmd compiles one of the repository's commands into dir and returns
+// the binary path. Building through the real toolchain is the point: this
+// is a smoke test of the shipped CLIs, not of the libraries they wrap.
+func buildCmd(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "repro/cmd/"+name)
+	cmd.Dir = "."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, buf.String())
+	}
+	return buf.String()
+}
+
+// readOps drains a binary trace file through the codec.
+func readOps(t *testing.T, path string) []trace.Op {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewBinaryReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []trace.Op
+	for {
+		op, ok := r.Next()
+		if !ok {
+			break
+		}
+		ops = append(ops, op)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return ops
+}
+
+// The round trip: tracegen writes a binary trace; tracectl converts it to
+// text and back to binary; the result must agree op-for-op with both the
+// original file and an in-process generator run with the same parameters.
+func TestCLIBinaryTextRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs real binaries")
+	}
+	dir := t.TempDir()
+	tracegenBin := buildCmd(t, dir, "tracegen")
+	tracectlBin := buildCmd(t, dir, "tracectl")
+
+	binPath := filepath.Join(dir, "trace.fctr")
+	textPath := filepath.Join(dir, "trace.txt")
+	backPath := filepath.Join(dir, "back.fctr")
+
+	run(t, tracegenBin, "-wss-blocks", "2000", "-total-blocks", "8000",
+		"-hosts", "2", "-threads", "4", "-seed", "7", "-o", binPath)
+	run(t, tracectlBin, "conv", binPath, textPath)   // binary -> text
+	run(t, tracectlBin, "conv", textPath, backPath)  // text -> binary
+	statOut := run(t, tracectlBin, "stat", backPath) // and it must still stat
+	if !bytes.Contains([]byte(statOut), []byte("2 hosts")) {
+		t.Errorf("stat output missing host count:\n%s", statOut)
+	}
+
+	original := readOps(t, binPath)
+	roundTripped := readOps(t, backPath)
+	if len(original) == 0 {
+		t.Fatal("tracegen produced no ops")
+	}
+	if len(original) != len(roundTripped) {
+		t.Fatalf("round trip changed op count: %d -> %d", len(original), len(roundTripped))
+	}
+	for i := range original {
+		if original[i] != roundTripped[i] {
+			t.Fatalf("op %d changed in round trip: %+v -> %+v", i, original[i], roundTripped[i])
+		}
+	}
+
+	// The CLI must agree with the library: the same parameters through
+	// the in-process generator produce the same ops the binary wrote.
+	server := int64(5 * 2000)
+	fsCfg := tracegen.DefaultFileSetConfig(server)
+	fsCfg.Seed = 7 + 1000
+	fs, err := tracegen.GenerateFileSet(fsCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := tracegen.NewGenerator(tracegen.Config{
+		Seed:               7,
+		Hosts:              2,
+		ThreadsPerHost:     4,
+		WorkingSetBlocks:   2000,
+		WorkingSetFraction: 0.8,
+		WriteFraction:      0.30,
+		TotalBlocks:        8000,
+		MeanIOBlocks:       4,
+		FileSet:            fs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		op, ok := gen.Next()
+		if !ok {
+			if i != len(original) {
+				t.Fatalf("library generated %d ops, CLI wrote %d", i, len(original))
+			}
+			break
+		}
+		if i >= len(original) {
+			t.Fatalf("library generated more than the CLI's %d ops", len(original))
+		}
+		if op != original[i] {
+			t.Fatalf("op %d: library %+v, CLI %+v", i, op, original[i])
+		}
+	}
+}

@@ -28,6 +28,23 @@
 // so output — figures, tables, even -v progress lines — is byte-identical
 // at any -parallel setting; only wall-clock time changes.
 //
+// # Scenario engine
+//
+// The paper measures steady state only; the scenario engine
+// (internal/scenario, flashsim.RunScenario) scripts the transients it set
+// aside. A scenario is an ordered list of phases — each with a duration
+// (blocks, working-set multiples, or simulated time), workload overrides
+// (write mix, locality, working-set shift, sharing, thread count) and
+// boundary events (host crash with the §7.8 recovery path, cache flush,
+// host leave/join churn) — paired with a time-resolved telemetry probe
+// (stats.Sampler into stats.TimeSeries, CSV/NDJSON exportable) whose tick
+// allocates nothing at steady state. Five built-ins ship (warmup, burst,
+// ws-shift, crash-recovery, churn), scenarios load from JSON, cmd/flashsim
+// runs them via -scenario, and the ext-scenario experiment measures warmup
+// and crash-recovery transients against flash size. Runs are
+// byte-deterministic and golden-hash locked like the rest of the
+// simulator.
+//
 // # Allocation-free event core
 //
 // The engine (internal/sim) queues events on a hand-rolled indexed 4-ary

@@ -19,6 +19,7 @@ package flashsim
 import (
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/cache"
 	"repro/internal/consistency"
@@ -296,6 +297,12 @@ func (c *Config) Validate() error {
 	if c.Workload.WorkingSetBlocks <= 0 {
 		return fmt.Errorf("flashsim: working set size must be positive")
 	}
+	if f := c.Workload.WriteFraction; math.IsNaN(f) || f < 0 || f > 1 {
+		return fmt.Errorf("flashsim: write fraction %v out of [0,1]", f)
+	}
+	if f := c.Workload.WorkingSetFraction; math.IsNaN(f) || f < 0 || f > 1 {
+		return fmt.Errorf("flashsim: working set fraction %v out of [0,1]", f)
+	}
 	hc := core.HostConfig{
 		RAMBlocks:   c.RAMBlocks,
 		FlashBlocks: c.FlashBlocks,
@@ -309,25 +316,30 @@ func (c *Config) Validate() error {
 	return c.Timing.Validate()
 }
 
+// workloadFileSet returns the configuration's file-server model,
+// generating one when the workload does not share one explicitly.
+func workloadFileSet(cfg Config) (*FileSet, error) {
+	if fs := cfg.Workload.FileSet; fs != nil {
+		return fs, nil
+	}
+	serverBlocks := cfg.Workload.FileServerBlocks
+	if serverBlocks == 0 {
+		serverBlocks = 5 * cfg.Workload.WorkingSetBlocks
+	}
+	fsCfg := tracegen.DefaultFileSetConfig(serverBlocks)
+	fsCfg.Seed = cfg.Workload.Seed + 1000
+	return tracegen.GenerateFileSet(fsCfg)
+}
+
 // Run executes the simulation and returns its results.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 
-	fs := cfg.Workload.FileSet
-	if fs == nil {
-		serverBlocks := cfg.Workload.FileServerBlocks
-		if serverBlocks == 0 {
-			serverBlocks = 5 * cfg.Workload.WorkingSetBlocks
-		}
-		fsCfg := tracegen.DefaultFileSetConfig(serverBlocks)
-		fsCfg.Seed = cfg.Workload.Seed + 1000
-		var err error
-		fs, err = tracegen.GenerateFileSet(fsCfg)
-		if err != nil {
-			return nil, err
-		}
+	fs, err := workloadFileSet(cfg)
+	if err != nil {
+		return nil, err
 	}
 
 	genCfg := tracegen.Config{
@@ -405,10 +417,20 @@ func RunTrace(cfg Config, src trace.Source, warmupBlocks int64) (*Result, error)
 	return runTrace(cfg, src, warmupBlocks, nil)
 }
 
-func runTrace(cfg Config, src trace.Source, warmupBlocks int64, pre prestartFn) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
+// simulation bundles the engine-level objects of one run: the engine, the
+// shared filer, the optional consistency registry, the hosts and the trace
+// driver. It is the common substrate of runTrace and RunScenario.
+type simulation struct {
+	eng   *sim.Engine
+	fsrv  *filer.Filer
+	reg   *consistency.Registry
+	hosts []*core.Host
+	drv   *core.Driver
+}
+
+// buildSimulation assembles the hosts, filer, network segments and driver
+// described by the configuration around the given trace source.
+func buildSimulation(cfg Config, src trace.Source, warmupBlocks int64) (*simulation, error) {
 	eng := &sim.Engine{}
 	seedRNG := rng.New(cfg.Seed)
 	fsrv := filer.New(eng, seedRNG.Fork(),
@@ -461,19 +483,30 @@ func runTrace(cfg Config, src trace.Source, warmupBlocks int64, pre prestartFn) 
 	if err != nil {
 		return nil, err
 	}
+	return &simulation{eng: eng, fsrv: fsrv, reg: reg, hosts: hosts, drv: drv}, nil
+}
+
+func runTrace(cfg Config, src trace.Source, warmupBlocks int64, pre prestartFn) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := buildSimulation(cfg, src, warmupBlocks)
+	if err != nil {
+		return nil, err
+	}
 	var recoverySeconds float64
 	if pre != nil {
 		recovered := false
-		pre(eng, hosts, func() { recovered = true })
-		eng.Run()
+		pre(s.eng, s.hosts, func() { recovered = true })
+		s.eng.Run()
 		if !recovered {
 			return nil, fmt.Errorf("flashsim: recovery did not complete")
 		}
-		recoverySeconds = eng.Now().Seconds()
+		recoverySeconds = s.eng.Now().Seconds()
 	}
-	drv.Run()
+	s.drv.Run()
 
-	res := buildResult(cfg, eng, fsrv, reg, hosts, drv)
+	res := buildResult(cfg, s.eng, s.fsrv, s.reg, s.hosts, s.drv)
 	res.RecoverySeconds = recoverySeconds
 	return res, nil
 }

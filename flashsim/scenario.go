@@ -1,0 +1,444 @@
+package flashsim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/runner/pool"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tracegen"
+)
+
+// Re-exported scenario types: callers describe scripted runs with these
+// and execute them with RunScenario.
+type (
+	// Scenario is an ordered list of phases with workload overrides and
+	// scripted fault events (internal/scenario).
+	Scenario = scenario.Scenario
+	// ScenarioPhase is one leg of a scenario.
+	ScenarioPhase = scenario.Phase
+	// ScenarioEvent is one scripted fault (crash, flush, leave, join).
+	ScenarioEvent = scenario.Event
+	// TimeSeries is the exportable telemetry table (CSV / NDJSON).
+	TimeSeries = stats.TimeSeries
+)
+
+// LoadScenario reads and validates a scenario JSON file.
+func LoadScenario(path string) (*Scenario, error) { return scenario.Load(path) }
+
+// ParseScenario decodes and validates scenario JSON.
+func ParseScenario(data []byte) (*Scenario, error) { return scenario.Parse(data) }
+
+// BuiltinScenario returns a fresh copy of a built-in scenario (warmup,
+// burst, ws-shift, crash-recovery, churn).
+func BuiltinScenario(name string) (*Scenario, error) { return scenario.Builtin(name) }
+
+// BuiltinScenarioNames lists the built-in scenarios.
+func BuiltinScenarioNames() []string { return scenario.BuiltinNames() }
+
+// Telemetry column names, in series order.
+const (
+	ColReadMicros  = "read_us"   // interval mean read latency
+	ColWriteMicros = "write_us"  // interval mean write latency
+	ColRAMHit      = "ram_hit"   // interval RAM hit rate over reads
+	ColFlashHit    = "flash_hit" // interval flash hit rate over RAM misses
+	ColBlocks      = "blocks"    // blocks issued during the interval
+	ColInflight    = "inflight"  // ops executing at the sample instant
+	ColDirty       = "dirty"     // dirty blocks resident across hosts
+)
+
+// telemetryColumns is the fixed column set of every scenario run.
+var telemetryColumns = []string{
+	ColReadMicros, ColWriteMicros, ColRAMHit, ColFlashHit,
+	ColBlocks, ColInflight, ColDirty,
+}
+
+// PhaseResult carries one phase's aggregate measurements: deltas of the
+// host statistics between the phase's start (after its events) and end.
+type PhaseResult struct {
+	Name string
+
+	// StartSeconds and EndSeconds bound the phase on the simulated clock
+	// (events at the phase boundary execute before StartSeconds).
+	StartSeconds float64
+	EndSeconds   float64
+
+	// BlocksIssued counts block accesses issued during the phase.
+	BlocksIssued uint64
+
+	ReadLatencyMicros  float64
+	WriteLatencyMicros float64
+	RAMHitRate         float64
+	FlashHitRate       float64
+
+	FilerFetches    uint64
+	FilerWritebacks uint64
+	SyncEvictions   uint64
+
+	// DirtyBlocksEnd is the resident dirty-block count at phase end.
+	DirtyBlocksEnd uint64
+}
+
+// EventResult records one executed scripted fault.
+type EventResult struct {
+	// Phase is the index of the phase at whose start the event ran.
+	Phase int
+	Kind  string
+	Host  int
+	// Seconds is the simulated time the event consumed (crash recovery
+	// scan + flush, flush writeback drain).
+	Seconds float64
+	// Flushed counts dirty blocks written back by the event; Dropped
+	// counts resident blocks discarded.
+	Flushed int
+	Dropped int
+}
+
+// ScenarioResult is everything a scenario run measured: per-phase results,
+// the executed events, and the time-resolved telemetry series.
+type ScenarioResult struct {
+	Scenario string
+	Phases   []PhaseResult
+	Events   []EventResult
+
+	// Telemetry holds one row per sampling interval (see Col* constants).
+	Telemetry *TimeSeries
+
+	// Run bookkeeping.
+	BlocksIssued     uint64
+	SimulatedSeconds float64
+	EngineEvents     uint64
+}
+
+// String renders a deterministic human-readable summary: the phase table,
+// the event log, and the telemetry shape. Together with Telemetry.CSV it
+// is the scenario golden-hash surface.
+func (r *ScenarioResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s: %d phases, %.3f simulated seconds, %d blocks (%d events)\n",
+		r.Scenario, len(r.Phases), r.SimulatedSeconds, r.BlocksIssued, r.EngineEvents)
+	fmt.Fprintf(&b, "%-12s %10s %10s %9s %9s %8s %8s %10s %8s\n",
+		"phase", "start_s", "blocks", "read_us", "write_us", "ram_hit", "fl_hit", "filer_wb", "dirty")
+	for _, p := range r.Phases {
+		fmt.Fprintf(&b, "%-12s %10.3f %10d %9.2f %9.2f %7.1f%% %7.1f%% %10d %8d\n",
+			p.Name, p.StartSeconds, p.BlocksIssued,
+			p.ReadLatencyMicros, p.WriteLatencyMicros,
+			100*p.RAMHitRate, 100*p.FlashHitRate,
+			p.FilerWritebacks, p.DirtyBlocksEnd)
+	}
+	for _, e := range r.Events {
+		fmt.Fprintf(&b, "event: phase %d %s host %d (%.6f s, %d flushed, %d dropped)\n",
+			e.Phase, e.Kind, e.Host, e.Seconds, e.Flushed, e.Dropped)
+	}
+	if r.Telemetry != nil {
+		fmt.Fprintf(&b, "telemetry: %d samples x %d columns\n",
+			r.Telemetry.Len(), r.Telemetry.NumColumns())
+	}
+	return b.String()
+}
+
+// scenarioTraceBlocks caps a scenario's trace volume. Phases bound actual
+// consumption; this only keeps the generator from stopping early.
+const scenarioTraceBlocks = int64(1) << 56
+
+// workingSets returns the number of distinct working sets the workload
+// samples (per-host, or one when shared).
+func workingSets(cfg Config) int64 {
+	if cfg.Workload.SharedWorkingSet {
+		return 1
+	}
+	return int64(cfg.Hosts)
+}
+
+// aggSnap is an aggregate host-statistics snapshot used for both phase
+// deltas and telemetry intervals. Collecting one allocates nothing.
+type aggSnap struct {
+	readSum    sim.Time
+	readCount  uint64
+	writeSum   sim.Time
+	writeCount uint64
+
+	ramHits, ramMisses     uint64
+	flashHits, flashMisses uint64
+
+	filerFetches    uint64
+	filerWritebacks uint64
+	syncEvictions   uint64
+
+	blocksIssued uint64
+	dirty        uint64
+}
+
+func snapshot(s *simulation, out *aggSnap) {
+	*out = aggSnap{}
+	for _, h := range s.hosts {
+		st := h.Stats()
+		out.readSum += st.ReadLat.Sum()
+		out.readCount += st.ReadLat.Count()
+		out.writeSum += st.WriteLat.Sum()
+		out.writeCount += st.WriteLat.Count()
+		out.ramHits += st.RAMHits
+		out.ramMisses += st.RAMMisses
+		out.flashHits += st.FlashHits
+		out.flashMisses += st.FlashMisses
+		out.filerFetches += st.FilerFetches
+		out.filerWritebacks += st.FilerWritebacks
+		out.syncEvictions += st.SyncEvictions
+		out.dirty += uint64(h.DirtyBlocks())
+	}
+	out.blocksIssued = s.drv.BlocksIssued()
+}
+
+// meanMicros returns (sum/count) in microseconds, 0 when count is 0.
+func meanMicros(sum sim.Time, count uint64) float64 {
+	if count == 0 {
+		return 0
+	}
+	return float64(sum) / float64(count) / float64(sim.Microsecond)
+}
+
+// rate returns hits/(hits+misses), 0 when empty.
+func rate(hits, misses uint64) float64 {
+	total := hits + misses
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// RunScenario executes a scripted scenario against the configuration: the
+// caches start cold, statistics collection is on from the first block
+// (warmup is expressed as a phase, not discarded), and each phase's
+// overrides and events apply at its start with the simulation quiesced.
+// The configuration's ColdStart/RecoveredStart/TotalBlocks knobs are
+// ignored — the scenario is the run's shape.
+//
+// Runs are deterministic: a fixed (cfg, scenario) pair produces identical
+// results, telemetry included, on every run.
+func RunScenario(cfg Config, sc *Scenario) (*ScenarioResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sc = sc.Clone()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if maxHost := sc.MaxHost(); maxHost >= cfg.Hosts {
+		return nil, fmt.Errorf("flashsim: scenario %s targets host %d but config has %d hosts",
+			sc.Name, maxHost, cfg.Hosts)
+	}
+	if sc.HasChurn() && cfg.Hosts < 2 {
+		return nil, fmt.Errorf("flashsim: scenario %s has host churn; need at least 2 hosts", sc.Name)
+	}
+
+	fs, err := workloadFileSet(cfg)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := tracegen.NewGenerator(tracegen.Config{
+		Seed:               cfg.Workload.Seed,
+		Hosts:              cfg.Hosts,
+		ThreadsPerHost:     cfg.ThreadsPerHost,
+		WorkingSetBlocks:   cfg.Workload.WorkingSetBlocks,
+		SharedWorkingSet:   cfg.Workload.SharedWorkingSet,
+		WorkingSetFraction: cfg.Workload.WorkingSetFraction,
+		WriteFraction:      cfg.Workload.WriteFraction,
+		TotalBlocks:        scenarioTraceBlocks,
+		MeanIOBlocks:       cfg.Workload.MeanIOBlocks,
+		FileSet:            fs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s, err := buildSimulation(cfg, gen, 0)
+	if err != nil {
+		return nil, err
+	}
+	s.drv.StartCollection()
+
+	// The telemetry probe: one row per sampling period with interval
+	// deltas of the aggregate host statistics. The tick itself allocates
+	// nothing (see stats.Sampler); prev/cur live across ticks.
+	period := sim.Time(sc.SampleEveryMillis * float64(sim.Millisecond))
+	if period <= 0 {
+		return nil, fmt.Errorf("flashsim: scenario %s sampling period %vms rounds to zero",
+			sc.Name, sc.SampleEveryMillis)
+	}
+	ts := stats.NewTimeSeries("scenario "+sc.Name, telemetryColumns...)
+	var prev, cur aggSnap
+	sampler := stats.NewSampler(s.eng, period, ts,
+		func(now sim.Time, row []float64) {
+			snapshot(s, &cur)
+			row[0] = meanMicros(cur.readSum-prev.readSum, cur.readCount-prev.readCount)
+			row[1] = meanMicros(cur.writeSum-prev.writeSum, cur.writeCount-prev.writeCount)
+			row[2] = rate(cur.ramHits-prev.ramHits, cur.ramMisses-prev.ramMisses)
+			row[3] = rate(cur.flashHits-prev.flashHits, cur.flashMisses-prev.flashMisses)
+			row[4] = float64(cur.blocksIssued - prev.blocksIssued)
+			row[5] = float64(s.drv.OpsInFlight())
+			row[6] = float64(cur.dirty)
+			prev = cur
+		})
+
+	res := &ScenarioResult{Scenario: sc.Name}
+	wsAgg := cfg.Workload.WorkingSetBlocks * workingSets(cfg)
+	var phaseStart, phaseEnd aggSnap
+	for pi := range sc.Phases {
+		ph := &sc.Phases[pi]
+		if err := applyOverrides(gen, ph); err != nil {
+			return nil, fmt.Errorf("flashsim: scenario %s phase %s: %w", sc.Name, ph.Name, err)
+		}
+		for _, ev := range ph.Events {
+			er, err := executeEvent(s, cfg, pi, ev)
+			if err != nil {
+				return nil, fmt.Errorf("flashsim: scenario %s phase %s: %w", sc.Name, ph.Name, err)
+			}
+			res.Events = append(res.Events, er)
+		}
+		start := s.eng.Now()
+		snapshot(s, &phaseStart)
+		blocks := ph.Blocks
+		if ph.WSMultiple > 0 {
+			blocks = int64(ph.WSMultiple * float64(wsAgg))
+			if blocks < 1 {
+				// A tiny working set must not truncate the bound to 0,
+				// which RunPhase would read as "unlimited".
+				blocks = 1
+			}
+		}
+		var deadline sim.Time
+		if ph.Seconds > 0 {
+			deadline = start + sim.Time(ph.Seconds*float64(sim.Second))
+		}
+		s.drv.RunPhase(blocks, deadline)
+		snapshot(s, &phaseEnd)
+		res.Phases = append(res.Phases, PhaseResult{
+			Name:               ph.Name,
+			StartSeconds:       start.Seconds(),
+			EndSeconds:         s.eng.Now().Seconds(),
+			BlocksIssued:       phaseEnd.blocksIssued - phaseStart.blocksIssued,
+			ReadLatencyMicros:  meanMicros(phaseEnd.readSum-phaseStart.readSum, phaseEnd.readCount-phaseStart.readCount),
+			WriteLatencyMicros: meanMicros(phaseEnd.writeSum-phaseStart.writeSum, phaseEnd.writeCount-phaseStart.writeCount),
+			RAMHitRate:         rate(phaseEnd.ramHits-phaseStart.ramHits, phaseEnd.ramMisses-phaseStart.ramMisses),
+			FlashHitRate:       rate(phaseEnd.flashHits-phaseStart.flashHits, phaseEnd.flashMisses-phaseStart.flashMisses),
+			FilerFetches:       phaseEnd.filerFetches - phaseStart.filerFetches,
+			FilerWritebacks:    phaseEnd.filerWritebacks - phaseStart.filerWritebacks,
+			SyncEvictions:      phaseEnd.syncEvictions - phaseStart.syncEvictions,
+			DirtyBlocksEnd:     phaseEnd.dirty,
+		})
+	}
+	// Wind down: stop the syncers, drain in-flight writebacks, and take
+	// one final sample so the series covers the whole run.
+	sampler.Stop()
+	for _, h := range s.hosts {
+		h.StopSyncers()
+	}
+	s.eng.Run()
+	sampler.Sample()
+
+	res.Telemetry = ts
+	res.BlocksIssued = s.drv.BlocksIssued()
+	res.SimulatedSeconds = s.eng.Now().Seconds()
+	res.EngineEvents = s.eng.Processed()
+	return res, nil
+}
+
+// applyOverrides pushes a phase's workload overrides into the generator.
+func applyOverrides(gen *tracegen.Generator, ph *ScenarioPhase) error {
+	if ph.WriteFraction != nil {
+		if err := gen.SetWriteFraction(*ph.WriteFraction); err != nil {
+			return err
+		}
+	}
+	if ph.WorkingSetFraction != nil {
+		if err := gen.SetWorkingSetFraction(*ph.WorkingSetFraction); err != nil {
+			return err
+		}
+	}
+	if ph.ActiveThreads != nil {
+		if err := gen.SetActiveThreads(*ph.ActiveThreads); err != nil {
+			return err
+		}
+	}
+	if ph.SharedWorkingSet != nil {
+		if err := gen.SetSharedWorkingSet(*ph.SharedWorkingSet); err != nil {
+			return err
+		}
+	}
+	if ph.ShiftFraction > 0 {
+		if err := gen.ShiftWorkingSets(ph.ShiftFraction); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// executeEvent runs one scripted fault with the simulation quiesced. The
+// foreground is already drained (phase boundary); the engine is run dry
+// first so no background writeback holds a pin, and again afterwards so
+// the event's own traffic completes before the phase starts.
+func executeEvent(s *simulation, cfg Config, phase int, ev ScenarioEvent) (EventResult, error) {
+	s.eng.Run()
+	h := s.hosts[ev.Host]
+	er := EventResult{Phase: phase, Kind: string(ev.Kind), Host: ev.Host}
+	start := s.eng.Now()
+	switch ev.Kind {
+	case scenario.EventCrash:
+		before := h.ResidentBlocks()
+		h.Crash()
+		if cfg.PersistentFlash && cfg.Arch != Unified {
+			// The flash cache survived; scan its metadata and flush the
+			// blocks that were dirty at the crash — the recovery phase
+			// the paper declined to simulate (§7.8).
+			done := false
+			er.Flushed = h.Recover(func() { done = true })
+			s.eng.Run()
+			if !done {
+				return er, fmt.Errorf("crash recovery did not complete")
+			}
+		}
+		er.Dropped = before - h.ResidentBlocks()
+	case scenario.EventFlush:
+		before := h.ResidentBlocks()
+		done := false
+		er.Flushed = h.Flush(ev.Fraction, func() { done = true })
+		s.eng.Run()
+		if !done {
+			return er, fmt.Errorf("flush did not complete")
+		}
+		er.Dropped = before - h.ResidentBlocks()
+	case scenario.EventLeave:
+		before := h.ResidentBlocks()
+		done := false
+		er.Flushed = h.Flush(1, func() { done = true })
+		s.eng.Run()
+		if !done {
+			return er, fmt.Errorf("leave flush did not complete")
+		}
+		er.Dropped = before - h.ResidentBlocks()
+		if err := s.drv.SetAttached(ev.Host, false); err != nil {
+			return er, err
+		}
+	case scenario.EventJoin:
+		if err := s.drv.SetAttached(ev.Host, true); err != nil {
+			return er, err
+		}
+	default:
+		return er, fmt.Errorf("unknown event kind %q", ev.Kind)
+	}
+	er.Seconds = (s.eng.Now() - start).Seconds()
+	return er, nil
+}
+
+// RunScenarioBatch executes one scenario per configuration on the worker
+// pool (see RunBatch for the determinism contract): results are indexed
+// like the inputs and identical for every parallel setting.
+func RunScenarioBatch(cfgs []Config, scs []*Scenario, parallel int) ([]*ScenarioResult, error) {
+	if len(cfgs) != len(scs) {
+		return nil, fmt.Errorf("flashsim: %d configs but %d scenarios", len(cfgs), len(scs))
+	}
+	return pool.Collect(len(cfgs), parallel, func(i int) (*ScenarioResult, error) {
+		return RunScenario(cfgs[i], scs[i])
+	}, nil)
+}

@@ -1,0 +1,276 @@
+package flashsim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strings"
+	"testing"
+)
+
+// scenarioGoldenConfig returns the golden-lock configuration for a builtin
+// scenario: the 1:4096 baseline, with the tweaks a scenario needs (a
+// second host for churn, a persistent cache for crash recovery).
+func scenarioGoldenConfig(name string) Config {
+	cfg := ScaledConfig(4096)
+	switch name {
+	case "churn":
+		cfg.Hosts = 2
+	case "crash-recovery":
+		cfg.PersistentFlash = true
+	}
+	return cfg
+}
+
+// scenarioChecksum hashes everything a scenario run produced: the phase
+// and event summary plus the full telemetry series.
+func scenarioChecksum(t *testing.T, cfg Config, name string) string {
+	t.Helper()
+	sc, err := BuiltinScenario(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunScenario(cfg, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.New()
+	h.Write([]byte(res.String()))
+	h.Write([]byte(res.Telemetry.CSV()))
+	h.Write([]byte(res.Telemetry.NDJSON()))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Golden determinism lock for the scenario engine: each built-in scenario
+// at the 1:4096 baseline must hash to the value captured when the engine
+// was built, and a repeat run in the same process must reproduce it (the
+// generator, sampler and fault events share no hidden global state).
+var scenarioGoldens = map[string]string{
+	"burst":          "64fec5e43ebc7aed0eea9611df15c8a019f8690aa74725c07fc969ee992caa5d",
+	"churn":          "a591dab681048387e3a80d34cea2a4f6eb673e8a56c67e8b2cee178990b9782e",
+	"crash-recovery": "8b47df58f43557f9fc0614425a9e94686f8a732f13e96a1e3139c20bfe98291f",
+	"warmup":         "bf278f4ccc4379061d051fb356994e1b725f47a65992b56800fbe9005dea8ed6",
+	"ws-shift":       "2244fe0dad65414eb9875a189e04e62aca4a21c9f95556dec68fdb647a3a06ce",
+}
+
+func TestScenarioGoldenChecksums(t *testing.T) {
+	for _, name := range BuiltinScenarioNames() {
+		t.Run(name, func(t *testing.T) {
+			want, ok := scenarioGoldens[name]
+			if !ok {
+				t.Fatalf("builtin %s has no golden checksum; add one", name)
+			}
+			cfg := scenarioGoldenConfig(name)
+			first := scenarioChecksum(t, cfg, name)
+			second := scenarioChecksum(t, cfg, name)
+			if first != second {
+				t.Fatalf("repeat runs differ:\n%s\n%s", first, second)
+			}
+			if first != want {
+				t.Errorf("scenario checksum drifted:\ngot  %s\nwant %s", first, want)
+			}
+		})
+	}
+}
+
+// The batch runner's determinism contract extends to scenarios: results
+// are identical at every parallelism.
+func TestScenarioBatchParallelIdentical(t *testing.T) {
+	names := BuiltinScenarioNames()
+	run := func(parallel int) []string {
+		cfgs := make([]Config, len(names))
+		scs := make([]*Scenario, len(names))
+		for i, name := range names {
+			cfgs[i] = scenarioGoldenConfig(name)
+			sc, err := BuiltinScenario(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scs[i] = sc
+		}
+		results, err := RunScenarioBatch(cfgs, scs, parallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums := make([]string, len(results))
+		for i, res := range results {
+			h := sha256.New()
+			h.Write([]byte(res.String()))
+			h.Write([]byte(res.Telemetry.CSV()))
+			sums[i] = hex.EncodeToString(h.Sum(nil))
+		}
+		return sums
+	}
+	seq := run(1)
+	par := run(4)
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Errorf("scenario %s differs between -parallel 1 and 4", names[i])
+		}
+	}
+}
+
+func TestRunScenarioValidation(t *testing.T) {
+	cfg := ScaledConfig(4096)
+	churn, _ := BuiltinScenario("churn")
+	if _, err := RunScenario(cfg, churn); err == nil {
+		t.Error("churn accepted on a single-host config")
+	}
+	crash, _ := BuiltinScenario("crash-recovery")
+	crash.Phases[1].Events[0].Host = 7
+	if _, err := RunScenario(cfg, crash); err == nil {
+		t.Error("event host beyond config host count accepted")
+	}
+	warm, _ := BuiltinScenario("warmup")
+	bad := cfg
+	bad.Hosts = 0
+	if _, err := RunScenario(bad, warm); err == nil {
+		t.Error("invalid config accepted")
+	}
+	empty := &Scenario{Name: "empty"}
+	if _, err := RunScenario(cfg, empty); err == nil {
+		t.Error("scenario with no phases accepted")
+	}
+}
+
+// A working set so small that a WSMultiple duration truncates to zero
+// blocks must still terminate (the bound clamps to one block rather than
+// degrading to "unlimited" over the effectively infinite trace).
+func TestRunScenarioTinyWorkingSetTerminates(t *testing.T) {
+	cfg := ScaledConfig(4096)
+	cfg.Workload.WorkingSetBlocks = 1
+	sc := &Scenario{
+		Name:   "tiny",
+		Phases: []ScenarioPhase{{Name: "p", WSMultiple: 0.5}},
+	}
+	res, err := RunScenario(cfg, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BlocksIssued == 0 {
+		t.Error("clamped phase issued nothing")
+	}
+}
+
+// A sampling period that rounds to zero simulated time must be a load-time
+// error, not a ticker panic.
+func TestRunScenarioRejectsZeroSamplePeriod(t *testing.T) {
+	sc := &Scenario{
+		Name:              "fast",
+		SampleEveryMillis: 1e-9,
+		Phases:            []ScenarioPhase{{Name: "p", Blocks: 10}},
+	}
+	if _, err := RunScenario(ScaledConfig(4096), sc); err == nil {
+		t.Error("zero-rounding sampling period accepted")
+	}
+}
+
+// RunScenario must not mutate the caller's scenario (normalization happens
+// on a clone).
+func TestRunScenarioDoesNotMutateInput(t *testing.T) {
+	sc, _ := BuiltinScenario("warmup")
+	if sc.SampleEveryMillis != 0 {
+		t.Fatal("warmup builtin unexpectedly sets a sampling period")
+	}
+	if _, err := RunScenario(ScaledConfig(4096), sc); err != nil {
+		t.Fatal(err)
+	}
+	if sc.SampleEveryMillis != 0 {
+		t.Error("RunScenario normalized the caller's scenario in place")
+	}
+}
+
+// The warmup scenario's reason to exist: the steady phase must show a
+// warmer flash cache than the cold phase, and telemetry must resolve the
+// ramp (early samples colder than late samples).
+func TestWarmupScenarioRamp(t *testing.T) {
+	sc, _ := BuiltinScenario("warmup")
+	res, err := RunScenario(ScaledConfig(4096), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, steady := res.Phases[0], res.Phases[1]
+	if steady.FlashHitRate <= cold.FlashHitRate {
+		t.Errorf("steady flash hit %.3f not above cold %.3f",
+			steady.FlashHitRate, cold.FlashHitRate)
+	}
+	hits := res.Telemetry.Column(ColFlashHit, nil)
+	if len(hits) < 6 {
+		t.Fatalf("only %d telemetry samples", len(hits))
+	}
+	early := (hits[1] + hits[2]) / 2 // row 0 may predate any traffic
+	late := (hits[len(hits)-2] + hits[len(hits)-3]) / 2
+	if late <= early {
+		t.Errorf("flash hit rate did not ramp: early %.3f late %.3f", early, late)
+	}
+}
+
+// The crash-recovery scenario must show the transient: the first interval
+// after the crash is colder than the last interval before it, and the
+// recovery event pays a nonzero delay (persistent cache: metadata scan).
+func TestCrashRecoveryScenarioTransient(t *testing.T) {
+	cfg := scenarioGoldenConfig("crash-recovery")
+	sc, _ := BuiltinScenario("crash-recovery")
+	res, err := RunScenario(cfg, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Events) != 1 || res.Events[0].Kind != "crash" {
+		t.Fatalf("events = %+v", res.Events)
+	}
+	if res.Events[0].Seconds <= 0 {
+		t.Error("persistent-cache crash recovery took no simulated time")
+	}
+	if res.Events[0].Dropped == 0 {
+		t.Error("crash dropped no blocks")
+	}
+
+	// Locate the crash on the telemetry clock and compare RAM hit rates
+	// around it: the RAM cache dies in the crash even when flash survives.
+	crashAt := res.Phases[1].StartSeconds
+	ramHit := res.Telemetry.Column(ColRAMHit, nil)
+	var beforeIdx, afterIdx = -1, -1
+	for i := 0; i < res.Telemetry.Len(); i++ {
+		if res.Telemetry.Time(i) < crashAt {
+			beforeIdx = i
+		} else if afterIdx == -1 && res.Telemetry.Time(i) > crashAt {
+			afterIdx = i
+		}
+	}
+	if beforeIdx < 0 || afterIdx < 0 {
+		t.Fatal("could not bracket the crash in telemetry")
+	}
+	if ramHit[afterIdx] >= ramHit[beforeIdx] {
+		t.Errorf("RAM hit rate did not drop across the crash: %.3f -> %.3f",
+			ramHit[beforeIdx], ramHit[afterIdx])
+	}
+}
+
+// The churn scenario must detach and re-attach: the departed host serves
+// nothing during the gap, the survivors absorb the traffic, and the event
+// log records both transitions.
+func TestChurnScenarioRedistributes(t *testing.T) {
+	cfg := scenarioGoldenConfig("churn")
+	sc, _ := BuiltinScenario("churn")
+	res, err := RunScenario(cfg, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make([]string, len(res.Events))
+	for i, e := range res.Events {
+		kinds[i] = e.Kind
+	}
+	if strings.Join(kinds, ",") != "leave,join" {
+		t.Fatalf("event kinds = %v", kinds)
+	}
+	leave := res.Events[0]
+	if leave.Dropped == 0 {
+		t.Error("leave dropped no blocks")
+	}
+	// All three phases still issue the full per-phase volume: the load is
+	// redistributed, not lost.
+	for _, p := range res.Phases {
+		if p.BlocksIssued == 0 {
+			t.Errorf("phase %s issued nothing", p.Name)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package flashsim
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// The workload fractions were previously unchecked: values outside [0,1]
+// (and NaN, which fails every comparison) sailed through Validate and
+// produced silently meaningless simulations.
+func TestConfigValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mut  func(*Config)
+		want string // "" means valid
+	}{
+		{"baseline", func(c *Config) {}, ""},
+		{"write frac 0", func(c *Config) { c.Workload.WriteFraction = 0 }, ""},
+		{"write frac 1", func(c *Config) { c.Workload.WriteFraction = 1 }, ""},
+		{"write frac negative", func(c *Config) { c.Workload.WriteFraction = -0.1 }, "write fraction"},
+		{"write frac above 1", func(c *Config) { c.Workload.WriteFraction = 1.01 }, "write fraction"},
+		{"write frac NaN", func(c *Config) { c.Workload.WriteFraction = math.NaN() }, "write fraction"},
+		{"ws frac 0", func(c *Config) { c.Workload.WorkingSetFraction = 0 }, ""},
+		{"ws frac negative", func(c *Config) { c.Workload.WorkingSetFraction = -1 }, "working set fraction"},
+		{"ws frac above 1", func(c *Config) { c.Workload.WorkingSetFraction = 2 }, "working set fraction"},
+		{"ws frac NaN", func(c *Config) { c.Workload.WorkingSetFraction = math.NaN() }, "working set fraction"},
+		{"no hosts", func(c *Config) { c.Hosts = 0 }, "at least one host"},
+		{"no threads", func(c *Config) { c.ThreadsPerHost = 0 }, "thread"},
+		{"negative cache", func(c *Config) { c.RAMBlocks = -1 }, "negative cache size"},
+		{"empty working set", func(c *Config) { c.Workload.WorkingSetBlocks = 0 }, "working set size"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mut(&cfg)
+			err := cfg.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("valid config rejected: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// Run and RunScenario both reject the bad fractions up front.
+func TestRunRejectsBadFractions(t *testing.T) {
+	cfg := ScaledConfig(4096)
+	cfg.Workload.WriteFraction = math.NaN()
+	if _, err := Run(cfg); err == nil {
+		t.Error("Run accepted NaN write fraction")
+	}
+	sc, _ := BuiltinScenario("warmup")
+	if _, err := RunScenario(cfg, sc); err == nil {
+		t.Error("RunScenario accepted NaN write fraction")
+	}
+}

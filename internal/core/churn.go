@@ -1,0 +1,158 @@
+package core
+
+import (
+	"repro/internal/cache"
+	"repro/internal/sim"
+)
+
+// This file implements the scripted-fault hooks the scenario engine drives
+// between phases: crashing a host, flushing its caches, and detaching or
+// re-attaching it (churn). All of them assume a quiescent host — no
+// foreground ops in flight and background writebacks drained — which the
+// scenario runner guarantees by executing events only at phase boundaries
+// after running the engine dry.
+
+// clearable is the least common denominator of every cache tier for bulk
+// clearing (the unified cache is not a cache.BlockCache).
+type clearable interface {
+	Len() int
+	Victim() *cache.Entry
+	Remove(e *cache.Entry)
+}
+
+// clearAll removes every resident entry without writing anything back.
+// Dirty entries are simply dropped — data loss is the caller's story.
+// Victim never returns pinned entries, so any that remain are left
+// resident; on the quiescent hosts these hooks are defined for, nothing
+// is pinned.
+func clearAll(c clearable) int {
+	n := 0
+	for c.Len() > 0 {
+		v := c.Victim()
+		if v == nil {
+			break
+		}
+		c.Remove(v)
+		n++
+	}
+	return n
+}
+
+// DirtyBlocks returns the number of dirty resident blocks across the
+// host's cache tiers; it is the scenario telemetry probe's dirty signal.
+func (h *Host) DirtyBlocks() int {
+	if h.uni != nil {
+		return h.uni.DirtyLen()
+	}
+	return h.ram.DirtyLen() + h.flash.DirtyLen()
+}
+
+// ResidentBlocks returns the number of resident blocks across tiers.
+func (h *Host) ResidentBlocks() int {
+	if h.uni != nil {
+		return h.uni.Len()
+	}
+	return h.ram.Len() + h.flash.Len()
+}
+
+// Crash models a power failure at a quiescent instant. RAM contents —
+// clean and dirty alike — are lost. A persistent flash cache survives with
+// its contents and dirty flags intact, ready for Recover to scan and flush
+// (paper §7.8); a non-persistent one is lost too. The unified architecture
+// cannot be recoverable (its RAM half dies with the host), so it always
+// loses everything. Returns the number of blocks dropped.
+func (h *Host) Crash() int {
+	if h.uni != nil {
+		return clearAll(h.uni)
+	}
+	dropped := clearAll(h.ram)
+	if !h.cfg.PersistentFlash {
+		dropped += clearAll(h.flash)
+	}
+	return dropped
+}
+
+// Flush writes every dirty block down on the background lane — RAM-tier
+// dirty data takes the architecture's normal downward path (to flash under
+// naive, to the filer under lookaside), then dirty flash data goes to the
+// filer — and, once the writebacks are durable, drops the coldest fraction
+// of resident blocks (fraction >= 1 empties the caches). done fires after
+// the drop. Returns the number of dirty blocks at the start of the flush.
+//
+// Flushing in tier order keeps the naive architecture's RAM ⊆ flash
+// property intact: a RAM block cleaned by the flush is clean *because* its
+// data just landed in flash.
+func (h *Host) Flush(fraction float64, done func()) int {
+	dirty := h.DirtyBlocks()
+	finish := func() {
+		h.DropColdest(fraction)
+		if done != nil {
+			done()
+		}
+	}
+	if h.uni != nil {
+		h.flushTier(h.uni.AppendDirty, tierUnified, moveToFiler, finish)
+		return dirty
+	}
+	h.flushTier(h.ram.AppendDirty, tierRAM, h.ramMove(), func() {
+		h.flushTier(h.flash.AppendDirty, tierFlash, moveToFiler, finish)
+	})
+	return dirty
+}
+
+// flushTier writes back one tier's current dirty set and calls next when
+// every writeback is durable below. Entries already mid-writeback are
+// skipped — their in-flight propagation covers them.
+func (h *Host) flushTier(appendDirty func([]*cache.Entry) []*cache.Entry,
+	t tier, mv moveKind, next func()) {
+	h.dirtyScratch = appendDirty(h.dirtyScratch[:0])
+	n := 0
+	for _, e := range h.dirtyScratch {
+		if !e.WritebackInFlight && !e.Pinned {
+			n++
+		}
+	}
+	join := sim.NewJoin(n, next)
+	for _, e := range h.dirtyScratch {
+		if e.WritebackInFlight || e.Pinned {
+			continue
+		}
+		h.propagate(mv, t, e.Key(), e, e.Gen(), bgLane, funcCont(join.Done))
+	}
+}
+
+// DropColdest removes the coldest fraction of each tier's resident blocks
+// (clean removal; callers flush first if the dirty data matters). Flash
+// drops shoot down clean RAM copies so the naive architecture's RAM ⊆
+// flash property survives. Returns the number of blocks dropped.
+func (h *Host) DropColdest(fraction float64) int {
+	if fraction <= 0 {
+		return 0
+	}
+	dropped := 0
+	dropFrom := func(c clearable, shootdown bool) {
+		target := int(fraction * float64(c.Len()))
+		if fraction >= 1 {
+			target = c.Len()
+		}
+		for i := 0; i < target; i++ {
+			v := c.Victim()
+			if v == nil {
+				return
+			}
+			key := v.Key()
+			c.Remove(v)
+			if shootdown {
+				h.shootdownRAMSubset(key)
+			}
+			dropped++
+		}
+	}
+	if h.uni != nil {
+		dropFrom(h.uni, false)
+		return dropped
+	}
+	dropFrom(h.flash, true)
+	dropFrom(h.ram, false)
+	return dropped
+}

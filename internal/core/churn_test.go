@@ -1,0 +1,266 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func layeredCfg(ram, flash int) HostConfig {
+	return HostConfig{
+		RAMBlocks:   ram,
+		FlashBlocks: flash,
+		Arch:        Naive,
+		RAMPolicy:   PolicyNone,
+		FlashPolicy: PolicyNone,
+	}
+}
+
+// dirtyUp writes n distinct blocks so both tiers hold dirty data under the
+// "none" policies.
+func dirtyUp(r *rig, n int) {
+	for i := 0; i < n; i++ {
+		r.writeLat(cache.Key(i + 1))
+	}
+}
+
+func TestCrashNonPersistentDropsEverything(t *testing.T) {
+	r := newRig(t, layeredCfg(8, 32), testTiming())
+	dirtyUp(r, 6)
+	if r.host.ResidentBlocks() == 0 || r.host.DirtyBlocks() == 0 {
+		t.Fatal("setup produced no resident/dirty blocks")
+	}
+	dropped := r.host.Crash()
+	if dropped == 0 {
+		t.Fatal("crash dropped nothing")
+	}
+	if r.host.ResidentBlocks() != 0 || r.host.DirtyBlocks() != 0 {
+		t.Fatalf("after crash: %d resident, %d dirty; want empty",
+			r.host.ResidentBlocks(), r.host.DirtyBlocks())
+	}
+}
+
+func TestCrashPersistentKeepsFlash(t *testing.T) {
+	cfg := layeredCfg(8, 32)
+	cfg.PersistentFlash = true
+	// Sync RAM writeback pushes dirty data down into flash, where the
+	// "none" flash policy leaves it dirty — crash-surviving state.
+	cfg.RAMPolicy = PolicySync
+	r := newRig(t, cfg, testTiming())
+	dirtyUp(r, 6)
+	flashResident := r.host.flash.Len()
+	flashDirty := r.host.flash.DirtyLen()
+	if flashResident == 0 || flashDirty == 0 {
+		t.Fatal("setup left flash empty/clean")
+	}
+	r.host.Crash()
+	if r.host.ram.Len() != 0 {
+		t.Fatal("RAM survived the crash")
+	}
+	if r.host.flash.Len() != flashResident || r.host.flash.DirtyLen() != flashDirty {
+		t.Fatalf("persistent flash changed: %d/%d resident, %d/%d dirty",
+			r.host.flash.Len(), flashResident, r.host.flash.DirtyLen(), flashDirty)
+	}
+	// The surviving dirty blocks recover through the existing path.
+	done := false
+	flushed := r.host.Recover(func() { done = true })
+	r.eng.Run()
+	if !done || flushed != flashDirty {
+		t.Fatalf("recovery flushed %d (done=%v), want %d", flushed, done, flashDirty)
+	}
+	if r.host.flash.DirtyLen() != 0 {
+		t.Fatal("dirty blocks remain after recovery")
+	}
+}
+
+func TestFlushWritesBackAndDrops(t *testing.T) {
+	r := newRig(t, layeredCfg(8, 32), testTiming())
+	dirtyUp(r, 6)
+	dirty := r.host.DirtyBlocks()
+	writesBefore := r.fsrv.Writes()
+	done := false
+	flushed := r.host.Flush(1, func() { done = true })
+	r.eng.Run()
+	if !done {
+		t.Fatal("flush completion never fired")
+	}
+	if flushed != dirty {
+		t.Fatalf("flushed %d, want %d", flushed, dirty)
+	}
+	if got := r.fsrv.Writes() - writesBefore; got != uint64(flushed) {
+		t.Fatalf("filer saw %d writes, want %d", got, flushed)
+	}
+	if r.host.ResidentBlocks() != 0 {
+		t.Fatalf("%d blocks resident after full flush", r.host.ResidentBlocks())
+	}
+}
+
+func TestFlushPartialDropKeepsSubsetInvariant(t *testing.T) {
+	r := newRig(t, layeredCfg(16, 32), testTiming())
+	dirtyUp(r, 12)
+	done := false
+	r.host.Flush(0.5, func() { done = true })
+	r.eng.Run()
+	if !done {
+		t.Fatal("flush completion never fired")
+	}
+	if r.host.DirtyBlocks() != 0 {
+		t.Fatal("dirty blocks remain after flush")
+	}
+	if r.host.ResidentBlocks() == 0 {
+		t.Fatal("partial flush emptied the caches")
+	}
+	// Every clean RAM block must still be backed by flash (naive subset).
+	for _, key := range r.host.ram.Keys(nil) {
+		e := r.host.ram.Peek(key)
+		if e != nil && !e.Dirty && r.host.flash.Peek(key) == nil {
+			t.Fatalf("clean RAM block %d has no flash backing after drop", key)
+		}
+	}
+}
+
+// phaseSrc is an unbounded generator of single-block reads round-robining
+// hosts and threads.
+type phaseSrc struct {
+	hosts, threads int
+	n              uint32
+}
+
+func (s *phaseSrc) Next() (trace.Op, bool) {
+	op := trace.Op{
+		Host:   uint16(int(s.n) % s.hosts),
+		Thread: uint16(int(s.n) % s.threads),
+		Kind:   trace.Read,
+		File:   1,
+		Block:  s.n % 4096,
+		Count:  1,
+	}
+	s.n++
+	return op, true
+}
+
+func multiHostDriver(t *testing.T, nhosts int) (*sim.Engine, []*Host, *Driver, *phaseSrc) {
+	t.Helper()
+	tm := testTiming()
+	hosts := make([]*Host, nhosts)
+	rig0 := newRig(t, layeredCfg(8, 32), tm)
+	eng := rig0.eng
+	hosts[0] = rig0.host
+	for i := 1; i < nhosts; i++ {
+		cfg := layeredCfg(8, 32)
+		cfg.ID = i
+		h, err := NewHost(eng, cfg, tm, rig0.host.seg, nil, rig0.fsrv, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts[i] = h
+	}
+	src := &phaseSrc{hosts: nhosts, threads: 2}
+	drv, err := NewDriver(eng, hosts, nil, src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, hosts, drv, src
+}
+
+func TestRunPhaseBlockBudget(t *testing.T) {
+	_, _, drv, _ := multiHostDriver(t, 1)
+	drv.StartCollection()
+	drv.RunPhase(100, 0)
+	if !drv.quiet() {
+		t.Fatal("driver not quiet at phase end")
+	}
+	// Consumption stops at the budget (single-block ops: exact).
+	if got := drv.BlocksConsumed(); got != 100 {
+		t.Fatalf("consumed %d blocks, want 100", got)
+	}
+	if drv.BlocksIssued() != 100 {
+		t.Fatalf("issued %d blocks, want 100", drv.BlocksIssued())
+	}
+	drv.RunPhase(50, 0)
+	if got := drv.BlocksConsumed(); got != 150 {
+		t.Fatalf("consumed %d blocks after second phase, want 150", got)
+	}
+}
+
+func TestRunPhaseDeadline(t *testing.T) {
+	eng, _, drv, _ := multiHostDriver(t, 1)
+	drv.StartCollection()
+	deadline := eng.Now() + 10*sim.Millisecond
+	drv.RunPhase(0, deadline)
+	if !drv.quiet() {
+		t.Fatal("driver not quiet at phase end")
+	}
+	if eng.Now() < deadline {
+		t.Fatalf("phase ended at %v, before deadline %v", eng.Now(), deadline)
+	}
+	// The drain spillover past the deadline is bounded by in-flight work.
+	if eng.Now() > deadline+sim.Second {
+		t.Fatalf("phase overshot deadline wildly: %v", eng.Now())
+	}
+	if drv.BlocksIssued() == 0 {
+		t.Fatal("no work happened before the deadline")
+	}
+}
+
+func TestRunPhaseBudgetBeforeDeadline(t *testing.T) {
+	eng, _, drv, _ := multiHostDriver(t, 1)
+	drv.StartCollection()
+	// A tiny block budget with a huge deadline must end at the budget, not
+	// spin daemon events until the deadline.
+	drv.RunPhase(10, eng.Now()+sim.Time(3600)*sim.Second)
+	if got := drv.BlocksConsumed(); got != 10 {
+		t.Fatalf("consumed %d blocks, want 10", got)
+	}
+	if eng.Now() > sim.Second {
+		t.Fatalf("clock ran to %v for a 10-block phase", eng.Now())
+	}
+}
+
+func TestSetAttachedRemapsOps(t *testing.T) {
+	_, hosts, drv, _ := multiHostDriver(t, 3)
+	drv.StartCollection()
+	drv.RunPhase(300, 0)
+	for i, h := range hosts {
+		if h.Stats().BlocksRead == 0 {
+			t.Fatalf("host %d served nothing while attached", i)
+		}
+	}
+	if err := drv.SetAttached(1, false); err != nil {
+		t.Fatal(err)
+	}
+	before := hosts[1].Stats().BlocksRead
+	others := hosts[0].Stats().BlocksRead + hosts[2].Stats().BlocksRead
+	drv.RunPhase(300, 0)
+	if hosts[1].Stats().BlocksRead != before {
+		t.Fatal("detached host still served ops")
+	}
+	if hosts[0].Stats().BlocksRead+hosts[2].Stats().BlocksRead <= others {
+		t.Fatal("remaining hosts absorbed no traffic")
+	}
+	if err := drv.SetAttached(1, true); err != nil {
+		t.Fatal(err)
+	}
+	drv.RunPhase(300, 0)
+	if hosts[1].Stats().BlocksRead == before {
+		t.Fatal("re-attached host served nothing")
+	}
+}
+
+func TestSetAttachedValidation(t *testing.T) {
+	_, _, drv, _ := multiHostDriver(t, 2)
+	if err := drv.SetAttached(5, false); err == nil {
+		t.Error("out-of-range host accepted")
+	}
+	if err := drv.SetAttached(0, false); err != nil {
+		t.Error(err)
+	}
+	if err := drv.SetAttached(1, false); err == nil {
+		t.Error("detached the last attached host")
+	}
+	if !drv.Attached(1) || drv.Attached(0) {
+		t.Error("attachment state wrong")
+	}
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/flashsim"
+	"repro/internal/stats"
+)
+
+func init() {
+	registry["ext-scenario"] = ExtScenario
+}
+
+// ExtScenario measures the transients the paper set aside, using the
+// scenario engine: how long a cold flash cache takes to warm up, and how
+// a host crash plays out, as functions of flash size. Each flash size runs
+// three scripted scenarios — the warmup built-in, and the crash-recovery
+// built-in with a persistent and a non-persistent cache — and the metrics
+// are read off the time-resolved telemetry: warmup time is when the flash
+// hit rate first reaches 90% of its steady value, and the crash numbers
+// split into the recovery delay (the metadata scan and dirty flush the
+// paper declined to simulate, §7.8) and the re-warm time back to the
+// pre-crash hit rate.
+func ExtScenario(o Options) (*Report, error) {
+	scale := o.scale()
+	fs, err := sharedServer(o, 60)
+	if err != nil {
+		return nil, err
+	}
+	sizes := []float64{16, 32, 64, 128}
+	if o.Quick {
+		sizes = []float64{32, 64}
+	}
+
+	// Three scenario runs per flash size, batched on the worker pool.
+	var cfgs []flashsim.Config
+	var scs []*flashsim.Scenario
+	addPoint := func(flashGB float64, scenarioName string, persistent bool) error {
+		cfg := baseline(o)
+		cfg.FlashBlocks = int(gb(flashGB, scale))
+		cfg.PersistentFlash = persistent
+		cfg.Workload.FileSet = fs
+		sc, err := flashsim.BuiltinScenario(scenarioName)
+		if err != nil {
+			return err
+		}
+		cfgs = append(cfgs, cfg)
+		scs = append(scs, sc)
+		return nil
+	}
+	for _, size := range sizes {
+		if err := addPoint(size, "warmup", false); err != nil {
+			return nil, err
+		}
+		if err := addPoint(size, "crash-recovery", true); err != nil {
+			return nil, err
+		}
+		if err := addPoint(size, "crash-recovery", false); err != nil {
+			return nil, err
+		}
+	}
+	results, err := flashsim.RunScenarioBatch(cfgs, scs, o.Parallel)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: ext-scenario: %w", err)
+	}
+
+	warmFig := stats.NewFigure(
+		"Extension: cold-start warmup time vs flash size (scenario engine)",
+		"flash size (GB)", "time to 90% of steady flash hit rate (s)")
+	warmSeries := warmFig.AddSeries("warmup time")
+	crashFig := stats.NewFigure(
+		"Extension: crash transient vs flash size (paper §7.8's unsimulated recovery)",
+		"flash size (GB)", "seconds")
+	delaySeries := crashFig.AddSeries("recovery delay (persistent)")
+	rewarmPersist := crashFig.AddSeries("re-warm (persistent)")
+	rewarmCold := crashFig.AddSeries("re-warm (cold restart)")
+
+	var table strings.Builder
+	fmt.Fprintf(&table, "%-10s %12s %12s %16s %14s %14s\n",
+		"flash (GB)", "warmup (s)", "steady hit", "recovery (s)", "rewarm-p (s)", "rewarm-c (s)")
+	for i, size := range sizes {
+		warm := results[3*i]
+		persist := results[3*i+1]
+		cold := results[3*i+2]
+
+		steady := warm.Phases[1].FlashHitRate
+		warmupS := timeToThreshold(warm.Telemetry, flashsim.ColFlashHit, 0, 0.9*steady, warm.SimulatedSeconds)
+		delayS := persist.Events[0].Seconds
+		rewarmP := crashRewarm(persist)
+		rewarmC := crashRewarm(cold)
+
+		o.logf("  ext-scenario flash=%gGB warmup %.3fs recovery %.4fs rewarm %.3f/%.3fs",
+			size, warmupS, delayS, rewarmP, rewarmC)
+		warmSeries.Add(size, warmupS)
+		delaySeries.Add(size, delayS)
+		rewarmPersist.Add(size, rewarmP)
+		rewarmCold.Add(size, rewarmC)
+		fmt.Fprintf(&table, "%-10g %12.3f %11.1f%% %16.4f %14.3f %14.3f\n",
+			size, warmupS, 100*steady, delayS, rewarmP, rewarmC)
+	}
+
+	return &Report{
+		Name: "ext-scenario",
+		Description: "Warmup and crash-recovery transients vs flash size " +
+			"(extension; scenario engine over paper §7.8)",
+		Figures: []*stats.Figure{warmFig, crashFig},
+		Tables:  []string{table.String()},
+	}, nil
+}
+
+// timeToThreshold returns the first telemetry time at or after from where
+// the column reaches threshold, or censored when it never does.
+func timeToThreshold(ts *stats.TimeSeries, col string, from, threshold, censored float64) float64 {
+	ci := ts.ColumnIndex(col)
+	for i := 0; i < ts.Len(); i++ {
+		if ts.Time(i) < from {
+			continue
+		}
+		if ts.Row(i)[ci] >= threshold {
+			return ts.Time(i)
+		}
+	}
+	return censored
+}
+
+// crashRewarm measures how long after the crash the flash hit rate takes
+// to return to 90% of its last pre-crash sample.
+func crashRewarm(res *flashsim.ScenarioResult) float64 {
+	crashAt := res.Phases[1].StartSeconds
+	ci := res.Telemetry.ColumnIndex(flashsim.ColFlashHit)
+	preCrash := 0.0
+	for i := 0; i < res.Telemetry.Len(); i++ {
+		if res.Telemetry.Time(i) >= crashAt {
+			break
+		}
+		preCrash = res.Telemetry.Row(i)[ci]
+	}
+	t := timeToThreshold(res.Telemetry, flashsim.ColFlashHit, crashAt, 0.9*preCrash, res.SimulatedSeconds)
+	return t - crashAt
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtScenarioShape(t *testing.T) {
+	rep, err := ExtScenario(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Figures) != 2 {
+		t.Fatal("want warmup and crash-transient figures")
+	}
+	if len(rep.Tables) == 0 {
+		t.Fatal("table missing")
+	}
+	for _, want := range []string{"warmup (s)", "recovery (s)", "rewarm-p (s)"} {
+		if !strings.Contains(rep.Tables[0], want) {
+			t.Fatalf("table missing column %q:\n%s", want, rep.Tables[0])
+		}
+	}
+
+	warm := findSeries(t, rep.Figures[0], "warmup time")
+	if len(warm.Points) != 2 {
+		t.Fatalf("warmup series has %d points, want 2 (quick sizes)", len(warm.Points))
+	}
+	// A larger flash cache takes at least as long to warm.
+	if warm.Points[1].Y < warm.Points[0].Y {
+		t.Errorf("warmup time fell with flash size: %v", warm.Points)
+	}
+	for _, p := range warm.Points {
+		if p.Y <= 0 {
+			t.Errorf("non-positive warmup time at %gGB", p.X)
+		}
+	}
+
+	// The headline asymmetry: a persistent cache re-warms far faster than
+	// a cold restart once the working set no longer fits cheaply (the
+	// larger flash size), and its recovery delay is nonzero (the scan).
+	delay := findSeries(t, rep.Figures[1], "recovery delay (persistent)")
+	rewarmP := findSeries(t, rep.Figures[1], "re-warm (persistent)")
+	rewarmC := findSeries(t, rep.Figures[1], "re-warm (cold restart)")
+	last := len(rewarmC.Points) - 1
+	if rewarmC.Points[last].Y < rewarmP.Points[last].Y {
+		t.Errorf("cold restart re-warmed faster (%.3fs) than persistent (%.3fs)",
+			rewarmC.Points[last].Y, rewarmP.Points[last].Y)
+	}
+	for _, p := range delay.Points {
+		if p.Y <= 0 {
+			t.Errorf("persistent recovery delay not positive at %gGB", p.X)
+		}
+	}
+}

@@ -19,6 +19,7 @@ func TestReportsIdenticalAcrossParallelism(t *testing.T) {
 		{"fig4", Fig4},
 		{"fig8", Fig8},
 		{"ext-recovery", ExtRecovery},
+		{"ext-scenario", ExtScenario},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			seqOpts := quickOpts()

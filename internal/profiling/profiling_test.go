@@ -1,0 +1,83 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+
+	stop := Start(cpu, mem, "test")
+	// Burn a little CPU so the profile has something to hold.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	stop()
+
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+	if active != nil {
+		t.Error("active finalizer not cleared after stop")
+	}
+}
+
+func TestStopIsIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	mem := filepath.Join(dir, "mem.prof")
+	stop := Start("", mem, "test")
+	stop()
+	st1, err := os.Stat(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second stop must not rewrite (or truncate) the heap profile.
+	stop()
+	st2, err := os.Stat(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Size() != st2.Size() || !st1.ModTime().Equal(st2.ModTime()) {
+		t.Error("second stop rewrote the profile")
+	}
+}
+
+// Flush is the error-exit salvage path: die() calls it before os.Exit so a
+// requested CPU profile gets its trailer even though the deferred stop
+// never runs.
+func TestFlushSalvagesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	_ = Start(cpu, "", "test") // deliberately discard the stop func
+	Flush()
+	st, err := os.Stat(cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() == 0 {
+		t.Error("salvaged CPU profile is empty (missing trailer)")
+	}
+	if active != nil {
+		t.Error("active finalizer not cleared by Flush")
+	}
+	// With nothing active, Flush is a no-op.
+	Flush()
+}
+
+func TestStartWithNoProfilesIsNoop(t *testing.T) {
+	stop := Start("", "", "test")
+	stop()
+	Flush()
+}

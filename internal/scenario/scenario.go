@@ -1,0 +1,271 @@
+// Package scenario describes scripted, phased simulation scenarios: the
+// paper only ever measures steady state, but the interesting behavior of a
+// client-side flash cache at production scale is the transient — warmup
+// after deploy, write bursts, working-set drift, crash/recovery windows,
+// host churn. A Scenario is an ordered list of Phases, each with a
+// duration (in issued blocks, working-set multiples, or simulated time),
+// workload overrides applied at its start, and scripted Events (host
+// crash, cache flush, host leave/join) executed at its boundary.
+//
+// Scenarios are plain data: loadable from JSON, serializable back, and
+// validated independently of any simulator configuration. The library of
+// built-ins (warmup, burst, ws-shift, crash-recovery, churn) lives in
+// builtin.go; flashsim.RunScenario executes a scenario against a
+// flashsim.Config.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// EventKind names a scripted fault.
+type EventKind string
+
+// Event kinds.
+const (
+	// EventCrash power-fails a host at the phase boundary: RAM contents
+	// are lost; a persistent flash cache survives and pays the recovery
+	// scan + dirty flush before the phase's first request, a
+	// non-persistent one restarts cold.
+	EventCrash EventKind = "crash"
+	// EventFlush writes the host's dirty blocks back and drops the
+	// coldest Fraction of its resident blocks.
+	EventFlush EventKind = "flush"
+	// EventLeave gracefully detaches a host: dirty data is flushed, the
+	// caches are dropped, and the host's traffic is redistributed to the
+	// remaining hosts.
+	EventLeave EventKind = "leave"
+	// EventJoin re-attaches a previously departed host, cold.
+	EventJoin EventKind = "join"
+)
+
+// Event is one scripted fault, executed at the start of its phase, in
+// declaration order, with the simulation quiesced.
+type Event struct {
+	Kind EventKind `json:"kind"`
+	// Host is the target host index.
+	Host int `json:"host"`
+	// Fraction is the flush drop fraction (flush events only); 0 is
+	// normalized to 1 (full flush) by Validate.
+	Fraction float64 `json:"fraction,omitempty"`
+}
+
+// Phase is one leg of a scenario: overrides and events applied at its
+// start, then a bounded stretch of simulation. Exactly one duration field
+// must be positive.
+type Phase struct {
+	Name string `json:"name"`
+
+	// Blocks bounds the phase by trace blocks consumed.
+	Blocks int64 `json:"blocks,omitempty"`
+	// WSMultiple bounds the phase by a multiple of the aggregate working
+	// set size in blocks, making scenarios scale-free: the runner
+	// resolves it against the configuration's working set.
+	WSMultiple float64 `json:"ws_multiple,omitempty"`
+	// Seconds bounds the phase by simulated time.
+	Seconds float64 `json:"seconds,omitempty"`
+
+	// Workload overrides; nil fields inherit the previous phase's value
+	// (initially the configuration's).
+	WriteFraction      *float64 `json:"write_fraction,omitempty"`
+	WorkingSetFraction *float64 `json:"working_set_fraction,omitempty"`
+	ActiveThreads      *int     `json:"active_threads,omitempty"`
+	SharedWorkingSet   *bool    `json:"shared_working_set,omitempty"`
+
+	// ShiftFraction, when positive, resamples that fraction of every
+	// working set's blocks at the phase start (working-set drift).
+	ShiftFraction float64 `json:"shift_fraction,omitempty"`
+
+	// Events run at the phase start, after the overrides, in order.
+	Events []Event `json:"events,omitempty"`
+}
+
+// Scenario is an ordered list of phases plus telemetry settings.
+type Scenario struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+
+	// SampleEveryMillis is the telemetry sampling period in simulated
+	// milliseconds; 0 is normalized to DefaultSampleMillis.
+	SampleEveryMillis float64 `json:"sample_every_ms,omitempty"`
+
+	Phases []Phase `json:"phases"`
+}
+
+// DefaultSampleMillis is the telemetry period applied when a scenario
+// does not set one.
+const DefaultSampleMillis = 50
+
+// badFrac reports a fraction outside [0,1] (NaN included).
+func badFrac(f float64) bool { return math.IsNaN(f) || f < 0 || f > 1 }
+
+// Validate checks the scenario and normalizes defaults in place: the
+// sampling period and flush fractions are filled in.
+func (s *Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: missing name")
+	}
+	if len(s.Phases) == 0 {
+		return fmt.Errorf("scenario %s: no phases", s.Name)
+	}
+	if math.IsNaN(s.SampleEveryMillis) || s.SampleEveryMillis < 0 {
+		return fmt.Errorf("scenario %s: bad sampling period %v", s.Name, s.SampleEveryMillis)
+	}
+	if s.SampleEveryMillis == 0 {
+		s.SampleEveryMillis = DefaultSampleMillis
+	}
+	for i := range s.Phases {
+		if err := s.Phases[i].validate(); err != nil {
+			return fmt.Errorf("scenario %s phase %d (%s): %w", s.Name, i, s.Phases[i].Name, err)
+		}
+	}
+	return nil
+}
+
+func (p *Phase) validate() error {
+	durations := 0
+	if p.Blocks > 0 {
+		durations++
+	}
+	if p.WSMultiple > 0 {
+		durations++
+	}
+	if p.Seconds > 0 {
+		durations++
+	}
+	if p.Blocks < 0 || p.WSMultiple < 0 || p.Seconds < 0 ||
+		math.IsNaN(p.WSMultiple) || math.IsNaN(p.Seconds) {
+		return fmt.Errorf("negative duration")
+	}
+	if durations == 0 {
+		return fmt.Errorf("needs a duration (blocks, ws_multiple or seconds)")
+	}
+	if durations > 1 {
+		return fmt.Errorf("multiple durations set; pick one")
+	}
+	if p.WriteFraction != nil && badFrac(*p.WriteFraction) {
+		return fmt.Errorf("write fraction %v out of [0,1]", *p.WriteFraction)
+	}
+	if p.WorkingSetFraction != nil && badFrac(*p.WorkingSetFraction) {
+		return fmt.Errorf("working set fraction %v out of [0,1]", *p.WorkingSetFraction)
+	}
+	if p.ActiveThreads != nil && (*p.ActiveThreads < 1 || *p.ActiveThreads > 1<<16) {
+		return fmt.Errorf("active threads %d out of range", *p.ActiveThreads)
+	}
+	if badFrac(p.ShiftFraction) {
+		return fmt.Errorf("shift fraction %v out of [0,1]", p.ShiftFraction)
+	}
+	for j := range p.Events {
+		if err := p.Events[j].validate(); err != nil {
+			return fmt.Errorf("event %d: %w", j, err)
+		}
+	}
+	return nil
+}
+
+func (e *Event) validate() error {
+	switch e.Kind {
+	case EventCrash, EventLeave, EventJoin:
+		if e.Fraction != 0 {
+			return fmt.Errorf("%s event takes no fraction", e.Kind)
+		}
+	case EventFlush:
+		if badFrac(e.Fraction) {
+			return fmt.Errorf("flush fraction %v out of [0,1]", e.Fraction)
+		}
+		if e.Fraction == 0 {
+			e.Fraction = 1
+		}
+	default:
+		return fmt.Errorf("unknown event kind %q", e.Kind)
+	}
+	if e.Host < 0 || e.Host >= 1<<16 {
+		return fmt.Errorf("host %d out of range", e.Host)
+	}
+	return nil
+}
+
+// MaxHost returns the largest host index referenced by any event, or -1.
+// The runner checks it against the configured host count.
+func (s *Scenario) MaxHost() int {
+	max := -1
+	for _, p := range s.Phases {
+		for _, e := range p.Events {
+			if e.Host > max {
+				max = e.Host
+			}
+		}
+	}
+	return max
+}
+
+// HasChurn reports whether the scenario detaches hosts, which requires a
+// multi-host configuration.
+func (s *Scenario) HasChurn() bool {
+	for _, p := range s.Phases {
+		for _, e := range p.Events {
+			if e.Kind == EventLeave || e.Kind == EventJoin {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy, so normalization during a run never mutates
+// a caller-owned scenario.
+func (s *Scenario) Clone() *Scenario {
+	out := *s
+	out.Phases = make([]Phase, len(s.Phases))
+	for i, p := range s.Phases {
+		q := p
+		q.WriteFraction = clonePtr(p.WriteFraction)
+		q.WorkingSetFraction = clonePtr(p.WorkingSetFraction)
+		q.ActiveThreads = clonePtr(p.ActiveThreads)
+		q.SharedWorkingSet = clonePtr(p.SharedWorkingSet)
+		q.Events = append([]Event(nil), p.Events...)
+		out.Phases[i] = q
+	}
+	return &out
+}
+
+func clonePtr[T any](p *T) *T {
+	if p == nil {
+		return nil
+	}
+	v := *p
+	return &v
+}
+
+// Parse decodes a scenario from JSON and validates it. Unknown fields are
+// rejected so typos in hand-written scenarios fail loudly.
+func Parse(data []byte) (*Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Load reads and parses a scenario file.
+func Load(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return Parse(data)
+}
+
+// JSON renders the scenario as indented JSON.
+func (s *Scenario) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

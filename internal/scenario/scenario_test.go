@@ -1,0 +1,171 @@
+package scenario
+
+import (
+	"math"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func validScenario() *Scenario {
+	return &Scenario{
+		Name: "test",
+		Phases: []Phase{
+			{Name: "a", Blocks: 100},
+			{Name: "b", Seconds: 1.5, WriteFraction: ptr(0.5),
+				Events: []Event{{Kind: EventFlush, Host: 0, Fraction: 0.25}}},
+		},
+	}
+}
+
+func TestValidateNormalizesDefaults(t *testing.T) {
+	s := &Scenario{
+		Name: "n",
+		Phases: []Phase{
+			{Name: "p", Blocks: 1, Events: []Event{{Kind: EventFlush, Host: 0}}},
+		},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.SampleEveryMillis != DefaultSampleMillis {
+		t.Errorf("sampling period %v, want default %v", s.SampleEveryMillis, DefaultSampleMillis)
+	}
+	if s.Phases[0].Events[0].Fraction != 1 {
+		t.Errorf("flush fraction %v, want normalized 1", s.Phases[0].Events[0].Fraction)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mut  func(*Scenario)
+		want string
+	}{
+		{"no name", func(s *Scenario) { s.Name = "" }, "missing name"},
+		{"no phases", func(s *Scenario) { s.Phases = nil }, "no phases"},
+		{"no duration", func(s *Scenario) { s.Phases[0].Blocks = 0 }, "needs a duration"},
+		{"two durations", func(s *Scenario) { s.Phases[0].Seconds = 1 }, "multiple durations"},
+		{"negative blocks", func(s *Scenario) { s.Phases[0].Blocks = -5 }, "negative duration"},
+		{"bad write frac", func(s *Scenario) { s.Phases[1].WriteFraction = ptr(1.5) }, "write fraction"},
+		{"nan write frac", func(s *Scenario) { s.Phases[1].WriteFraction = ptr(math.NaN()) }, "write fraction"},
+		{"bad ws frac", func(s *Scenario) { s.Phases[1].WorkingSetFraction = ptr(-0.1) }, "working set fraction"},
+		{"bad threads", func(s *Scenario) { s.Phases[1].ActiveThreads = ptr(0) }, "active threads"},
+		{"bad shift", func(s *Scenario) { s.Phases[0].ShiftFraction = 2 }, "shift fraction"},
+		{"bad event kind", func(s *Scenario) { s.Phases[1].Events[0].Kind = "reboot" }, "unknown event kind"},
+		{"bad flush frac", func(s *Scenario) { s.Phases[1].Events[0].Fraction = math.NaN() }, "flush fraction"},
+		{"crash with frac", func(s *Scenario) {
+			s.Phases[1].Events[0] = Event{Kind: EventCrash, Fraction: 0.5}
+		}, "takes no fraction"},
+		{"negative host", func(s *Scenario) { s.Phases[1].Events[0].Host = -1 }, "host"},
+		{"bad sample", func(s *Scenario) { s.SampleEveryMillis = -1 }, "sampling period"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := validScenario()
+			tc.mut(s)
+			err := s.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := validScenario()
+	s.SampleEveryMillis = 20
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Fatalf("round trip changed the scenario:\n%+v\n%+v", s, back)
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	_, err := Parse([]byte(`{"name":"x","phases":[{"name":"p","blocks":1,"typo_field":3}]}`))
+	if err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/s.json"
+	data, err := validScenario().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "test" || len(s.Phases) != 2 {
+		t.Fatalf("loaded %+v", s)
+	}
+	if _, err := Load(dir + "/missing.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestBuiltinsValidateAndAreFresh(t *testing.T) {
+	names := BuiltinNames()
+	want := []string{"burst", "churn", "crash-recovery", "warmup", "ws-shift"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("builtins = %v, want %v", names, want)
+	}
+	for _, name := range names {
+		s, err := Builtin(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("builtin %s invalid: %v", name, err)
+		}
+		// Fresh copies: mutating one must not leak into the next.
+		s.Phases[0].Name = "mutated"
+		s2, _ := Builtin(name)
+		if s2.Phases[0].Name == "mutated" {
+			t.Errorf("builtin %s shares state across calls", name)
+		}
+	}
+	if _, err := Builtin("nope"); err == nil {
+		t.Fatal("unknown builtin accepted")
+	}
+}
+
+func TestChurnAndMaxHost(t *testing.T) {
+	churn, _ := Builtin("churn")
+	if !churn.HasChurn() {
+		t.Error("churn builtin reports no churn")
+	}
+	if churn.MaxHost() != 1 {
+		t.Errorf("churn max host %d, want 1", churn.MaxHost())
+	}
+	warm, _ := Builtin("warmup")
+	if warm.HasChurn() || warm.MaxHost() != -1 {
+		t.Error("warmup misreports churn/hosts")
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := validScenario()
+	c := s.Clone()
+	*c.Phases[1].WriteFraction = 0.99
+	c.Phases[1].Events[0].Fraction = 0.75
+	if *s.Phases[1].WriteFraction != 0.5 || s.Phases[1].Events[0].Fraction != 0.25 {
+		t.Fatal("clone shares storage with the original")
+	}
+}

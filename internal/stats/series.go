@@ -1,0 +1,213 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// TimeSeries is a time-resolved telemetry table: a shared time column plus
+// a fixed set of named value columns, one row per sample. It is the
+// exportable product of the scenario engine's telemetry probe — per-interval
+// hit rates, latencies, queue depths, dirty-block counts — and renders as
+// CSV or NDJSON.
+//
+// Storage is a single flat float64 slice (row-major), so appending a row
+// within the reserved capacity allocates nothing; the sampling hot path
+// stays allocation-free once the backing arrays reach their high-water
+// mark (or after an explicit Reserve).
+type TimeSeries struct {
+	name    string
+	columns []string
+	times   []float64
+	values  []float64 // len(times) * len(columns), row-major
+}
+
+// NewTimeSeries returns an empty series with the given value columns (the
+// time column is implicit and always first in exports).
+func NewTimeSeries(name string, columns ...string) *TimeSeries {
+	if len(columns) == 0 {
+		panic("stats: time series needs at least one column")
+	}
+	return &TimeSeries{name: name, columns: append([]string(nil), columns...)}
+}
+
+// Name returns the series name.
+func (ts *TimeSeries) Name() string { return ts.name }
+
+// Columns returns the value column names.
+func (ts *TimeSeries) Columns() []string { return append([]string(nil), ts.columns...) }
+
+// NumColumns returns the number of value columns.
+func (ts *TimeSeries) NumColumns() int { return len(ts.columns) }
+
+// Len returns the number of rows.
+func (ts *TimeSeries) Len() int { return len(ts.times) }
+
+// Reserve grows the backing arrays to hold at least rows rows, so that
+// the next (rows - Len()) appends allocate nothing.
+func (ts *TimeSeries) Reserve(rows int) {
+	if cap(ts.times) < rows {
+		t := make([]float64, len(ts.times), rows)
+		copy(t, ts.times)
+		ts.times = t
+	}
+	if want := rows * len(ts.columns); cap(ts.values) < want {
+		v := make([]float64, len(ts.values), want)
+		copy(v, ts.values)
+		ts.values = v
+	}
+}
+
+// Append adds one sample row. row must have exactly NumColumns values; the
+// contents are copied, so callers may reuse the slice.
+func (ts *TimeSeries) Append(t float64, row []float64) {
+	if len(row) != len(ts.columns) {
+		panic(fmt.Sprintf("stats: row has %d values, series has %d columns", len(row), len(ts.columns)))
+	}
+	ts.times = append(ts.times, t)
+	ts.values = append(ts.values, row...)
+}
+
+// Time returns row i's timestamp.
+func (ts *TimeSeries) Time(i int) float64 { return ts.times[i] }
+
+// Row returns row i's values as a read-only view into the series storage.
+func (ts *TimeSeries) Row(i int) []float64 {
+	n := len(ts.columns)
+	return ts.values[i*n : (i+1)*n]
+}
+
+// ColumnIndex returns the index of the named column, or -1.
+func (ts *TimeSeries) ColumnIndex(name string) int {
+	for i, c := range ts.columns {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Column appends the named column's values to dst and returns it.
+func (ts *TimeSeries) Column(name string, dst []float64) []float64 {
+	ci := ts.ColumnIndex(name)
+	if ci < 0 {
+		return dst
+	}
+	for i := 0; i < ts.Len(); i++ {
+		dst = append(dst, ts.Row(i)[ci])
+	}
+	return dst
+}
+
+// appendFloat renders v with the shortest round-trip representation, the
+// deterministic format shared by both exporters.
+func appendFloat(b []byte, v float64) []byte {
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// WriteCSV renders the series as CSV: a comment line with the name, a
+// header (time_s first), then one row per sample.
+func (ts *TimeSeries) WriteCSV(w io.Writer) error {
+	var b []byte
+	b = append(b, "# "...)
+	b = append(b, ts.name...)
+	b = append(b, "\ntime_s"...)
+	for _, c := range ts.columns {
+		b = append(b, ',')
+		b = append(b, c...)
+	}
+	b = append(b, '\n')
+	for i := range ts.times {
+		b = appendFloat(b, ts.times[i])
+		for _, v := range ts.Row(i) {
+			b = append(b, ',')
+			b = appendFloat(b, v)
+		}
+		b = append(b, '\n')
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+// CSV renders the series as a CSV string.
+func (ts *TimeSeries) CSV() string {
+	var sb strings.Builder
+	ts.WriteCSV(&sb) // strings.Builder never errors
+	return sb.String()
+}
+
+// WriteNDJSON renders the series as newline-delimited JSON, one object per
+// sample with "t" first and then the columns in declaration order.
+func (ts *TimeSeries) WriteNDJSON(w io.Writer) error {
+	var b []byte
+	for i := range ts.times {
+		b = append(b, `{"t":`...)
+		b = appendFloat(b, ts.times[i])
+		for j, v := range ts.Row(i) {
+			b = append(b, ',', '"')
+			b = append(b, ts.columns[j]...)
+			b = append(b, '"', ':')
+			b = appendFloat(b, v)
+		}
+		b = append(b, '}', '\n')
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+// NDJSON renders the series as an NDJSON string.
+func (ts *TimeSeries) NDJSON() string {
+	var sb strings.Builder
+	ts.WriteNDJSON(&sb)
+	return sb.String()
+}
+
+// Sampler drives periodic telemetry collection: every period of simulated
+// time it calls fill to populate one row and appends it to the series. The
+// row buffer is owned by the sampler and reused, so a tick performs no
+// allocation once the series' backing arrays have reached their high-water
+// mark (see TimeSeries.Reserve).
+//
+// The underlying ticker is a daemon: ticks fire while foreground events
+// advance the clock but do not by themselves keep the engine alive.
+type Sampler struct {
+	eng    *sim.Engine
+	ts     *TimeSeries
+	fill   func(now sim.Time, row []float64)
+	row    []float64
+	ticker *sim.Ticker
+}
+
+// NewSampler arms a sampler on the engine. fill receives the current
+// simulated time and the reusable row buffer (len == ts.NumColumns()); it
+// must overwrite every element.
+func NewSampler(eng *sim.Engine, period sim.Time, ts *TimeSeries, fill func(now sim.Time, row []float64)) *Sampler {
+	s := &Sampler{
+		eng:  eng,
+		ts:   ts,
+		fill: fill,
+		row:  make([]float64, ts.NumColumns()),
+	}
+	s.ticker = sim.NewTicker(eng, period, s.Sample)
+	return s
+}
+
+// Sample takes one snapshot immediately: fill populates the row, which is
+// appended at the engine's current time. The ticker calls this every
+// period; callers may also invoke it directly (e.g. one final sample at
+// the end of a run).
+func (s *Sampler) Sample() {
+	now := s.eng.Now()
+	s.fill(now, s.row)
+	s.ts.Append(now.Seconds(), s.row)
+}
+
+// Stop cancels future ticks.
+func (s *Sampler) Stop() { s.ticker.Stop() }
+
+// Series returns the series being filled.
+func (s *Sampler) Series() *TimeSeries { return s.ts }

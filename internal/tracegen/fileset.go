@@ -171,7 +171,16 @@ func (fs *FileSet) SampleWorkingSet(r *rng.RNG, targetBlocks int64, meanRegionBl
 		meanRegionBlocks = 1
 	}
 	ws := &WorkingSet{}
-	used := make(map[uint32][]Region) // per-file accepted regions
+	fs.appendRegions(r, ws, make(map[uint32][]Region), targetBlocks, meanRegionBlocks)
+	ws.buildIndex()
+	return ws, nil
+}
+
+// appendRegions grows ws with freshly sampled regions (disjoint from those
+// recorded in used) until it covers targetBlocks. It is the sampling core
+// shared by SampleWorkingSet and ShiftWorkingSet.
+func (fs *FileSet) appendRegions(r *rng.RNG, ws *WorkingSet, used map[uint32][]Region,
+	targetBlocks int64, meanRegionBlocks float64) {
 	overlaps := func(f uint32, start, n uint32) bool {
 		for _, reg := range used[f] {
 			if start < reg.Start+reg.Blocks && reg.Start < start+n {
@@ -222,8 +231,38 @@ func (fs *FileSet) SampleWorkingSet(r *rng.RNG, targetBlocks int64, meanRegionBl
 		ws.Regions = append(ws.Regions, reg)
 		ws.TotalBlocks += int64(n)
 	}
-	ws.buildIndex()
-	return ws, nil
+}
+
+// ShiftWorkingSet returns a new working set in which roughly fraction of
+// ws's blocks have been replaced by freshly sampled regions, modeling
+// working-set drift (new data becomes hot, old data goes cold). The oldest
+// regions — those sampled first — are retired first, and the total size is
+// preserved. ws itself is not modified.
+func (fs *FileSet) ShiftWorkingSet(r *rng.RNG, ws *WorkingSet, fraction float64,
+	meanRegionBlocks float64) (*WorkingSet, error) {
+	if badFraction(fraction) {
+		return nil, fmt.Errorf("tracegen: shift fraction %v out of [0,1]", fraction)
+	}
+	if meanRegionBlocks < 1 {
+		meanRegionBlocks = 1
+	}
+	target := ws.TotalBlocks
+	dropTarget := int64(fraction * float64(target))
+	out := &WorkingSet{}
+	used := make(map[uint32][]Region)
+	var dropped int64
+	for _, reg := range ws.Regions {
+		if dropped < dropTarget {
+			dropped += int64(reg.Blocks)
+			continue
+		}
+		out.Regions = append(out.Regions, reg)
+		out.TotalBlocks += int64(reg.Blocks)
+		used[reg.File] = append(used[reg.File], reg)
+	}
+	fs.appendRegions(r, out, used, target, meanRegionBlocks)
+	out.buildIndex()
+	return out, nil
 }
 
 func (ws *WorkingSet) buildIndex() {

@@ -2,6 +2,7 @@ package tracegen
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/rng"
 	"repro/internal/trace"
@@ -123,6 +124,80 @@ func (g *Generator) WorkingSet(h int) *WorkingSet {
 		return g.sets[0]
 	}
 	return g.sets[h]
+}
+
+// --- phase-aware mutation -------------------------------------------------
+//
+// The scenario engine reshapes a live workload between phases: the write
+// mix, locality, thread population, sharing mode and working-set contents
+// may all change mid-trace. Mutators take effect on the next Next call and
+// draw only from the generator's own seeded stream (ShiftWorkingSets
+// consumes from it; the others leave it alone), so a scenario replayed
+// with the same seed and the same mutation sequence is byte-identical.
+
+// badFraction reports a fraction outside [0,1]; NaN fails every
+// comparison, so it is checked explicitly.
+func badFraction(f float64) bool { return math.IsNaN(f) || f < 0 || f > 1 }
+
+// SetWriteFraction changes the fraction of I/Os that are writes.
+func (g *Generator) SetWriteFraction(f float64) error {
+	if badFraction(f) {
+		return fmt.Errorf("tracegen: write fraction %v out of [0,1]", f)
+	}
+	g.cfg.WriteFraction = f
+	return nil
+}
+
+// SetWorkingSetFraction changes the fraction of I/Os drawn from the
+// working set (the rest sample the whole file server).
+func (g *Generator) SetWorkingSetFraction(f float64) error {
+	if badFraction(f) {
+		return fmt.Errorf("tracegen: working set fraction %v out of [0,1]", f)
+	}
+	g.cfg.WorkingSetFraction = f
+	return nil
+}
+
+// SetActiveThreads changes the number of application threads issuing I/O
+// per host. Raising it above the initial count is allowed: thread IDs are
+// logical, so new IDs simply appear in the trace.
+func (g *Generator) SetActiveThreads(n int) error {
+	if n < 1 || n > 1<<16 {
+		return fmt.Errorf("tracegen: threads %d out of range", n)
+	}
+	g.cfg.ThreadsPerHost = n
+	return nil
+}
+
+// SetSharedWorkingSet switches between one shared working set (all hosts
+// draw from set 0) and per-host working sets. Switching to private mode
+// requires the generator to have been built with per-host sets.
+func (g *Generator) SetSharedWorkingSet(shared bool) error {
+	if !shared && g.cfg.Hosts > 1 && len(g.sets) < g.cfg.Hosts {
+		return fmt.Errorf("tracegen: cannot switch to private working sets: generator was built shared")
+	}
+	g.cfg.SharedWorkingSet = shared
+	return nil
+}
+
+// ShiftWorkingSets replaces roughly the given fraction of every working
+// set's blocks with freshly sampled regions, modeling working-set drift.
+// The sets' total sizes are preserved.
+func (g *Generator) ShiftWorkingSets(fraction float64) error {
+	if badFraction(fraction) {
+		return fmt.Errorf("tracegen: shift fraction %v out of [0,1]", fraction)
+	}
+	if fraction == 0 {
+		return nil
+	}
+	for i, ws := range g.sets {
+		shifted, err := g.cfg.FileSet.ShiftWorkingSet(g.rnd, ws, fraction, g.cfg.MeanRegionBlocks)
+		if err != nil {
+			return err
+		}
+		g.sets[i] = shifted
+	}
+	return nil
 }
 
 // Next implements trace.Source.
