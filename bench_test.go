@@ -11,6 +11,7 @@
 package repro_test
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/flashsim"
@@ -194,4 +195,52 @@ func BenchmarkSimulatorEventThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(events), "events/run")
 	b.ReportMetric(seconds, "simsec/run")
+}
+
+// --- fleet-scale sharded benches ---
+
+// fleetConfig is the 1024-host fleet point of the ext-fleet sweep: every
+// host modifying one shared working set behind modest private caches.
+func fleetBenchConfig(shards int) flashsim.Config {
+	const scale = 4096
+	cfg := flashsim.ScaledConfig(scale)
+	cfg.Hosts = 1024
+	cfg.ThreadsPerHost = 2
+	cfg.RAMBlocks = int(0.25 * float64(flashsim.BlocksPerGB) / scale)
+	cfg.FlashBlocks = 2 * flashsim.BlocksPerGB / scale
+	cfg.Workload.SharedWorkingSet = true
+	cfg.Workload.WorkingSetBlocks = 8 * int64(flashsim.BlocksPerGB) / scale
+	cfg.Workload.TotalBlocks = 512 * 1024 // half a thousand blocks per host
+	cfg.Shards = shards
+	return cfg
+}
+
+// benchFleet runs the 1024-host fleet at a fixed shard count. The
+// sequential/sharded pair makes the intra-simulation speedup visible; on a
+// multi-core machine the sharded rows should run several times faster,
+// while producing identical results for every shard count.
+func benchFleet(b *testing.B, shards int) {
+	b.Helper()
+	cfg := fleetBenchConfig(shards)
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		res, err := flashsim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.Events
+	}
+	b.ReportMetric(float64(events), "events/run")
+}
+
+func BenchmarkFleetSequential(b *testing.B) { benchFleet(b, 1) }
+
+// BenchmarkFleetSharded always exercises the cluster executor: GOMAXPROCS
+// shards, minimum two so the exchange machinery runs even on one core.
+func BenchmarkFleetSharded(b *testing.B) {
+	shards := runtime.GOMAXPROCS(0)
+	if shards < 2 {
+		shards = 2
+	}
+	benchFleet(b, shards)
 }

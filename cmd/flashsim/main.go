@@ -13,6 +13,13 @@
 //
 //	flashsim -wss 40,60,80 -writes 10,30 -parallel 4
 //
+// Multi-host runs can shard one simulation across cores (-shards): hosts
+// are partitioned over parallel event engines with results bit-identical
+// for every shard count. -shards 0 (the default) picks GOMAXPROCS for
+// multi-host runs and the sequential engine otherwise:
+//
+//	flashsim -hosts 256 -shared-wss -shards 0
+//
 // Replaying a trace file instead of the synthetic workload:
 //
 //	flashsim -trace workload.fctr -warmup-blocks 100000
@@ -30,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -59,6 +67,7 @@ func main() {
 	ftlBacked := flag.Bool("ftl", false, "route flash traffic through the FTL device simulator")
 	prefetch := flag.Float64("prefetch", 0.90, "filer fast-read (prefetch success) rate")
 	parallel := flag.Int("parallel", 0, "worker pool size for multi-point sweeps (0 = all CPUs)")
+	shards := flag.Int("shards", 0, "engine shards within one simulation: hosts are partitioned over this many parallel event engines (0 = GOMAXPROCS for multi-host runs, 1 = the sequential engine)")
 	scenarioName := flag.String("scenario", "", "run a scripted scenario: a built-in name or a JSON file path")
 	listScenarios := flag.Bool("list-scenarios", false, "list built-in scenarios and exit")
 	telemetryPath := flag.String("telemetry", "", "write scenario telemetry to this file (.ndjson for NDJSON, else CSV; - for stdout)")
@@ -107,6 +116,17 @@ func main() {
 	base.Timing.FilerFastReadRate = *prefetch
 	base.Workload.SharedWorkingSet = *shared
 	base.Workload.Seed = *seed
+	base.Shards = *shards
+	if base.Shards == 0 && *hosts > 1 {
+		// Auto mode always selects the cluster executor (minimum two
+		// shards): cluster results are identical for every shard count,
+		// so the default multi-host output does not depend on how many
+		// cores this machine happens to have.
+		base.Shards = runtime.GOMAXPROCS(0)
+		if base.Shards < 2 {
+			base.Shards = 2
+		}
+	}
 
 	point := func(wss, wr float64) flashsim.Config {
 		cfg := base
@@ -133,7 +153,12 @@ func main() {
 			sc, err = flashsim.BuiltinScenario(*scenarioName)
 		}
 		die(err)
-		res, err := flashsim.RunScenario(point(wssList[0], writesList[0]), sc)
+		if *shards > 1 {
+			fmt.Fprintln(os.Stderr, "flashsim: scenario runs execute on the sequential engine; -shards ignored")
+		}
+		scCfg := point(wssList[0], writesList[0])
+		scCfg.Shards = 0
+		res, err := flashsim.RunScenario(scCfg, sc)
 		die(err)
 		fmt.Println(header(wssList[0], writesList[0]))
 		fmt.Print(res)

@@ -57,4 +57,18 @@
 // checksum tests pin simulation output to the pre-refactor engine bit for
 // bit; BENCH_2.json records the measured speedup. Both CLIs take
 // -cpuprofile / -memprofile for hot-path measurement.
+//
+// # Sharded fleet execution
+//
+// The sweep runner parallelizes across points; Config.Shards parallelizes
+// within one simulation. A sharded run (internal/core.Cluster) partitions
+// the hosts over per-shard event engines synchronized by a conservative
+// epoch barrier: the shared filer is serviced at the barrier in globally
+// sorted arrival order and cross-host invalidations are delivered there,
+// so results are bit-identical for every shard count on every machine.
+// The ext-fleet experiment sweeps the population 64 -> 4096 hosts; the
+// BenchmarkFleetSequential / BenchmarkFleetSharded pair (BENCH_4.json)
+// tracks the intra-simulation speedup. docs/ARCHITECTURE.md documents the
+// layer map, the event lifecycle and the full determinism contract;
+// docs/PERFORMANCE.md the zero-allocation rules and profiling recipes.
 package repro

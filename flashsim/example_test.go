@@ -1,0 +1,91 @@
+package flashsim_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/flashsim"
+)
+
+// ExampleRun executes the paper's baseline at a laptop-friendly scale and
+// reports the application-observed read behaviour.
+func ExampleRun() {
+	cfg := flashsim.ScaledConfig(8192)
+	res, err := flashsim.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("completed %d ops, %d blocks\n", res.OpsCompleted, res.BlocksIssued)
+	fmt.Printf("reads hit a cache: %v\n", res.RAMHitRate+res.FlashHitRate > 0)
+	// Output:
+	// completed 1932 ops, 7680 blocks
+	// reads hit a cache: true
+}
+
+// ExampleRunGrid declares a working-set sweep as a point grid and runs it
+// on the bounded worker pool. Results stream back in declaration order —
+// whatever the pool's parallelism — so output is deterministic.
+func ExampleRunGrid() {
+	var cfgs []flashsim.Config
+	for _, wssBlocks := range []int64{512, 1024, 2048} {
+		cfg := flashsim.ScaledConfig(8192)
+		cfg.Workload.WorkingSetBlocks = wssBlocks
+		cfgs = append(cfgs, cfg)
+	}
+	_, err := flashsim.RunGrid(cfgs, 0, func(i int, res *flashsim.Result) {
+		fmt.Printf("point %d: %d blocks issued\n", i, res.BlocksIssued)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// point 0: 2053 blocks issued
+	// point 1: 4096 blocks issued
+	// point 2: 8196 blocks issued
+}
+
+// ExampleRunScenario executes a scripted multi-phase workload — the
+// "warmup" built-in — and walks its per-phase results.
+func ExampleRunScenario() {
+	sc, err := flashsim.BuiltinScenario("warmup")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := flashsim.ScaledConfig(8192)
+	res, err := flashsim.RunScenario(cfg, sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range res.Phases {
+		fmt.Printf("phase %s: %d blocks\n", p.Name, p.BlocksIssued)
+	}
+	fmt.Printf("telemetry columns: %d\n", res.Telemetry.NumColumns())
+	// Output:
+	// phase cold: 5764 blocks
+	// phase steady: 1921 blocks
+	// telemetry columns: 7
+}
+
+// ExampleTimeSeries_WriteCSV exports a scenario's time-resolved telemetry
+// as CSV, the format the plotting pipeline consumes.
+func ExampleTimeSeries_WriteCSV() {
+	sc, err := flashsim.BuiltinScenario("warmup")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := flashsim.RunScenario(flashsim.ScaledConfig(8192), sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var b strings.Builder
+	if err := res.Telemetry.WriteCSV(&b); err != nil {
+		log.Fatal(err)
+	}
+	header := strings.SplitN(b.String(), "\n", 3)
+	fmt.Println(header[0])
+	fmt.Println(header[1])
+	// Output:
+	// # scenario warmup
+	// time_s,read_us,write_us,ram_hit,flash_hit,blocks,inflight,dirty
+}

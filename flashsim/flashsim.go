@@ -5,7 +5,10 @@
 // A simulation is described by a Config — cache sizes, architecture,
 // writeback policies, timing model and synthetic workload — and executed
 // with Run, which returns a Result carrying the application-observed
-// latencies and cache statistics the paper reports.
+// latencies and cache statistics the paper reports. Multi-host fleets can
+// shard one simulation across cores (Config.Shards) with results
+// bit-identical at every shard count; scripted multi-phase runs execute
+// with RunScenario, and point grids with RunBatch/RunGrid.
 //
 // Quick start:
 //
@@ -226,6 +229,18 @@ type Config struct {
 	Timing   Timing
 	Workload Workload
 
+	// Shards, when > 1, executes the simulation as a sharded cluster:
+	// hosts are partitioned over that many parallel discrete-event
+	// engines synchronized by a conservative epoch barrier, with the
+	// shared filer serviced in globally sorted arrival order at the
+	// barrier. Results are bit-identical for every Shards value >= 1 on
+	// any machine, but follow the cluster's (slightly different, fully
+	// deterministic) semantics rather than the sequential path's — see
+	// docs/ARCHITECTURE.md. 0 or 1 selects the classic sequential
+	// engine. Shards > 1 requires more than one host and is incompatible
+	// with ConsistencyProtocol and RecoveredStart.
+	Shards int
+
 	// Seed drives simulator randomness (filer prefetch outcomes).
 	Seed uint64
 }
@@ -302,6 +317,13 @@ func (c *Config) Validate() error {
 	}
 	if f := c.Workload.WorkingSetFraction; math.IsNaN(f) || f < 0 || f > 1 {
 		return fmt.Errorf("flashsim: working set fraction %v out of [0,1]", f)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("flashsim: negative shard count")
+	}
+	if c.Shards > 1 && c.ConsistencyProtocol {
+		return fmt.Errorf("flashsim: the callback consistency protocol requires zero-latency " +
+			"cross-host messages and cannot run sharded; use Shards <= 1")
 	}
 	hc := core.HostConfig{
 		RAMBlocks:   c.RAMBlocks,
@@ -489,6 +511,12 @@ func buildSimulation(cfg Config, src trace.Source, warmupBlocks int64) (*simulat
 func runTrace(cfg Config, src trace.Source, warmupBlocks int64, pre prestartFn) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Shards > 1 {
+		if pre != nil {
+			return nil, fmt.Errorf("flashsim: RecoveredStart is not supported with Shards > 1")
+		}
+		return runSharded(cfg, src, warmupBlocks)
 	}
 	s, err := buildSimulation(cfg, src, warmupBlocks)
 	if err != nil {

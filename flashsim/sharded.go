@@ -1,0 +1,142 @@
+package flashsim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/filer"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// This file executes a Config with Shards > 1 as a core.Cluster: the trace
+// is split into per-host streams, hosts are partitioned round-robin over
+// per-shard engines, and the shared filer is serviced at a conservative
+// epoch barrier in globally sorted arrival order. The cluster guarantees
+// bit-identical results for every shard count (the sharded determinism
+// contract; see internal/core/cluster.go and docs/ARCHITECTURE.md), which
+// TestShardedShardCountInvariance locks.
+
+// splitTrace drains the source into per-host op slices, mirroring the
+// sequential driver's host clamping (a trace recorded on more hosts than
+// configured wraps around). It returns the per-host streams and per-host
+// block volumes.
+func splitTrace(src trace.Source, hosts int) (perHost [][]trace.Op, blocks []int64, total int64) {
+	perHost = make([][]trace.Op, hosts)
+	blocks = make([]int64, hosts)
+	for {
+		op, ok := src.Next()
+		if !ok {
+			break
+		}
+		hi := int(op.Host) % hosts
+		perHost[hi] = append(perHost[hi], op)
+		blocks[hi] += int64(op.Count)
+		total += int64(op.Count)
+	}
+	return perHost, blocks, total
+}
+
+// runSharded executes the simulation as a sharded cluster.
+func runSharded(cfg Config, src trace.Source, warmupBlocks int64) (*Result, error) {
+	if cfg.Hosts < 2 {
+		return nil, fmt.Errorf("flashsim: Shards > 1 needs more than one host to partition")
+	}
+
+	perHost, blocks, total := splitTrace(src, cfg.Hosts)
+
+	// Each host warms up on its own share of the trace, preserving the
+	// global warmup fraction (the sequential driver flips collection once
+	// the global volume passes warmupBlocks; per-host flips are what keep
+	// the decision independent of shard interleaving).
+	warmup := make([]int64, cfg.Hosts)
+	if warmupBlocks > 0 && total > 0 {
+		for i := range warmup {
+			warmup[i] = warmupBlocks * blocks[i] / total
+		}
+	}
+
+	hostCfgs := make([]core.HostConfig, cfg.Hosts)
+	sources := make([]trace.Source, cfg.Hosts)
+	for i := range hostCfgs {
+		hostCfgs[i] = core.HostConfig{
+			ID:               i,
+			RAMBlocks:        cfg.RAMBlocks,
+			FlashBlocks:      cfg.FlashBlocks,
+			Arch:             cfg.Arch,
+			RAMPolicy:        cfg.RAMPolicy,
+			FlashPolicy:      cfg.FlashPolicy,
+			FlashReplacement: cfg.FlashReplacement,
+			PersistentFlash:  cfg.PersistentFlash,
+			ContendedFlash:   cfg.ContendedFlash,
+			FTLBacked:        cfg.FTLBackedFlash,
+
+			DisableFetchDedup:      cfg.DisableFetchDedup,
+			SyncMissFill:           cfg.SyncMissFill,
+			DisableSubsetShootdown: cfg.DisableSubsetShootdown,
+		}
+		sources[i] = trace.NewSliceSource(perHost[i])
+	}
+
+	// The filer draws from the same forked RNG stream as the sequential
+	// path, so its fast/slow outcomes depend only on arrival order.
+	seedRNG := rng.New(cfg.Seed)
+	cl, err := core.NewCluster(core.ClusterSpec{
+		Shards:        cfg.Shards,
+		Hosts:         hostCfgs,
+		Timing:        cfg.Timing,
+		HalfDuplexNet: cfg.HalfDuplexNet,
+		NewFiler: func(eng *sim.Engine) *filer.Filer {
+			return filer.New(eng, seedRNG.Fork(),
+				cfg.Timing.FilerFastRead, cfg.Timing.FilerSlowRead, cfg.Timing.FilerWrite,
+				cfg.Timing.FilerFastReadRate)
+		},
+		Sources: sources,
+		Warmup:  warmup,
+		// Always on: sharded runs are multi-host by construction, and the
+		// sequential path enables its registry whenever Hosts > 1.
+		TrackInvalidations: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cl.Run()
+	return buildShardedResult(cfg, cl), nil
+}
+
+// buildShardedResult mirrors buildResult over the cluster's aggregates.
+func buildShardedResult(cfg Config, cl *core.Cluster) *Result {
+	fsrv := cl.Filer()
+	res := &Result{
+		FilerFastReads:   fsrv.FastReads(),
+		FilerSlowReads:   fsrv.SlowReads(),
+		FilerWrites:      fsrv.Writes(),
+		OpsCompleted:     cl.OpsCompleted(),
+		BlocksIssued:     cl.BlocksIssued(),
+		SimulatedSeconds: cl.Now().Seconds(),
+		Events:           cl.Events(),
+	}
+	hosts := cl.Hosts()
+	var busy float64
+	for _, h := range hosts {
+		res.Hosts.Merge(h.Stats())
+		busy += h.FlashDevice().Utilisation()
+		res.FlashDeviceReads += h.FlashDevice().Reads()
+		res.FlashDeviceWrites += h.FlashDevice().Writes()
+	}
+	res.FlashBusyFraction = busy / float64(len(hosts))
+	res.ReadLatencyMicros = res.Hosts.ReadLat.MeanMicros()
+	res.WriteLatencyMicros = res.Hosts.WriteLat.MeanMicros()
+	res.ReadP50Micros = res.Hosts.ReadHist.Quantile(0.5).Micros()
+	res.ReadP99Micros = res.Hosts.ReadHist.Quantile(0.99).Micros()
+	res.WriteP50Micros = res.Hosts.WriteHist.Quantile(0.5).Micros()
+	res.WriteP99Micros = res.Hosts.WriteHist.Quantile(0.99).Micros()
+	res.RAMHitRate = res.Hosts.ReadHitRateRAM()
+	res.FlashHitRate = res.Hosts.ReadHitRateFlash()
+	cons := cl.Consistency()
+	res.InvalidationFraction = cons.InvalidationFraction()
+	res.Invalidations = cons.Invalidations
+	res.BlocksWrittenShared = cons.BlocksWritten
+	return res
+}

@@ -1,0 +1,140 @@
+package flashsim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// fleetConfig returns a small multi-host configuration that exercises the
+// sharded executor's full surface: demand fetches, background writebacks,
+// periodic syncers, and cross-host invalidations on a shared working set.
+func fleetConfig(hosts int) Config {
+	cfg := ScaledConfig(4096)
+	cfg.Hosts = hosts
+	cfg.ThreadsPerHost = 4
+	cfg.Workload.SharedWorkingSet = true
+	return cfg
+}
+
+// runWithShards forces the sharded executor at the given shard count.
+func runWithShards(t *testing.T, cfg Config, shards int) *Result {
+	t.Helper()
+	cfg.Shards = shards
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run(shards=%d): %v", shards, err)
+	}
+	return res
+}
+
+// TestShardedShardCountInvariance locks the sharded determinism contract:
+// one configuration, executed at -shards 2/4/8, produces bit-identical
+// results — every latency, histogram bucket, filer counter and
+// invalidation count — regardless of how hosts are partitioned. (Shards=1
+// selects the classic sequential engine, whose per-run determinism the
+// golden SHA-256 matrix locks; the cluster's own single-shard execution is
+// covered by the core cluster tests.)
+func TestShardedShardCountInvariance(t *testing.T) {
+	cfg := fleetConfig(8)
+	ref := runWithShards(t, cfg, 2)
+	for _, shards := range []int{4, 8} {
+		got := runWithShards(t, cfg, shards)
+		if !reflect.DeepEqual(ref, got) {
+			t.Errorf("shards=%d diverged from shards=2:\nref: %+v\ngot: %+v", shards, ref, got)
+		}
+	}
+}
+
+// TestShardedRepeatDeterminism re-runs one sharded configuration and
+// requires identical results.
+func TestShardedRepeatDeterminism(t *testing.T) {
+	cfg := fleetConfig(4)
+	a := runWithShards(t, cfg, 4)
+	b := runWithShards(t, cfg, 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("repeat sharded run diverged:\na: %+v\nb: %+v", a, b)
+	}
+}
+
+// TestShardedMatchesSequentialStatistically compares the sharded executor
+// against the classic sequential path. The two are deliberately not
+// bit-identical (per-host pump windows, barrier-deferred invalidation; see
+// docs/ARCHITECTURE.md), but they simulate the same fleet and must agree
+// closely on every aggregate the paper reports.
+func TestShardedMatchesSequentialStatistically(t *testing.T) {
+	// Private working sets: invalidations are rare, so the only semantic
+	// differences in play are the per-host pump windows and the barrier-
+	// quantized syncer shutdown. The shared-working-set worst case, where
+	// deferred invalidation lets stale copies live up to one epoch longer
+	// and so inflates hit rates slightly, is checked separately below.
+	cfg := fleetConfig(4)
+	cfg.Workload.SharedWorkingSet = false
+	seq, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("sequential run: %v", err)
+	}
+	shd := runWithShards(t, cfg, 4)
+
+	relClose := func(name string, a, b, tol float64) {
+		t.Helper()
+		denom := math.Max(math.Abs(a), math.Abs(b))
+		if denom == 0 {
+			return
+		}
+		if rel := math.Abs(a-b) / denom; rel > tol {
+			t.Errorf("%s: sequential %.4f vs sharded %.4f (rel diff %.3f > %.3f)",
+				name, a, b, rel, tol)
+		}
+	}
+	relClose("read latency", seq.ReadLatencyMicros, shd.ReadLatencyMicros, 0.15)
+	relClose("write latency", seq.WriteLatencyMicros, shd.WriteLatencyMicros, 0.15)
+	relClose("RAM hit rate", seq.RAMHitRate, shd.RAMHitRate, 0.05)
+	relClose("flash hit rate", seq.FlashHitRate, shd.FlashHitRate, 0.05)
+	relClose("blocks issued", float64(seq.BlocksIssued), float64(shd.BlocksIssued), 0.01)
+	relClose("filer writes", float64(seq.FilerWrites), float64(shd.FilerWrites), 0.15)
+	relClose("simulated seconds", seq.SimulatedSeconds, shd.SimulatedSeconds, 0.15)
+
+	// Shared working set: the paper's consistency worst case. Deferred
+	// invalidation biases hit rates up by at most one epoch's staleness,
+	// so the comparison is looser but must still track the same story.
+	shared := fleetConfig(4)
+	seqS, err := Run(shared)
+	if err != nil {
+		t.Fatalf("sequential shared run: %v", err)
+	}
+	shdS := runWithShards(t, shared, 4)
+	relClose("shared invalidation fraction", seqS.InvalidationFraction, shdS.InvalidationFraction, 0.15)
+	relClose("shared flash hit rate", seqS.FlashHitRate, shdS.FlashHitRate, 0.10)
+	relClose("shared read latency", seqS.ReadLatencyMicros, shdS.ReadLatencyMicros, 0.15)
+}
+
+// TestShardedValidation exercises the sharded-mode configuration errors.
+func TestShardedValidation(t *testing.T) {
+	cfg := fleetConfig(4)
+	cfg.Shards = 2
+	cfg.ConsistencyProtocol = true
+	if _, err := Run(cfg); err == nil {
+		t.Error("ConsistencyProtocol with Shards > 1 should fail")
+	}
+
+	cfg = fleetConfig(4)
+	cfg.Shards = 2
+	cfg.RecoveredStart = true
+	cfg.PersistentFlash = true
+	if _, err := Run(cfg); err == nil {
+		t.Error("RecoveredStart with Shards > 1 should fail")
+	}
+
+	cfg = ScaledConfig(4096) // single host
+	cfg.Shards = 2
+	if _, err := Run(cfg); err == nil {
+		t.Error("Shards > 1 with one host should fail")
+	}
+
+	cfg = fleetConfig(2)
+	cfg.Shards = -1
+	if _, err := Run(cfg); err == nil {
+		t.Error("negative shard count should fail")
+	}
+}

@@ -1,0 +1,560 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/filer"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// This file implements fleet-scale sharded execution: one logical
+// simulation partitioned across OS threads. Hosts are divided round-robin
+// among shards, each shard owning a private sim.Engine that advances its
+// hosts' events (caches, flash devices, network segments, per-host trace
+// drivers) independently. Hosts interact only through the shared filer and
+// through cache invalidations, and both interactions are mediated by a
+// conservative epoch barrier:
+//
+//   - Filer traffic. When a request packet finishes crossing a host's
+//     segment, the host's FilerPort records (arrivalTime, host, seq) in the
+//     shard's outbox instead of touching the filer. At the next barrier the
+//     coordinator sorts all arrivals by that key — a total order that is
+//     independent of how hosts are partitioned — services the filer
+//     (consuming its RNG stream in exactly that order), and schedules each
+//     completion back on the owning host's engine. The epoch length is
+//     capped by the filer's minimum service latency, so a completion is
+//     always scheduled in its shard's future.
+//
+//   - Invalidations. A block write records (writeTime, writer, seq, key);
+//     at the next barrier every other host drops its copy, in the same
+//     partition-independent order. This defers the paper's "instant"
+//     invalidation (§3.8) by at most one epoch (bounded by the lookahead,
+//     tens of microseconds) — a deliberate, documented relaxation that
+//     makes the result bit-identical for every shard count.
+//
+// The invariant delivered: for a fixed configuration, a Cluster run
+// produces byte-identical results for ANY number of shards (1, 2, 4, 8,
+// ...), because every cross-host interaction is ordered by keys computed
+// from host-local deterministic state, never by scheduling interleave.
+// Cluster semantics differ slightly from the sequential Driver path (per-
+// host pump windows, barrier-deferred invalidation, barrier-quantized
+// syncer shutdown), so sharded results are compared against each other —
+// and validated statistically against sequential runs — rather than
+// byte-compared against sequential goldens. docs/ARCHITECTURE.md spells
+// out the contract.
+
+// filerMsg is one host→filer service request crossing a shard boundary.
+type filerMsg struct {
+	at    sim.Time // arrival time at the filer (up-segment transit end)
+	host  int32
+	seq   uint64 // per-host issue counter; breaks same-instant ties
+	write bool
+	fn    func(any)
+	arg   any
+}
+
+// invMsg is one write notification awaiting barrier-deferred invalidation.
+type invMsg struct {
+	at      sim.Time
+	writer  int32
+	seq     uint64
+	key     uint64
+	collect bool
+}
+
+// clusterPort is the per-host FilerPort of a sharded run: it appends the
+// request to the shard's outbox. It runs on the shard's goroutine only.
+type clusterPort struct {
+	sh   *clusterShard
+	host int32
+	seq  uint64
+}
+
+func (p *clusterPort) Read2(fn func(any), arg any) {
+	p.seq++
+	p.sh.outMsgs = append(p.sh.outMsgs,
+		filerMsg{at: p.sh.eng.Now(), host: p.host, seq: p.seq, fn: fn, arg: arg})
+}
+
+func (p *clusterPort) Write2(fn func(any), arg any) {
+	p.seq++
+	p.sh.outMsgs = append(p.sh.outMsgs,
+		filerMsg{at: p.sh.eng.Now(), host: p.host, seq: p.seq, write: true, fn: fn, arg: arg})
+}
+
+// clusterSink is the per-host InvalidationSink of a sharded run.
+type clusterSink struct {
+	sh   *clusterShard
+	host int32
+	seq  uint64
+}
+
+func (s *clusterSink) BlockWritten(host int, key uint64, collecting bool) {
+	s.seq++
+	s.sh.outInv = append(s.sh.outInv,
+		invMsg{at: s.sh.eng.Now(), writer: int32(host), seq: s.seq, key: key, collect: collecting})
+}
+
+// clusterShard is one shard: a private engine plus the hosts and per-host
+// drivers assigned to it. Everything inside is touched either by the
+// shard's worker goroutine (during an epoch) or by the coordinator
+// (between epochs); the channel handshake orders the two.
+type clusterShard struct {
+	eng     *sim.Engine
+	hosts   []*Host
+	drivers []*Driver
+
+	outMsgs []filerMsg
+	outInv  []invMsg
+
+	// Barrier-deferred invalidation delivery (worker side).
+	invDrops      []bool // per message of the current batch: a local copy dropped
+	invalidations uint64 // local copies dropped while collecting
+
+	cmd  chan sim.Time
+	done chan struct{}
+}
+
+// applyInvalidations drops local copies named by the sorted batch, before
+// any of the epoch's events run.
+func (sh *clusterShard) applyInvalidations(batch []invMsg) {
+	for i := range batch {
+		m := &batch[i]
+		for _, h := range sh.hosts {
+			if h.ID() == int(m.writer) {
+				continue
+			}
+			if h.Invalidate(m.key) {
+				sh.invDrops[i] = true
+				if m.collect {
+					sh.invalidations++
+				}
+			}
+		}
+	}
+}
+
+// ClusterSpec describes a sharded simulation.
+type ClusterSpec struct {
+	// Shards is the number of engine partitions; <= 0 selects
+	// runtime.GOMAXPROCS(0). It is clamped to the host count.
+	Shards int
+
+	// Hosts configures each host; host i runs on shard i % Shards.
+	Hosts []HostConfig
+
+	// Timing is the shared timing model.
+	Timing Timing
+
+	// HalfDuplexNet selects one shared half-duplex wire per host instead
+	// of the default duplex demand + background lanes.
+	HalfDuplexNet bool
+
+	// NewFiler builds the shared filer. The engine argument is shard 0's
+	// engine; the barrier services the filer directly, so the engine is
+	// only a construction convenience.
+	NewFiler func(*sim.Engine) *filer.Filer
+
+	// Sources holds each host's private trace stream (same length as
+	// Hosts) and Warmup each host's warmup volume in blocks.
+	Sources []trace.Source
+	Warmup  []int64
+
+	// TrackInvalidations enables the barrier-deferred consistency
+	// accounting (the sharded analogue of consistency.Registry).
+	TrackInvalidations bool
+}
+
+// ClusterConsistency aggregates the invalidation accounting of a sharded
+// run; fields mirror consistency.Registry's counters.
+type ClusterConsistency struct {
+	BlocksWritten      uint64
+	WritesInvalidating uint64
+	Invalidations      uint64
+}
+
+// InvalidationFraction returns writes-requiring-invalidation over all
+// block writes, the paper's Figure 11/12 metric.
+func (c ClusterConsistency) InvalidationFraction() float64 {
+	if c.BlocksWritten == 0 {
+		return 0
+	}
+	return float64(c.WritesInvalidating) / float64(c.BlocksWritten)
+}
+
+// Cluster is a sharded simulation: hosts partitioned over per-shard
+// engines, synchronized by a conservative epoch barrier (see the file
+// comment for the protocol and its determinism contract).
+type Cluster struct {
+	shards    []*clusterShard
+	hosts     []*Host   // by host ID
+	drivers   []*Driver // by host ID
+	hostShard []*clusterShard
+	fsrv      *filer.Filer
+	lookahead sim.Time
+
+	// Coordinator state between epochs.
+	msgBatch []filerMsg
+	invBatch []invMsg
+	cons     ClusterConsistency
+	track    bool
+
+	started bool
+	epochs  uint64
+}
+
+// NewCluster builds the sharded simulation described by the spec.
+func NewCluster(spec ClusterSpec) (*Cluster, error) {
+	n := len(spec.Hosts)
+	if n == 0 {
+		return nil, fmt.Errorf("core: cluster needs at least one host")
+	}
+	if len(spec.Sources) != n || len(spec.Warmup) != n {
+		return nil, fmt.Errorf("core: cluster needs one trace source and warmup per host")
+	}
+	if spec.NewFiler == nil {
+		return nil, fmt.Errorf("core: cluster needs a filer constructor")
+	}
+	shards := spec.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > n {
+		shards = n
+	}
+
+	c := &Cluster{
+		shards:    make([]*clusterShard, shards),
+		hosts:     make([]*Host, n),
+		drivers:   make([]*Driver, n),
+		hostShard: make([]*clusterShard, n),
+		track:     spec.TrackInvalidations,
+	}
+	for s := range c.shards {
+		c.shards[s] = &clusterShard{
+			eng:  &sim.Engine{},
+			cmd:  make(chan sim.Time),
+			done: make(chan struct{}),
+		}
+	}
+	c.fsrv = spec.NewFiler(c.shards[0].eng)
+	c.lookahead = c.fsrv.MinServiceLatency()
+	if c.lookahead <= 0 {
+		return nil, fmt.Errorf("core: sharded run needs a positive filer service latency (epoch lookahead)")
+	}
+
+	for i, hc := range spec.Hosts {
+		sh := c.shards[i%shards]
+		var seg, bgSeg *netsim.Segment
+		if spec.HalfDuplexNet {
+			seg = netsim.NewSegment(sh.eng, fmt.Sprintf("seg%d", i), spec.Timing.NetBase, spec.Timing.NetPerBit)
+			bgSeg = seg
+		} else {
+			seg = netsim.NewDuplexSegment(sh.eng, fmt.Sprintf("seg%d", i), spec.Timing.NetBase, spec.Timing.NetPerBit)
+			bgSeg = netsim.NewDuplexSegment(sh.eng, fmt.Sprintf("seg%d-bg", i), spec.Timing.NetBase, spec.Timing.NetPerBit)
+		}
+		h, err := NewHost(sh.eng, hc, spec.Timing, seg, bgSeg,
+			&clusterPort{sh: sh, host: int32(i)}, nil)
+		if err != nil {
+			return nil, err
+		}
+		if c.track {
+			h.SetInvalidationSink(&clusterSink{sh: sh, host: int32(i)})
+		}
+		drv, err := NewDriver(sh.eng, []*Host{h}, nil, spec.Sources[i], spec.Warmup[i])
+		if err != nil {
+			return nil, err
+		}
+		sh.hosts = append(sh.hosts, h)
+		sh.drivers = append(sh.drivers, drv)
+		c.hosts[i] = h
+		c.drivers[i] = drv
+		c.hostShard[i] = sh
+	}
+	return c, nil
+}
+
+// Shards returns the number of engine partitions.
+func (c *Cluster) Shards() int { return len(c.shards) }
+
+// Lookahead returns the epoch length bound.
+func (c *Cluster) Lookahead() sim.Time { return c.lookahead }
+
+// Hosts returns the hosts in ID order.
+func (c *Cluster) Hosts() []*Host { return c.hosts }
+
+// Filer returns the shared filer.
+func (c *Cluster) Filer() *filer.Filer { return c.fsrv }
+
+// Consistency returns the invalidation accounting (zero unless
+// TrackInvalidations was set).
+func (c *Cluster) Consistency() ClusterConsistency { return c.cons }
+
+// Epochs returns the number of barrier intervals executed.
+func (c *Cluster) Epochs() uint64 { return c.epochs }
+
+// Now returns the completion time of the simulation: the latest event any
+// shard executed.
+func (c *Cluster) Now() sim.Time {
+	var t sim.Time
+	for _, sh := range c.shards {
+		if at := sh.eng.LastEventAt(); at > t {
+			t = at
+		}
+	}
+	return t
+}
+
+// Events returns the total events executed across shards.
+func (c *Cluster) Events() uint64 {
+	var n uint64
+	for _, sh := range c.shards {
+		n += sh.eng.Processed()
+	}
+	return n
+}
+
+// OpsCompleted sums the per-host drivers' completed trace ops.
+func (c *Cluster) OpsCompleted() uint64 {
+	var n uint64
+	for _, d := range c.drivers {
+		n += d.OpsCompleted()
+	}
+	return n
+}
+
+// BlocksIssued sums the per-host drivers' issued block accesses.
+func (c *Cluster) BlocksIssued() uint64 {
+	var n uint64
+	for _, d := range c.drivers {
+		n += d.BlocksIssued()
+	}
+	return n
+}
+
+// worker is one shard's goroutine: per epoch it applies the coordinator's
+// invalidation batch, then advances its engine to the epoch end.
+func (c *Cluster) worker(sh *clusterShard, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for end := range sh.cmd {
+		sh.applyInvalidations(c.invBatch)
+		sh.eng.RunUntil(end)
+		sh.done <- struct{}{}
+	}
+}
+
+// runEpoch advances every shard to end, in parallel when there is more
+// than one shard.
+func (c *Cluster) runEpoch(end sim.Time) {
+	if len(c.shards) == 1 {
+		sh := c.shards[0]
+		sh.applyInvalidations(c.invBatch)
+		sh.eng.RunUntil(end)
+		return
+	}
+	for _, sh := range c.shards {
+		sh.cmd <- end
+	}
+	for _, sh := range c.shards {
+		<-sh.done
+	}
+}
+
+// gather collects the shard outboxes into the coordinator's batches and
+// reduces the previous epoch's invalidation drop flags.
+func (c *Cluster) gather() {
+	// Reduce the delivered invalidation batch: a write counts as
+	// "invalidating" if any shard dropped a copy for it.
+	for i := range c.invBatch {
+		m := &c.invBatch[i]
+		if !m.collect {
+			continue
+		}
+		c.cons.BlocksWritten++
+		dropped := false
+		for _, sh := range c.shards {
+			if sh.invDrops[i] {
+				dropped = true
+			}
+		}
+		if dropped {
+			c.cons.WritesInvalidating++
+		}
+	}
+	for _, sh := range c.shards {
+		c.cons.Invalidations += sh.invalidations
+		sh.invalidations = 0
+	}
+
+	c.msgBatch = c.msgBatch[:0]
+	c.invBatch = c.invBatch[:0]
+	for _, sh := range c.shards {
+		c.msgBatch = append(c.msgBatch, sh.outMsgs...)
+		c.invBatch = append(c.invBatch, sh.outInv...)
+		sh.outMsgs = sh.outMsgs[:0]
+		sh.outInv = sh.outInv[:0]
+	}
+
+	// Sort both batches by their partition-independent delivery keys.
+	sort.Slice(c.msgBatch, func(i, j int) bool {
+		a, b := &c.msgBatch[i], &c.msgBatch[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.host != b.host {
+			return a.host < b.host
+		}
+		return a.seq < b.seq
+	})
+	sort.Slice(c.invBatch, func(i, j int) bool {
+		a, b := &c.invBatch[i], &c.invBatch[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.writer != b.writer {
+			return a.writer < b.writer
+		}
+		return a.seq < b.seq
+	})
+	for _, sh := range c.shards {
+		if cap(sh.invDrops) < len(c.invBatch) {
+			sh.invDrops = make([]bool, len(c.invBatch))
+		}
+		sh.invDrops = sh.invDrops[:len(c.invBatch)]
+		for i := range sh.invDrops {
+			sh.invDrops[i] = false
+		}
+	}
+}
+
+// serviceFiler draws the filer's response for every gathered arrival, in
+// globally sorted order, and schedules the completions on the owning
+// shards. Completions always land in the shards' future because the epoch
+// length never exceeds the filer's minimum service latency.
+func (c *Cluster) serviceFiler() {
+	for i := range c.msgBatch {
+		m := &c.msgBatch[i]
+		var lat sim.Time
+		if m.write {
+			lat = c.fsrv.TakeWriteLatency()
+		} else {
+			lat = c.fsrv.TakeReadLatency()
+		}
+		c.hostShard[m.host].eng.At2(m.at+lat, m.fn, m.arg)
+	}
+}
+
+// idle reports whether no exchange message is waiting and no engine holds
+// a non-daemon event: nothing but background daemon ticks can ever happen
+// again.
+func (c *Cluster) idle() bool {
+	if len(c.msgBatch) > 0 || len(c.invBatch) > 0 {
+		return false
+	}
+	for _, sh := range c.shards {
+		if sh.eng.NonDaemonPending() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// nextEpochEnd picks the next barrier time: one lookahead ahead, or a jump
+// straight to the globally earliest pending event when every shard is idle
+// longer than that. Both quantities are functions of global simulation
+// state, so the barrier schedule — and with it every delivery decision —
+// is identical for every shard count.
+func (c *Cluster) nextEpochEnd(end sim.Time) sim.Time {
+	next := end + c.lookahead
+	var minAt sim.Time
+	found := false
+	for _, sh := range c.shards {
+		if at, ok := sh.eng.NextEventAt(); ok && (!found || at < minAt) {
+			minAt, found = at, true
+		}
+	}
+	if found && minAt > next {
+		return minAt
+	}
+	return next
+}
+
+// Run executes the sharded simulation to completion: it starts every
+// per-host driver, advances the shards epoch by epoch, stops the periodic
+// syncers at the first barrier after all trace work has drained (the
+// sharded analogue of Driver.Run's shutdown), and returns once the system
+// is quiescent.
+func (c *Cluster) Run() {
+	if c.started {
+		panic("core: cluster already run")
+	}
+	c.started = true
+
+	var wg sync.WaitGroup
+	if len(c.shards) > 1 {
+		for _, sh := range c.shards {
+			wg.Add(1)
+			go c.worker(sh, &wg)
+		}
+		defer func() {
+			for _, sh := range c.shards {
+				close(sh.cmd)
+			}
+			wg.Wait()
+		}()
+	}
+
+	for _, d := range c.drivers {
+		d.start()
+	}
+
+	syncersStopped := false
+	end := sim.Time(0) // first epoch runs the t=0 kickoff events
+	for {
+		c.runEpoch(end)
+		c.epochs++
+		c.gather()
+
+		if !syncersStopped {
+			allDone := true
+			for _, d := range c.drivers {
+				if !d.done() {
+					allDone = false
+					break
+				}
+			}
+			if allDone {
+				// Trace complete: halt the periodic syncers, exactly as
+				// the sequential driver does, so remaining dirty blocks
+				// stay dirty rather than draining forever. This happens
+				// at the first barrier after completion — a schedule
+				// that is itself shard-count invariant.
+				for _, h := range c.hosts {
+					h.StopSyncers()
+				}
+				syncersStopped = true
+			}
+		}
+
+		if c.idle() {
+			if syncersStopped {
+				return
+			}
+			// Nothing can ever run again, yet some driver still has trace
+			// work: a lost completion. Fail loudly rather than spin.
+			panic("core: cluster stalled with trace work outstanding")
+		}
+
+		c.serviceFiler()
+		prev := end
+		end = c.nextEpochEnd(end)
+		if end <= prev {
+			panic("core: cluster epoch failed to advance")
+		}
+	}
+}

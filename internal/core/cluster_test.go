@@ -1,0 +1,174 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/filer"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// clusterSpecForTest builds a small fleet spec over synthetic per-host
+// traces: each host interleaves reads and writes over a private block
+// range plus a slice of a shared range (so invalidations occur).
+func clusterSpecForTest(hosts, shards int) ClusterSpec {
+	tm := DefaultTiming()
+	cfgs := make([]HostConfig, hosts)
+	sources := make([]trace.Source, hosts)
+	warmup := make([]int64, hosts)
+	for i := range cfgs {
+		cfgs[i] = HostConfig{
+			ID:          i,
+			RAMBlocks:   32,
+			FlashBlocks: 128,
+			Arch:        Naive,
+			RAMPolicy:   PolicyP1,
+			FlashPolicy: PolicyAsync,
+		}
+		var ops []trace.Op
+		for j := 0; j < 400; j++ {
+			kind := trace.Read
+			if j%3 == 0 {
+				kind = trace.Write
+			}
+			// Blocks 0..63 are shared across hosts; 1000+256*i private.
+			block := uint32(j % 64)
+			if j%2 == 0 {
+				block = uint32(1000 + 256*i + j%200)
+			}
+			ops = append(ops, trace.Op{
+				Host: uint16(i), Thread: uint16(j % 4), Kind: kind,
+				File: 1, Block: block, Count: 1,
+			})
+		}
+		sources[i] = trace.NewSliceSource(ops)
+		warmup[i] = 100
+	}
+	return ClusterSpec{
+		Shards: shards,
+		Hosts:  cfgs,
+		Timing: tm,
+		NewFiler: func(eng *sim.Engine) *filer.Filer {
+			return filer.New(eng, rng.New(7),
+				tm.FilerFastRead, tm.FilerSlowRead, tm.FilerWrite, tm.FilerFastReadRate)
+		},
+		Sources:            sources,
+		Warmup:             warmup,
+		TrackInvalidations: true,
+	}
+}
+
+type clusterSnapshot struct {
+	Ops, Blocks, Events uint64
+	Now                 sim.Time
+	Cons                ClusterConsistency
+	Fast, Slow, Writes  uint64
+	Stats               []HostStats
+}
+
+func snapshotCluster(c *Cluster) clusterSnapshot {
+	s := clusterSnapshot{
+		Ops: c.OpsCompleted(), Blocks: c.BlocksIssued(), Events: c.Events(),
+		Now: c.Now(), Cons: c.Consistency(),
+		Fast: c.Filer().FastReads(), Slow: c.Filer().SlowReads(), Writes: c.Filer().Writes(),
+	}
+	for _, h := range c.Hosts() {
+		s.Stats = append(s.Stats, *h.Stats())
+	}
+	return s
+}
+
+// TestClusterSingleShardMatchesMulti locks the full invariance chain down
+// to one shard: the inline (goroutine-free) single-shard path and the
+// parallel multi-shard path execute the identical schedule.
+func TestClusterSingleShardMatchesMulti(t *testing.T) {
+	var ref clusterSnapshot
+	for i, shards := range []int{1, 2, 3, 4} {
+		c, err := NewCluster(clusterSpecForTest(4, shards))
+		if err != nil {
+			t.Fatalf("NewCluster(shards=%d): %v", shards, err)
+		}
+		if got := c.Shards(); got != shards {
+			t.Fatalf("Shards() = %d, want %d", got, shards)
+		}
+		c.Run()
+		snap := snapshotCluster(c)
+		if snap.Ops == 0 || snap.Blocks == 0 {
+			t.Fatalf("shards=%d: no work executed: %+v", shards, snap)
+		}
+		if i == 0 {
+			ref = snap
+			continue
+		}
+		if !reflect.DeepEqual(ref, snap) {
+			t.Errorf("shards=%d diverged from shards=1:\nref: %+v\ngot: %+v", shards, ref, snap)
+		}
+	}
+}
+
+// TestClusterInvalidationAccounting checks that shared-range writes are
+// observed and drop remote copies.
+func TestClusterInvalidationAccounting(t *testing.T) {
+	c, err := NewCluster(clusterSpecForTest(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	cons := c.Consistency()
+	if cons.BlocksWritten == 0 {
+		t.Error("no block writes observed while collecting")
+	}
+	if cons.Invalidations == 0 {
+		t.Error("shared-range writes dropped no remote copies")
+	}
+	if cons.WritesInvalidating > cons.BlocksWritten {
+		t.Errorf("writes invalidating (%d) exceeds block writes (%d)",
+			cons.WritesInvalidating, cons.BlocksWritten)
+	}
+	if f := cons.InvalidationFraction(); f <= 0 || f > 1 {
+		t.Errorf("invalidation fraction %v out of (0,1]", f)
+	}
+}
+
+// TestClusterSpecValidation covers the constructor's error paths.
+func TestClusterSpecValidation(t *testing.T) {
+	spec := clusterSpecForTest(2, 2)
+	spec.Hosts = nil
+	if _, err := NewCluster(spec); err == nil {
+		t.Error("no hosts should fail")
+	}
+
+	spec = clusterSpecForTest(2, 2)
+	spec.Sources = spec.Sources[:1]
+	if _, err := NewCluster(spec); err == nil {
+		t.Error("mismatched sources should fail")
+	}
+
+	spec = clusterSpecForTest(2, 2)
+	spec.NewFiler = nil
+	if _, err := NewCluster(spec); err == nil {
+		t.Error("missing filer constructor should fail")
+	}
+
+	// A zero filer service latency leaves no conservative lookahead.
+	spec = clusterSpecForTest(2, 2)
+	tm := spec.Timing
+	spec.NewFiler = func(eng *sim.Engine) *filer.Filer {
+		return filer.New(eng, rng.New(7), 0, 0, 0, tm.FilerFastReadRate)
+	}
+	if _, err := NewCluster(spec); err == nil {
+		t.Error("zero filer latency should fail (no lookahead)")
+	}
+
+	// Shard count clamps to the host population.
+	spec = clusterSpecForTest(2, 64)
+	c, err := NewCluster(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Shards(); got != 2 {
+		t.Errorf("Shards() = %d, want clamp to 2", got)
+	}
+}

@@ -350,10 +350,12 @@ func (d *Driver) RunPhase(maxBlocks int64, deadline sim.Time) {
 	d.eng.RunWhile(func() bool { return !d.quiet() })
 }
 
-// Run replays the whole trace and drains the simulation. On return the
-// engine clock is the trace's completion time and all host statistics are
-// final.
-func (d *Driver) Run() {
+// start primes the driver without running the engine: zero-warmup
+// collection is enabled and the initial window of ops is pumped (kicking
+// their threads, which schedules the first events). Sequential Run calls
+// it and then drives the engine to completion; sharded runs call it for
+// every per-host driver and step the engines epoch by epoch instead.
+func (d *Driver) start() {
 	if d.warmupBlocks <= 0 {
 		d.noteIssue(0)
 		d.collecting = true
@@ -365,6 +367,13 @@ func (d *Driver) Run() {
 		}
 	}
 	d.pump()
+}
+
+// Run replays the whole trace and drains the simulation. On return the
+// engine clock is the trace's completion time and all host statistics are
+// final.
+func (d *Driver) Run() {
+	d.start()
 	// Threads were kicked as their queues filled; now run to completion.
 	d.eng.RunWhile(func() bool { return !d.done() })
 	// The trace is complete: halt the periodic syncers so the event queue

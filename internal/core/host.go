@@ -6,11 +6,35 @@ import (
 	"repro/internal/blockdev"
 	"repro/internal/cache"
 	"repro/internal/consistency"
-	"repro/internal/filer"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
+
+// FilerPort is a host's route to the shared file server: the two
+// allocation-free service calls the request path issues once a packet has
+// crossed the host's network segment. In a sequential run the port is the
+// *filer.Filer itself; in a sharded run it is a per-host mailbox that
+// forwards the request to the epoch-barrier coordinator, which services
+// the filer in globally sorted arrival order (see Cluster).
+type FilerPort interface {
+	// Read2 services a one-block read; fn(arg) runs after the drawn
+	// fast-or-slow service latency.
+	Read2(fn func(any), arg any)
+	// Write2 services a one-block (always fast, buffered) write.
+	Write2(fn func(any), arg any)
+}
+
+// InvalidationSink observes block writes for cross-host invalidation in
+// sharded runs, replacing the consistency.Registry's instant global
+// knowledge: the sink records (writer, key) and the cluster drops remote
+// copies at the next epoch barrier.
+type InvalidationSink interface {
+	// BlockWritten is called when host commits a new version of key into
+	// its cache; collecting reports whether the host is past warmup, which
+	// gates the invalidation statistics exactly like Registry.SetCollect.
+	BlockWritten(host int, key uint64, collecting bool)
+}
 
 // Host is one compute server's cache stack: a RAM buffer cache and a flash
 // cache in front of the shared filer, reached over a private network
@@ -43,8 +67,9 @@ type Host struct {
 	// dirty data (§7.1, §7.6).
 	seg   *netsim.Segment
 	bgSeg *netsim.Segment
-	fsrv  *filer.Filer
+	fsrv  FilerPort
 	reg   *consistency.Registry // nil when consistency is not modeled
+	inv   InvalidationSink      // nil outside sharded runs
 
 	// pending de-duplicates concurrent demand fetches of the same block:
 	// waiters are woken when the single fetch completes. Waiter slices
@@ -72,7 +97,7 @@ const evictionRetryDelay = 5 * sim.Microsecond
 // nil) consistency registry. seg is the host's private link for demand
 // traffic; bgSeg, if nil, defaults to seg (single shared lane).
 func NewHost(eng *sim.Engine, cfg HostConfig, timing Timing,
-	seg *netsim.Segment, bgSeg *netsim.Segment, fsrv *filer.Filer, reg *consistency.Registry) (*Host, error) {
+	seg *netsim.Segment, bgSeg *netsim.Segment, fsrv FilerPort, reg *consistency.Registry) (*Host, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -146,6 +171,20 @@ func (h *Host) Segment() *netsim.Segment { return h.seg }
 
 // SetCollect enables statistics collection (called after warmup).
 func (h *Host) SetCollect(on bool) { h.collect = on }
+
+// Collecting reports whether the host is currently recording statistics.
+func (h *Host) Collecting() bool { return h.collect }
+
+// SetInvalidationSink routes this host's write notifications to a sharded
+// run's barrier-deferred invalidation exchange. It is mutually exclusive
+// with a consistency.Registry, which models the same traffic with instant
+// global knowledge.
+func (h *Host) SetInvalidationSink(s InvalidationSink) {
+	if h.reg != nil {
+		panic("core: host has both a consistency registry and an invalidation sink")
+	}
+	h.inv = s
+}
 
 // StopSyncers halts periodic writeback daemons so the engine can drain at
 // end of trace.
@@ -249,6 +288,12 @@ func (h *Host) write(key cache.Key, done cont) {
 	if h.reg != nil {
 		h.reg.AcquireWrite(h.cfg.ID, uint64(key), func() { writeProceed(r) })
 		return
+	}
+	if h.inv != nil {
+		// Sharded instant-mode consistency: the writer proceeds
+		// immediately (invalidation is free, §3.8); remote copies drop at
+		// the next epoch barrier instead of this very instant.
+		h.inv.BlockWritten(h.cfg.ID, uint64(key), h.collect)
 	}
 	writeProceed(r)
 }

@@ -37,8 +37,8 @@ func pointAt(t *testing.T, s *stats.Series, x float64) float64 {
 
 func TestNamesAndLookup(t *testing.T) {
 	names := Names()
-	if len(names) != 21 {
-		t.Fatalf("want 21 experiments (table1, 12 figures, 7 extensions, validate), got %d: %v", len(names), names)
+	if len(names) != 22 {
+		t.Fatalf("want 22 experiments (table1, 12 figures, 8 extensions, validate), got %d: %v", len(names), names)
 	}
 	for _, n := range names {
 		if _, ok := Lookup(n); !ok {

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtFleetShape(t *testing.T) {
+	rep, err := ExtFleet(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Figures) != 3 {
+		t.Fatalf("want traffic, latency and hit-rate figures, got %d", len(rep.Figures))
+	}
+	if len(rep.Tables) == 0 || !strings.Contains(rep.Tables[0], "hosts") {
+		t.Fatal("fleet table missing")
+	}
+
+	traffic := findSeries(t, rep.Figures[0], "filer reads/s")
+	if n := len(traffic.Points); n != 2 {
+		t.Fatalf("want 2 quick-mode population points, got %d", n)
+	}
+	small, large := traffic.Points[0], traffic.Points[1]
+	if large.X <= small.X {
+		t.Fatalf("population points out of order: %v then %v", small.X, large.X)
+	}
+	// Aggregate filer pressure must grow with the population.
+	if large.Y <= small.Y {
+		t.Errorf("filer read rate did not grow with hosts: %.0f/s at %v hosts, %.0f/s at %v hosts",
+			small.Y, small.X, large.Y, large.X)
+	}
+	// Hit-rate dilution: with every host writing the shared working set,
+	// a larger fleet invalidates a larger fraction of writes.
+	inv := findSeries(t, rep.Figures[2], "writes invalidating")
+	if inv.Points[1].Y <= inv.Points[0].Y {
+		t.Errorf("invalidation fraction did not grow with hosts: %.1f%% -> %.1f%%",
+			inv.Points[0].Y, inv.Points[1].Y)
+	}
+	for _, s := range rep.Figures[2].Series {
+		for _, p := range s.Points {
+			if p.Y < 0 || p.Y > 100 {
+				t.Fatalf("%s: %v%% out of range", s.Name, p.Y)
+			}
+		}
+	}
+}

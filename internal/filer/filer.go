@@ -102,3 +102,30 @@ func (f *Filer) MeanReadLatency() sim.Time {
 	mean := f.prefetchRate*float64(f.fastRead) + (1-f.prefetchRate)*float64(f.slowRead)
 	return sim.Time(math.Round(mean))
 }
+
+// TakeReadLatency draws one read's service time without scheduling the
+// completion. Sharded runs service the filer at the epoch barrier: the
+// coordinator draws the latency here — in globally sorted arrival order,
+// so the RNG stream is consumed identically for every shard count — and
+// schedules the completion on the requesting host's shard itself.
+func (f *Filer) TakeReadLatency() sim.Time { return f.readLatency() }
+
+// TakeWriteLatency is TakeReadLatency's write-side twin: it counts the
+// write and returns the (always fast) buffered-write service time.
+func (f *Filer) TakeWriteLatency() sim.Time {
+	f.writes++
+	return f.write
+}
+
+// MinServiceLatency returns the smallest latency the filer can ever add to
+// a request. Sharded runs fold it into the epoch-barrier lookahead bound.
+func (f *Filer) MinServiceLatency() sim.Time {
+	min := f.fastRead
+	if f.slowRead < min {
+		min = f.slowRead
+	}
+	if f.write < min {
+		min = f.write
+	}
+	return min
+}

@@ -50,10 +50,17 @@ func NewDuplexSegment(eng *sim.Engine, name string, baseLat, perBit sim.Time) *S
 }
 
 // PacketTime returns the wire time for a packet carrying dataBytes of
-// payload.
+// payload. The bit count is computed in sim.Time (int64) arithmetic so
+// large payloads cannot overflow the intermediate product on any platform.
 func (s *Segment) PacketTime(dataBytes int) sim.Time {
-	return s.baseLat + sim.Time(dataBytes*8)*s.perBit
+	return s.baseLat + sim.Time(dataBytes)*8*s.perBit
 }
+
+// Lookahead returns the segment's minimum one-way latency: the wire time
+// of an empty packet. No event on the far side of the segment can be
+// caused sooner than Lookahead after its cause, which is the conservative
+// synchronization bound sharded runs build their epoch barrier from.
+func (s *Segment) Lookahead() sim.Time { return s.PacketTime(0) }
 
 // Send transmits a packet with dataBytes of payload in the given direction;
 // done runs when the packet has fully arrived.

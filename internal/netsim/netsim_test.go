@@ -98,3 +98,63 @@ func TestDataSizeAffectsOccupancy(t *testing.T) {
 		t.Fatalf("response done %v", respDone)
 	}
 }
+
+func TestDuplexBusyAndWaitedAggregate(t *testing.T) {
+	var e sim.Engine
+	s := NewDuplexSegment(&e, "host0", 50, 0)
+	// Two packets per direction: each wire is busy 100 and queues one
+	// packet for 50; the segment reports the sum of both directions.
+	s.Send(ToFiler, 0, nil)
+	s.Send(ToFiler, 0, nil)
+	s.Send(FromFiler, 0, nil)
+	s.Send(FromFiler, 0, nil)
+	e.Run()
+	if s.Busy() != 200 {
+		t.Fatalf("duplex busy = %v, want 200", s.Busy())
+	}
+	if s.Waited() != 100 {
+		t.Fatalf("duplex waited = %v, want 100", s.Waited())
+	}
+	if s.Packets() != 4 {
+		t.Fatalf("packets = %d", s.Packets())
+	}
+}
+
+func TestDuplexSend2(t *testing.T) {
+	var e sim.Engine
+	s := NewDuplexSegment(&e, "host0", 100, 0)
+	var done []sim.Time
+	note := func(any) { done = append(done, e.Now()) }
+	s.Send2(ToFiler, 0, note, nil)
+	s.Send2(FromFiler, 0, note, nil)
+	s.Send2(ToFiler, 0, note, nil)
+	e.Run()
+	if len(done) != 3 || done[0] != 100 || done[1] != 100 || done[2] != 200 {
+		t.Fatalf("duplex Send2 completions %v, want [100 100 200]", done)
+	}
+}
+
+func TestLookahead(t *testing.T) {
+	var e sim.Engine
+	half := NewSegment(&e, "h", baseLat, perBit)
+	duplex := NewDuplexSegment(&e, "d", baseLat, perBit)
+	if half.Lookahead() != baseLat || duplex.Lookahead() != baseLat {
+		t.Fatalf("lookahead %v / %v, want %v", half.Lookahead(), duplex.Lookahead(), baseLat)
+	}
+}
+
+// TestPacketTimeLargePayload locks the overflow contract: the bit count is
+// computed in sim.Time (int64), so payloads past 256 MiB — where a 32-bit
+// int dataBytes*8 product would wrap — still time out correctly.
+func TestPacketTimeLargePayload(t *testing.T) {
+	var e sim.Engine
+	s := NewSegment(&e, "host0", baseLat, perBit)
+	const big = 1 << 29 // 512 MiB payload: big*8 wraps a 32-bit int
+	want := baseLat + sim.Time(big)*8*perBit
+	if got := s.PacketTime(big); got != want {
+		t.Fatalf("PacketTime(%d) = %v, want %v", big, got, want)
+	}
+	if got := s.PacketTime(big); got <= baseLat {
+		t.Fatalf("PacketTime(%d) = %v not past base latency (overflow?)", big, got)
+	}
+}

@@ -123,6 +123,7 @@ func (h eventHeap) siftDown(i int) {
 // Engine is a discrete-event simulator. The zero value is ready to use.
 type Engine struct {
 	now       Time
+	last      Time
 	seq       uint64
 	events    eventHeap
 	processed uint64
@@ -137,6 +138,27 @@ func (e *Engine) Processed() uint64 { return e.processed }
 
 // Pending returns the number of scheduled, not-yet-run events.
 func (e *Engine) Pending() int { return len(e.events) }
+
+// NonDaemonPending returns the number of scheduled non-daemon events. A
+// zero count with Pending() > 0 means only background daemons (ticker
+// rearms) remain — the condition under which Run returns and under which
+// a sharded run's drain phase may stop.
+func (e *Engine) NonDaemonPending() int { return e.nonDaemon }
+
+// NextEventAt returns the timestamp of the earliest scheduled event, or
+// false when the queue is empty. Sharded runs use it to bound how far a
+// quiet shard may be fast-forwarded.
+func (e *Engine) NextEventAt() (Time, bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].at, true
+}
+
+// LastEventAt returns the timestamp of the most recently executed event.
+// Unlike Now, it is unaffected by RunUntil's clock advance past the final
+// event, so it reports the true completion time of the work done so far.
+func (e *Engine) LastEventAt() Time { return e.last }
 
 // Schedule runs fn after delay d. A negative delay panics: the simulator
 // never travels backwards in time.
@@ -230,6 +252,7 @@ func (e *Engine) Step() bool {
 		e.events.siftDown(0)
 	}
 	e.now = ev.at
+	e.last = ev.at
 	e.processed++
 	if !ev.daemon {
 		e.nonDaemon--

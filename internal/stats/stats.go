@@ -53,13 +53,15 @@ func (a *LatencyAccum) MeanMicros() float64 {
 	return float64(a.sum) / float64(a.count) / float64(sim.Microsecond)
 }
 
-// Min and Max return sample extremes (0 with no samples).
+// Min returns the smallest sample (0 with no samples).
 func (a *LatencyAccum) Min() sim.Time {
 	if a.count == 0 {
 		return 0
 	}
 	return a.min
 }
+
+// Max returns the largest sample (0 with no samples).
 func (a *LatencyAccum) Max() sim.Time { return a.max }
 
 // Merge folds other into a.
