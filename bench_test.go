@@ -233,7 +233,9 @@ func benchFleet(b *testing.B, shards int) {
 	b.ReportMetric(float64(events), "events/run")
 }
 
-func BenchmarkFleetSequential(b *testing.B) { benchFleet(b, 1) }
+// BenchmarkFleetSequential runs the fleet on the classic sequential
+// engine (Shards = 0; any value >= 1 now selects the cluster).
+func BenchmarkFleetSequential(b *testing.B) { benchFleet(b, 0) }
 
 // BenchmarkFleetSharded always exercises the cluster executor: GOMAXPROCS
 // shards, minimum two so the exchange machinery runs even on one core.
@@ -243,4 +245,48 @@ func BenchmarkFleetSharded(b *testing.B) {
 		shards = 2
 	}
 	benchFleet(b, shards)
+}
+
+// --- sharded scenario benches ---
+
+// benchScenario runs the crash-recovery built-in on a 64-host fleet with
+// a persistent flash cache, either sequentially (shards = 0) or on the
+// cluster. The pair tracks the scenario engine's sharded speedup; the
+// cluster rows are bit-identical at every shard count.
+func benchScenario(b *testing.B, shards int) {
+	b.Helper()
+	const scale = 4096
+	cfg := flashsim.ScaledConfig(scale)
+	cfg.Hosts = 64
+	cfg.ThreadsPerHost = 2
+	cfg.RAMBlocks = int(0.25 * float64(flashsim.BlocksPerGB) / scale)
+	cfg.FlashBlocks = 2 * flashsim.BlocksPerGB / scale
+	cfg.PersistentFlash = true
+	cfg.Workload.WorkingSetBlocks = 8 * int64(flashsim.BlocksPerGB) / scale
+	cfg.Shards = shards
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		sc, err := flashsim.BuiltinScenario("crash-recovery")
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := flashsim.RunScenario(cfg, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.EngineEvents
+	}
+	b.ReportMetric(float64(events), "events/run")
+}
+
+func BenchmarkScenarioSequential(b *testing.B) { benchScenario(b, 0) }
+
+// BenchmarkScenarioSharded drives the same scenario through the cluster's
+// epoch barrier at GOMAXPROCS shards (minimum two).
+func BenchmarkScenarioSharded(b *testing.B) {
+	shards := runtime.GOMAXPROCS(0)
+	if shards < 2 {
+		shards = 2
+	}
+	benchScenario(b, shards)
 }

@@ -15,10 +15,13 @@
 //
 // Multi-host runs can shard one simulation across cores (-shards): hosts
 // are partitioned over parallel event engines with results bit-identical
-// for every shard count. -shards 0 (the default) picks GOMAXPROCS for
-// multi-host runs and the sequential engine otherwise:
+// for every shard count — the callback consistency protocol (-protocol),
+// recovered starts (-recovered) and scenario runs included. -shards 0
+// (the default) picks GOMAXPROCS for multi-host runs and the sequential
+// engine otherwise; any value >= 1 forces the cluster executor:
 //
 //	flashsim -hosts 256 -shared-wss -shards 0
+//	flashsim -hosts 256 -shared-wss -protocol -shards 8
 //
 // Replaying a trace file instead of the synthetic workload:
 //
@@ -26,9 +29,12 @@
 //
 // Running a scripted scenario (a built-in name or a JSON file) instead of
 // a steady-state run, optionally exporting the time-resolved telemetry
-// (CSV, or NDJSON when the path ends in .ndjson; "-" writes to stdout):
+// (CSV, or NDJSON when the path ends in .ndjson; "-" writes to stdout).
+// Scenarios follow the same sharding rule, so a multi-host scenario runs
+// on the cluster by default:
 //
 //	flashsim -scenario crash-recovery -persistent -scale 2048
+//	flashsim -scenario crash-recovery -hosts 4 -shards 4 -persistent
 //	flashsim -scenario my-scenario.json -telemetry telemetry.csv
 //	flashsim -list-scenarios
 package main
@@ -67,7 +73,7 @@ func main() {
 	ftlBacked := flag.Bool("ftl", false, "route flash traffic through the FTL device simulator")
 	prefetch := flag.Float64("prefetch", 0.90, "filer fast-read (prefetch success) rate")
 	parallel := flag.Int("parallel", 0, "worker pool size for multi-point sweeps (0 = all CPUs)")
-	shards := flag.Int("shards", 0, "engine shards within one simulation: hosts are partitioned over this many parallel event engines (0 = GOMAXPROCS for multi-host runs, 1 = the sequential engine)")
+	shards := flag.Int("shards", 0, "engine shards within one simulation: hosts are partitioned over this many parallel event engines, results identical at every count (0 = sequential for one host, GOMAXPROCS cluster for multi-host; >= 1 forces the cluster)")
 	scenarioName := flag.String("scenario", "", "run a scripted scenario: a built-in name or a JSON file path")
 	listScenarios := flag.Bool("list-scenarios", false, "list built-in scenarios and exit")
 	telemetryPath := flag.String("telemetry", "", "write scenario telemetry to this file (.ndjson for NDJSON, else CSV; - for stdout)")
@@ -153,12 +159,12 @@ func main() {
 			sc, err = flashsim.BuiltinScenario(*scenarioName)
 		}
 		die(err)
-		if *shards > 1 {
-			fmt.Fprintln(os.Stderr, "flashsim: scenario runs execute on the sequential engine; -shards ignored")
-		}
-		scCfg := point(wssList[0], writesList[0])
-		scCfg.Shards = 0
-		res, err := flashsim.RunScenario(scCfg, sc)
+		// Scenario runs follow the same sharding rule as steady-state runs:
+		// -shards N >= 1 forces the cluster executor, and the multi-host
+		// auto default (applied to base above) selects it too — scenario
+		// results are bit-identical for every shard count, so the default
+		// multi-host output does not depend on this machine's core count.
+		res, err := flashsim.RunScenario(point(wssList[0], writesList[0]), sc)
 		die(err)
 		fmt.Println(header(wssList[0], writesList[0]))
 		fmt.Print(res)

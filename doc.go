@@ -64,11 +64,18 @@
 // within one simulation. A sharded run (internal/core.Cluster) partitions
 // the hosts over per-shard event engines synchronized by a conservative
 // epoch barrier: the shared filer is serviced at the barrier in globally
-// sorted arrival order and cross-host invalidations are delivered there,
-// so results are bit-identical for every shard count on every machine.
-// The ext-fleet experiment sweeps the population 64 -> 4096 hosts; the
-// BenchmarkFleetSequential / BenchmarkFleetSharded pair (BENCH_4.json)
-// tracks the intra-simulation speedup. docs/ARCHITECTURE.md documents the
-// layer map, the event lifecycle and the full determinism contract;
-// docs/PERFORMANCE.md the zero-allocation rules and profiling recipes.
+// sorted arrival order, and cross-host invalidations, callback-protocol
+// control messages and crash-recovery scans are delivered there, so
+// results are bit-identical for every shard count on every machine. The
+// cluster is feature-complete: ConsistencyProtocol, RecoveredStart and
+// RunScenario (phases, scripted faults and telemetry synchronizing at
+// the barrier) all execute sharded. The ext-fleet experiment sweeps the
+// population 64 -> 4096 hosts with and without the callback protocol;
+// the BenchmarkFleetSequential / BenchmarkFleetSharded and
+// BenchmarkScenarioSequential / BenchmarkScenarioSharded pairs
+// (BENCH_4.json) track the intra-simulation speedup.
+// docs/ARCHITECTURE.md documents the layer map, the event lifecycle and
+// the full determinism contract; docs/SCENARIOS.md the scenario schema
+// and sharded-run caveats; docs/PERFORMANCE.md the zero-allocation rules
+// and profiling recipes.
 package repro

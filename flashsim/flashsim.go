@@ -7,8 +7,9 @@
 // with Run, which returns a Result carrying the application-observed
 // latencies and cache statistics the paper reports. Multi-host fleets can
 // shard one simulation across cores (Config.Shards) with results
-// bit-identical at every shard count; scripted multi-phase runs execute
-// with RunScenario, and point grids with RunBatch/RunGrid.
+// bit-identical at every shard count — the callback consistency protocol,
+// crash recovery and scripted scenarios included; scripted multi-phase
+// runs execute with RunScenario, and point grids with RunBatch/RunGrid.
 //
 // Quick start:
 //
@@ -229,16 +230,17 @@ type Config struct {
 	Timing   Timing
 	Workload Workload
 
-	// Shards, when > 1, executes the simulation as a sharded cluster:
+	// Shards, when >= 1, executes the simulation as a sharded cluster:
 	// hosts are partitioned over that many parallel discrete-event
 	// engines synchronized by a conservative epoch barrier, with the
 	// shared filer serviced in globally sorted arrival order at the
-	// barrier. Results are bit-identical for every Shards value >= 1 on
-	// any machine, but follow the cluster's (slightly different, fully
-	// deterministic) semantics rather than the sequential path's — see
-	// docs/ARCHITECTURE.md. 0 or 1 selects the classic sequential
-	// engine. Shards > 1 requires more than one host and is incompatible
-	// with ConsistencyProtocol and RecoveredStart.
+	// barrier; consistency traffic (instant invalidations or the callback
+	// protocol), crash-recovery metadata scans and scenario runs all ride
+	// the same exchange. Results are bit-identical for every Shards value
+	// >= 1 on any machine, but follow the cluster's (slightly different,
+	// fully deterministic) semantics rather than the sequential path's —
+	// see docs/ARCHITECTURE.md. 0 selects the classic sequential engine;
+	// a value larger than Hosts is clamped to Hosts.
 	Shards int
 
 	// Seed drives simulator randomness (filer prefetch outcomes).
@@ -321,10 +323,6 @@ func (c *Config) Validate() error {
 	if c.Shards < 0 {
 		return fmt.Errorf("flashsim: negative shard count")
 	}
-	if c.Shards > 1 && c.ConsistencyProtocol {
-		return fmt.Errorf("flashsim: the callback consistency protocol requires zero-latency " +
-			"cross-host messages and cannot run sharded; use Shards <= 1")
-	}
 	hc := core.HostConfig{
 		RAMBlocks:   c.RAMBlocks,
 		FlashBlocks: c.FlashBlocks,
@@ -402,14 +400,14 @@ func Run(cfg Config) (*Result, error) {
 		if dirtyFrac == 0 {
 			dirtyFrac = 0.05
 		}
-		pre = func(eng *sim.Engine, hosts []*core.Host, done func()) {
-			rnd := rng.New(cfg.Seed + 7)
-			join := sim.NewJoin(len(hosts), done)
-			for i, h := range hosts {
-				keys := workingSetKeys(gen.WorkingSet(i), cfg.FlashBlocks)
-				h.Prefill(keys, dirtyFrac, rnd)
-				h.Recover(join.Done)
-			}
+		// One RNG stream shared across hosts: the runners call pre in
+		// host-ID order (sequential and sharded alike), so the prefill is
+		// identical on every executor and for every shard count.
+		rnd := rng.New(cfg.Seed + 7)
+		pre = func(h *core.Host, hostIndex int, done func()) {
+			keys := workingSetKeys(gen.WorkingSet(hostIndex), cfg.FlashBlocks)
+			h.Prefill(keys, dirtyFrac, rnd)
+			h.Recover(done)
 		}
 	}
 	return runTrace(cfg, gen, warmup, pre)
@@ -429,9 +427,11 @@ func workingSetKeys(ws *tracegen.WorkingSet, limit int) []cache.Key {
 	return keys
 }
 
-// prestartFn prepares host state (e.g. crash recovery) before the trace
-// driver starts; it must call done when the simulation may proceed.
-type prestartFn func(eng *sim.Engine, hosts []*core.Host, done func())
+// prestartFn prepares one host's state (e.g. crash recovery) before the
+// trace driver starts; the runner calls it once per host, in host-ID
+// order, and must run the simulation until every host's done has fired
+// before any request is served.
+type prestartFn func(h *core.Host, hostIndex int, done func())
 
 // RunTrace executes the simulation over an explicit trace source (e.g. a
 // trace file) with the given warmup volume in blocks.
@@ -448,6 +448,29 @@ type simulation struct {
 	reg   *consistency.Registry
 	hosts []*core.Host
 	drv   *core.Driver
+}
+
+// hostConfig maps the public Config onto one host's core configuration.
+// Every executor (sequential, sharded steady-state, sharded scenario)
+// builds its hosts through this single mapping, so a new Config knob
+// cannot reach one path and silently miss another.
+func hostConfig(cfg Config, id int) core.HostConfig {
+	return core.HostConfig{
+		ID:               id,
+		RAMBlocks:        cfg.RAMBlocks,
+		FlashBlocks:      cfg.FlashBlocks,
+		Arch:             cfg.Arch,
+		RAMPolicy:        cfg.RAMPolicy,
+		FlashPolicy:      cfg.FlashPolicy,
+		FlashReplacement: cfg.FlashReplacement,
+		PersistentFlash:  cfg.PersistentFlash,
+		ContendedFlash:   cfg.ContendedFlash,
+		FTLBacked:        cfg.FTLBackedFlash,
+
+		DisableFetchDedup:      cfg.DisableFetchDedup,
+		SyncMissFill:           cfg.SyncMissFill,
+		DisableSubsetShootdown: cfg.DisableSubsetShootdown,
+	}
 }
 
 // buildSimulation assembles the hosts, filer, network segments and driver
@@ -469,22 +492,7 @@ func buildSimulation(cfg Config, src trace.Source, warmupBlocks int64) (*simulat
 
 	hosts := make([]*core.Host, cfg.Hosts)
 	for i := range hosts {
-		hc := core.HostConfig{
-			ID:               i,
-			RAMBlocks:        cfg.RAMBlocks,
-			FlashBlocks:      cfg.FlashBlocks,
-			Arch:             cfg.Arch,
-			RAMPolicy:        cfg.RAMPolicy,
-			FlashPolicy:      cfg.FlashPolicy,
-			FlashReplacement: cfg.FlashReplacement,
-			PersistentFlash:  cfg.PersistentFlash,
-			ContendedFlash:   cfg.ContendedFlash,
-			FTLBacked:        cfg.FTLBackedFlash,
-
-			DisableFetchDedup:      cfg.DisableFetchDedup,
-			SyncMissFill:           cfg.SyncMissFill,
-			DisableSubsetShootdown: cfg.DisableSubsetShootdown,
-		}
+		hc := hostConfig(cfg, i)
 		var seg, bgSeg *netsim.Segment
 		if cfg.HalfDuplexNet {
 			// Ablation: one shared half-duplex wire for everything.
@@ -512,11 +520,8 @@ func runTrace(cfg Config, src trace.Source, warmupBlocks int64, pre prestartFn) 
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.Shards > 1 {
-		if pre != nil {
-			return nil, fmt.Errorf("flashsim: RecoveredStart is not supported with Shards > 1")
-		}
-		return runSharded(cfg, src, warmupBlocks)
+	if cfg.Shards >= 1 {
+		return runSharded(cfg, src, warmupBlocks, pre)
 	}
 	s, err := buildSimulation(cfg, src, warmupBlocks)
 	if err != nil {
@@ -524,10 +529,12 @@ func runTrace(cfg Config, src trace.Source, warmupBlocks int64, pre prestartFn) 
 	}
 	var recoverySeconds float64
 	if pre != nil {
-		recovered := false
-		pre(s.eng, s.hosts, func() { recovered = true })
+		recovered := 0
+		for i, h := range s.hosts {
+			pre(h, i, func() { recovered++ })
+		}
 		s.eng.Run()
-		if !recovered {
+		if recovered != len(s.hosts) {
 			return nil, fmt.Errorf("flashsim: recovery did not complete")
 		}
 		recoverySeconds = s.eng.Now().Seconds()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/runner/pool"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -171,9 +172,12 @@ type aggSnap struct {
 	dirty        uint64
 }
 
-func snapshot(s *simulation, out *aggSnap) {
+// snapshotHosts collects the aggregate over an explicit host list, in host
+// order; blocksIssued is supplied by the caller (the single driver's count
+// sequentially, the per-host drivers' sum on the cluster).
+func snapshotHosts(hosts []*core.Host, blocksIssued uint64, out *aggSnap) {
 	*out = aggSnap{}
-	for _, h := range s.hosts {
+	for _, h := range hosts {
 		st := h.Stats()
 		out.readSum += st.ReadLat.Sum()
 		out.readCount += st.ReadLat.Count()
@@ -188,7 +192,11 @@ func snapshot(s *simulation, out *aggSnap) {
 		out.syncEvictions += st.SyncEvictions
 		out.dirty += uint64(h.DirtyBlocks())
 	}
-	out.blocksIssued = s.drv.BlocksIssued()
+	out.blocksIssued = blocksIssued
+}
+
+func snapshot(s *simulation, out *aggSnap) {
+	snapshotHosts(s.hosts, s.drv.BlocksIssued(), out)
 }
 
 // meanMicros returns (sum/count) in microseconds, 0 when count is 0.
@@ -216,7 +224,12 @@ func rate(hits, misses uint64) float64 {
 // ignored — the scenario is the run's shape.
 //
 // Runs are deterministic: a fixed (cfg, scenario) pair produces identical
-// results, telemetry included, on every run.
+// results, telemetry included, on every run. With Shards >= 1 the
+// scenario executes on the sharded cluster — phase trace is fed, fault
+// events run and telemetry samples are taken at epoch barriers — and the
+// result is additionally bit-identical for every shard count (see
+// scenario_sharded.go and docs/SCENARIOS.md for the few semantic
+// differences from the sequential path).
 func RunScenario(cfg Config, sc *Scenario) (*ScenarioResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -232,23 +245,20 @@ func RunScenario(cfg Config, sc *Scenario) (*ScenarioResult, error) {
 	if sc.HasChurn() && cfg.Hosts < 2 {
 		return nil, fmt.Errorf("flashsim: scenario %s has host churn; need at least 2 hosts", sc.Name)
 	}
-
-	fs, err := workloadFileSet(cfg)
-	if err != nil {
-		return nil, err
+	period := sim.Time(sc.SampleEveryMillis * float64(sim.Millisecond))
+	if period <= 0 {
+		return nil, fmt.Errorf("flashsim: scenario %s sampling period %vms rounds to zero",
+			sc.Name, sc.SampleEveryMillis)
 	}
-	gen, err := tracegen.NewGenerator(tracegen.Config{
-		Seed:               cfg.Workload.Seed,
-		Hosts:              cfg.Hosts,
-		ThreadsPerHost:     cfg.ThreadsPerHost,
-		WorkingSetBlocks:   cfg.Workload.WorkingSetBlocks,
-		SharedWorkingSet:   cfg.Workload.SharedWorkingSet,
-		WorkingSetFraction: cfg.Workload.WorkingSetFraction,
-		WriteFraction:      cfg.Workload.WriteFraction,
-		TotalBlocks:        scenarioTraceBlocks,
-		MeanIOBlocks:       cfg.Workload.MeanIOBlocks,
-		FileSet:            fs,
-	})
+
+	if cfg.Shards >= 1 {
+		// The sharded executor: the scenario's phases, events and
+		// telemetry all synchronize at the cluster's epoch barrier, with
+		// results bit-identical for every shard count.
+		return runScenarioSharded(cfg, sc, period)
+	}
+
+	gen, err := scenarioGenerator(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -261,11 +271,6 @@ func RunScenario(cfg Config, sc *Scenario) (*ScenarioResult, error) {
 	// The telemetry probe: one row per sampling period with interval
 	// deltas of the aggregate host statistics. The tick itself allocates
 	// nothing (see stats.Sampler); prev/cur live across ticks.
-	period := sim.Time(sc.SampleEveryMillis * float64(sim.Millisecond))
-	if period <= 0 {
-		return nil, fmt.Errorf("flashsim: scenario %s sampling period %vms rounds to zero",
-			sc.Name, sc.SampleEveryMillis)
-	}
 	ts := stats.NewTimeSeries("scenario "+sc.Name, telemetryColumns...)
 	var prev, cur aggSnap
 	sampler := stats.NewSampler(s.eng, period, ts,
@@ -282,7 +287,6 @@ func RunScenario(cfg Config, sc *Scenario) (*ScenarioResult, error) {
 		})
 
 	res := &ScenarioResult{Scenario: sc.Name}
-	wsAgg := cfg.Workload.WorkingSetBlocks * workingSets(cfg)
 	var phaseStart, phaseEnd aggSnap
 	for pi := range sc.Phases {
 		ph := &sc.Phases[pi]
@@ -298,35 +302,14 @@ func RunScenario(cfg Config, sc *Scenario) (*ScenarioResult, error) {
 		}
 		start := s.eng.Now()
 		snapshot(s, &phaseStart)
-		blocks := ph.Blocks
-		if ph.WSMultiple > 0 {
-			blocks = int64(ph.WSMultiple * float64(wsAgg))
-			if blocks < 1 {
-				// A tiny working set must not truncate the bound to 0,
-				// which RunPhase would read as "unlimited".
-				blocks = 1
-			}
-		}
+		blocks := phaseBlocks(cfg, ph)
 		var deadline sim.Time
 		if ph.Seconds > 0 {
 			deadline = start + sim.Time(ph.Seconds*float64(sim.Second))
 		}
 		s.drv.RunPhase(blocks, deadline)
 		snapshot(s, &phaseEnd)
-		res.Phases = append(res.Phases, PhaseResult{
-			Name:               ph.Name,
-			StartSeconds:       start.Seconds(),
-			EndSeconds:         s.eng.Now().Seconds(),
-			BlocksIssued:       phaseEnd.blocksIssued - phaseStart.blocksIssued,
-			ReadLatencyMicros:  meanMicros(phaseEnd.readSum-phaseStart.readSum, phaseEnd.readCount-phaseStart.readCount),
-			WriteLatencyMicros: meanMicros(phaseEnd.writeSum-phaseStart.writeSum, phaseEnd.writeCount-phaseStart.writeCount),
-			RAMHitRate:         rate(phaseEnd.ramHits-phaseStart.ramHits, phaseEnd.ramMisses-phaseStart.ramMisses),
-			FlashHitRate:       rate(phaseEnd.flashHits-phaseStart.flashHits, phaseEnd.flashMisses-phaseStart.flashMisses),
-			FilerFetches:       phaseEnd.filerFetches - phaseStart.filerFetches,
-			FilerWritebacks:    phaseEnd.filerWritebacks - phaseStart.filerWritebacks,
-			SyncEvictions:      phaseEnd.syncEvictions - phaseStart.syncEvictions,
-			DirtyBlocksEnd:     phaseEnd.dirty,
-		})
+		res.Phases = append(res.Phases, phaseResult(ph.Name, start, s.eng.Now(), &phaseStart, &phaseEnd))
 	}
 	// Wind down: stop the syncers, drain in-flight writebacks, and take
 	// one final sample so the series covers the whole run.
@@ -342,6 +325,60 @@ func RunScenario(cfg Config, sc *Scenario) (*ScenarioResult, error) {
 	res.SimulatedSeconds = s.eng.Now().Seconds()
 	res.EngineEvents = s.eng.Processed()
 	return res, nil
+}
+
+// scenarioGenerator builds the effectively-unbounded trace generator of a
+// scenario run (phase bounds, not the generator, end the trace).
+func scenarioGenerator(cfg Config) (*tracegen.Generator, error) {
+	fs, err := workloadFileSet(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return tracegen.NewGenerator(tracegen.Config{
+		Seed:               cfg.Workload.Seed,
+		Hosts:              cfg.Hosts,
+		ThreadsPerHost:     cfg.ThreadsPerHost,
+		WorkingSetBlocks:   cfg.Workload.WorkingSetBlocks,
+		SharedWorkingSet:   cfg.Workload.SharedWorkingSet,
+		WorkingSetFraction: cfg.Workload.WorkingSetFraction,
+		WriteFraction:      cfg.Workload.WriteFraction,
+		TotalBlocks:        scenarioTraceBlocks,
+		MeanIOBlocks:       cfg.Workload.MeanIOBlocks,
+		FileSet:            fs,
+	})
+}
+
+// phaseBlocks resolves a phase's block bound against the configuration's
+// aggregate working set. 0 means the phase is bounded by time instead.
+func phaseBlocks(cfg Config, ph *ScenarioPhase) int64 {
+	if ph.WSMultiple > 0 {
+		blocks := int64(ph.WSMultiple * float64(cfg.Workload.WorkingSetBlocks*workingSets(cfg)))
+		if blocks < 1 {
+			// A tiny working set must not truncate the bound to 0, which
+			// the runners would read as "unlimited".
+			blocks = 1
+		}
+		return blocks
+	}
+	return ph.Blocks
+}
+
+// phaseResult assembles one phase's result from its bounding snapshots.
+func phaseResult(name string, start, end sim.Time, a, b *aggSnap) PhaseResult {
+	return PhaseResult{
+		Name:               name,
+		StartSeconds:       start.Seconds(),
+		EndSeconds:         end.Seconds(),
+		BlocksIssued:       b.blocksIssued - a.blocksIssued,
+		ReadLatencyMicros:  meanMicros(b.readSum-a.readSum, b.readCount-a.readCount),
+		WriteLatencyMicros: meanMicros(b.writeSum-a.writeSum, b.writeCount-a.writeCount),
+		RAMHitRate:         rate(b.ramHits-a.ramHits, b.ramMisses-a.ramMisses),
+		FlashHitRate:       rate(b.flashHits-a.flashHits, b.flashMisses-a.flashMisses),
+		FilerFetches:       b.filerFetches - a.filerFetches,
+		FilerWritebacks:    b.filerWritebacks - a.filerWritebacks,
+		SyncEvictions:      b.syncEvictions - a.syncEvictions,
+		DirtyBlocksEnd:     b.dirty,
+	}
 }
 
 // applyOverrides pushes a phase's workload overrides into the generator.

@@ -10,13 +10,17 @@ import (
 	"repro/internal/trace"
 )
 
-// This file executes a Config with Shards > 1 as a core.Cluster: the trace
-// is split into per-host streams, hosts are partitioned round-robin over
-// per-shard engines, and the shared filer is serviced at a conservative
-// epoch barrier in globally sorted arrival order. The cluster guarantees
-// bit-identical results for every shard count (the sharded determinism
-// contract; see internal/core/cluster.go and docs/ARCHITECTURE.md), which
-// TestShardedShardCountInvariance locks.
+// This file executes a Config with Shards >= 1 as a core.Cluster: the
+// trace is split into per-host streams, hosts are partitioned round-robin
+// over per-shard engines, and the shared filer is serviced at a
+// conservative epoch barrier in globally sorted arrival order — as are
+// cross-host invalidations, callback-protocol control messages
+// (ConsistencyProtocol) and the crash-recovery prestart's dirty flushes
+// (RecoveredStart). The cluster guarantees bit-identical results for
+// every shard count (the sharded determinism contract; see
+// internal/core/cluster.go and docs/ARCHITECTURE.md), which
+// TestShardedShardCountInvariance and its protocol/recovery siblings
+// lock.
 
 // splitTrace drains the source into per-host op slices, mirroring the
 // sequential driver's host clamping (a trace recorded on more hosts than
@@ -38,12 +42,42 @@ func splitTrace(src trace.Source, hosts int) (perHost [][]trace.Op, blocks []int
 	return perHost, blocks, total
 }
 
-// runSharded executes the simulation as a sharded cluster.
-func runSharded(cfg Config, src trace.Source, warmupBlocks int64) (*Result, error) {
-	if cfg.Hosts < 2 {
-		return nil, fmt.Errorf("flashsim: Shards > 1 needs more than one host to partition")
+// clusterSpec assembles the core.ClusterSpec shared by the sharded
+// steady-state and scenario executors; only the per-host trace sources and
+// warmup volumes differ between them. The filer draws from the same forked
+// RNG stream as the sequential path, so its fast/slow outcomes depend only
+// on arrival order.
+func clusterSpec(cfg Config, sources []trace.Source, warmup []int64) core.ClusterSpec {
+	hostCfgs := make([]core.HostConfig, cfg.Hosts)
+	for i := range hostCfgs {
+		hostCfgs[i] = hostConfig(cfg, i)
 	}
+	seedRNG := rng.New(cfg.Seed)
+	track := cfg.Hosts > 1 || cfg.TrackConsistency
+	return core.ClusterSpec{
+		Shards:        cfg.Shards,
+		Hosts:         hostCfgs,
+		Timing:        cfg.Timing,
+		HalfDuplexNet: cfg.HalfDuplexNet,
+		NewFiler: func(eng *sim.Engine) *filer.Filer {
+			return filer.New(eng, seedRNG.Fork(),
+				cfg.Timing.FilerFastRead, cfg.Timing.FilerSlowRead, cfg.Timing.FilerWrite,
+				cfg.Timing.FilerFastReadRate)
+		},
+		Sources: sources,
+		Warmup:  warmup,
+		// Invalidation accounting mirrors the sequential path's registry
+		// rule; single-host clusters have nothing to invalidate.
+		TrackInvalidations:  track,
+		ConsistencyProtocol: cfg.ConsistencyProtocol && track,
+	}
+}
 
+// runSharded executes the simulation as a sharded cluster. pre, when
+// non-nil, is the crash-recovery prestart: it runs per host before the
+// drivers start, and its metadata scans and dirty flushes drain through
+// the epoch barrier like all other traffic.
+func runSharded(cfg Config, src trace.Source, warmupBlocks int64, pre prestartFn) (*Result, error) {
 	perHost, blocks, total := splitTrace(src, cfg.Hosts)
 
 	// Each host warms up on its own share of the trace, preserving the
@@ -57,52 +91,41 @@ func runSharded(cfg Config, src trace.Source, warmupBlocks int64) (*Result, erro
 		}
 	}
 
-	hostCfgs := make([]core.HostConfig, cfg.Hosts)
 	sources := make([]trace.Source, cfg.Hosts)
-	for i := range hostCfgs {
-		hostCfgs[i] = core.HostConfig{
-			ID:               i,
-			RAMBlocks:        cfg.RAMBlocks,
-			FlashBlocks:      cfg.FlashBlocks,
-			Arch:             cfg.Arch,
-			RAMPolicy:        cfg.RAMPolicy,
-			FlashPolicy:      cfg.FlashPolicy,
-			FlashReplacement: cfg.FlashReplacement,
-			PersistentFlash:  cfg.PersistentFlash,
-			ContendedFlash:   cfg.ContendedFlash,
-			FTLBacked:        cfg.FTLBackedFlash,
-
-			DisableFetchDedup:      cfg.DisableFetchDedup,
-			SyncMissFill:           cfg.SyncMissFill,
-			DisableSubsetShootdown: cfg.DisableSubsetShootdown,
-		}
+	for i := range sources {
 		sources[i] = trace.NewSliceSource(perHost[i])
 	}
-
-	// The filer draws from the same forked RNG stream as the sequential
-	// path, so its fast/slow outcomes depend only on arrival order.
-	seedRNG := rng.New(cfg.Seed)
-	cl, err := core.NewCluster(core.ClusterSpec{
-		Shards:        cfg.Shards,
-		Hosts:         hostCfgs,
-		Timing:        cfg.Timing,
-		HalfDuplexNet: cfg.HalfDuplexNet,
-		NewFiler: func(eng *sim.Engine) *filer.Filer {
-			return filer.New(eng, seedRNG.Fork(),
-				cfg.Timing.FilerFastRead, cfg.Timing.FilerSlowRead, cfg.Timing.FilerWrite,
-				cfg.Timing.FilerFastReadRate)
-		},
-		Sources: sources,
-		Warmup:  warmup,
-		// Always on: sharded runs are multi-host by construction, and the
-		// sequential path enables its registry whenever Hosts > 1.
-		TrackInvalidations: true,
-	})
+	cl, err := core.NewCluster(clusterSpec(cfg, sources, warmup))
 	if err != nil {
 		return nil, err
 	}
-	cl.Run()
-	return buildShardedResult(cfg, cl), nil
+
+	cl.Start()
+	defer cl.Close()
+	var recoverySeconds float64
+	if pre != nil {
+		// Prestart (crash recovery): prefill and recover every host, then
+		// drive the barrier until the recovery traffic drains. The done
+		// callbacks fire on the shard goroutines; the flags are read only
+		// after Advance's barrier handshake orders them.
+		recovered := make([]bool, cfg.Hosts)
+		for i, h := range cl.Hosts() {
+			i := i
+			pre(h, i, func() { recovered[i] = true })
+		}
+		cl.Advance(0)
+		for i, ok := range recovered {
+			if !ok {
+				return nil, fmt.Errorf("flashsim: recovery did not complete on host %d", i)
+			}
+		}
+		recoverySeconds = cl.Now().Seconds()
+	}
+	cl.StartDrivers()
+	cl.RunToCompletion()
+	res := buildShardedResult(cfg, cl)
+	res.RecoverySeconds = recoverySeconds
+	return res, nil
 }
 
 // buildShardedResult mirrors buildResult over the cluster's aggregates.
@@ -138,5 +161,8 @@ func buildShardedResult(cfg Config, cl *core.Cluster) *Result {
 	res.InvalidationFraction = cons.InvalidationFraction()
 	res.Invalidations = cons.Invalidations
 	res.BlocksWrittenShared = cons.BlocksWritten
+	res.ControlMessages = cons.ControlMessages
+	res.OwnershipAcquires = cons.OwnershipAcquires
+	res.Downgrades = cons.Downgrades
 	return res
 }

@@ -29,19 +29,18 @@ func runWithShards(t *testing.T, cfg Config, shards int) *Result {
 }
 
 // TestShardedShardCountInvariance locks the sharded determinism contract:
-// one configuration, executed at -shards 2/4/8, produces bit-identical
+// one configuration, executed at -shards 1/2/4/8, produces bit-identical
 // results — every latency, histogram bucket, filer counter and
-// invalidation count — regardless of how hosts are partitioned. (Shards=1
+// invalidation count — regardless of how hosts are partitioned. (Shards=0
 // selects the classic sequential engine, whose per-run determinism the
-// golden SHA-256 matrix locks; the cluster's own single-shard execution is
-// covered by the core cluster tests.)
+// golden SHA-256 matrix locks.)
 func TestShardedShardCountInvariance(t *testing.T) {
 	cfg := fleetConfig(8)
-	ref := runWithShards(t, cfg, 2)
-	for _, shards := range []int{4, 8} {
+	ref := runWithShards(t, cfg, 1)
+	for _, shards := range []int{2, 4, 8} {
 		got := runWithShards(t, cfg, shards)
 		if !reflect.DeepEqual(ref, got) {
-			t.Errorf("shards=%d diverged from shards=2:\nref: %+v\ngot: %+v", shards, ref, got)
+			t.Errorf("shards=%d diverged from shards=1:\nref: %+v\ngot: %+v", shards, ref, got)
 		}
 	}
 }
@@ -109,32 +108,78 @@ func TestShardedMatchesSequentialStatistically(t *testing.T) {
 	relClose("shared read latency", seqS.ReadLatencyMicros, shdS.ReadLatencyMicros, 0.15)
 }
 
-// TestShardedValidation exercises the sharded-mode configuration errors.
+// TestShardedValidation exercises the sharded-mode configuration edges:
+// a negative count is rejected, while the features the cluster used to
+// refuse (the callback protocol, recovered starts, single-host fleets)
+// now run — their invariance is locked by the tests above and below.
 func TestShardedValidation(t *testing.T) {
-	cfg := fleetConfig(4)
-	cfg.Shards = 2
-	cfg.ConsistencyProtocol = true
-	if _, err := Run(cfg); err == nil {
-		t.Error("ConsistencyProtocol with Shards > 1 should fail")
-	}
-
-	cfg = fleetConfig(4)
-	cfg.Shards = 2
-	cfg.RecoveredStart = true
-	cfg.PersistentFlash = true
-	if _, err := Run(cfg); err == nil {
-		t.Error("RecoveredStart with Shards > 1 should fail")
-	}
-
-	cfg = ScaledConfig(4096) // single host
-	cfg.Shards = 2
-	if _, err := Run(cfg); err == nil {
-		t.Error("Shards > 1 with one host should fail")
-	}
-
-	cfg = fleetConfig(2)
+	cfg := fleetConfig(2)
 	cfg.Shards = -1
 	if _, err := Run(cfg); err == nil {
 		t.Error("negative shard count should fail")
+	}
+
+	// A single-host cluster clamps to one shard and runs.
+	cfg = ScaledConfig(4096)
+	cfg.Shards = 2
+	if _, err := Run(cfg); err != nil {
+		t.Errorf("single-host cluster: %v", err)
+	}
+}
+
+// TestShardedProtocolShardCountInvariance extends the determinism contract
+// to the callback consistency protocol: ownership acquisitions, holder
+// callbacks and downgrades all cross the epoch barrier, so the protocol
+// counters and every latency are bit-identical at any shard count.
+func TestShardedProtocolShardCountInvariance(t *testing.T) {
+	cfg := fleetConfig(8)
+	cfg.ConsistencyProtocol = true
+	ref := runWithShards(t, cfg, 1)
+	if ref.ControlMessages == 0 || ref.OwnershipAcquires == 0 {
+		t.Fatalf("protocol run recorded no protocol traffic: %+v", ref)
+	}
+	if ref.Downgrades == 0 {
+		t.Error("shared working set produced no downgrades")
+	}
+	for _, shards := range []int{2, 4, 8} {
+		got := runWithShards(t, cfg, shards)
+		if !reflect.DeepEqual(ref, got) {
+			t.Errorf("protocol shards=%d diverged from shards=1:\nref: %+v\ngot: %+v", shards, ref, got)
+		}
+	}
+}
+
+// shardedProtocolGolden pins one protocol-on cluster run the way the
+// sequential golden matrix pins the registry path; shard count is
+// irrelevant (invariance above), so the lock runs at shards=2. Captured
+// when the sharded protocol was built.
+const shardedProtocolGolden = "04f9d2a9d250cdeec4180cc572e2187fd392cc3b73d4e6018e3fc8aa7d2b2ba7"
+
+func TestShardedProtocolGoldenChecksum(t *testing.T) {
+	cfg := fleetConfig(4)
+	cfg.ConsistencyProtocol = true
+	cfg.Shards = 2
+	if got := resultChecksum(t, cfg); got != shardedProtocolGolden {
+		t.Errorf("sharded protocol checksum drifted:\ngot  %s\nwant %s", got, shardedProtocolGolden)
+	}
+}
+
+// TestShardedRecoveredStart locks crash recovery on the cluster: the
+// prefill and the metadata scan + dirty flush drain through the epoch
+// barrier, the recovery delay is reported, and the result is invariant
+// across shard counts.
+func TestShardedRecoveredStart(t *testing.T) {
+	cfg := fleetConfig(4)
+	cfg.PersistentFlash = true
+	cfg.RecoveredStart = true
+	ref := runWithShards(t, cfg, 1)
+	if ref.RecoverySeconds <= 0 {
+		t.Fatalf("recovered start reported no recovery delay: %+v", ref)
+	}
+	for _, shards := range []int{2, 4} {
+		got := runWithShards(t, cfg, shards)
+		if !reflect.DeepEqual(ref, got) {
+			t.Errorf("recovered shards=%d diverged from shards=1:\nref: %+v\ngot: %+v", shards, ref, got)
+		}
 	}
 }

@@ -37,16 +37,33 @@ import (
 //     tens of microseconds) — a deliberate, documented relaxation that
 //     makes the result bit-identical for every shard count.
 //
+//   - Protocol callbacks. Under the callback consistency protocol
+//     (ClusterSpec.ConsistencyProtocol) every ownership acquisition,
+//     holder callback, ack and downgrade is itself a cross-shard control
+//     message: it rides the sending host's network segment, enters the
+//     shard outbox on arrival, and is processed by the barrier coordinator
+//     in the same globally sorted (arrivalTime, host, seq) order. See
+//     clusterproto.go.
+//
 // The invariant delivered: for a fixed configuration, a Cluster run
 // produces byte-identical results for ANY number of shards (1, 2, 4, 8,
 // ...), because every cross-host interaction is ordered by keys computed
 // from host-local deterministic state, never by scheduling interleave.
 // Cluster semantics differ slightly from the sequential Driver path (per-
-// host pump windows, barrier-deferred invalidation, barrier-quantized
-// syncer shutdown), so sharded results are compared against each other —
-// and validated statistically against sequential runs — rather than
-// byte-compared against sequential goldens. docs/ARCHITECTURE.md spells
-// out the contract.
+// host pump windows, barrier-deferred invalidation and callbacks,
+// barrier-quantized syncer shutdown), so sharded results are compared
+// against each other — and validated statistically against sequential
+// runs — rather than byte-compared against sequential goldens.
+// docs/ARCHITECTURE.md spells out the contract.
+//
+// Beyond the one-shot Run, the cluster exposes a step API — Start, Advance
+// (run barrier cycles to idle or to a pause time), Close — that scenario
+// runs and crash-recovery prestarts drive: scripted fault events execute
+// between epochs with every shard quiescent, per-phase trace is fed to the
+// per-host drivers at barriers, and telemetry samples are taken at barrier
+// times forced onto the sampling grid. All of those decisions are
+// functions of global state at shard-count-invariant barrier times, so the
+// invariance contract extends to scenario runs.
 
 // filerMsg is one host→filer service request crossing a shard boundary.
 type filerMsg struct {
@@ -109,8 +126,9 @@ type clusterShard struct {
 	hosts   []*Host
 	drivers []*Driver
 
-	outMsgs []filerMsg
-	outInv  []invMsg
+	outMsgs  []filerMsg
+	outInv   []invMsg
+	outProto []protoMsg
 
 	// Barrier-deferred invalidation delivery (worker side).
 	invDrops      []bool // per message of the current batch: a local copy dropped
@@ -168,14 +186,29 @@ type ClusterSpec struct {
 	// TrackInvalidations enables the barrier-deferred consistency
 	// accounting (the sharded analogue of consistency.Registry).
 	TrackInvalidations bool
+
+	// ConsistencyProtocol switches from instant (barrier-deferred)
+	// invalidation to the callback ownership protocol: writers acquire
+	// exclusive ownership through the barrier coordinator, paying
+	// control-message transits and holder callbacks; readers of an
+	// exclusively-owned block force a downgrade and dirty flush. The
+	// sharded analogue of consistency.ModeCallback; implies the
+	// TrackInvalidations accounting.
+	ConsistencyProtocol bool
 }
 
 // ClusterConsistency aggregates the invalidation accounting of a sharded
-// run; fields mirror consistency.Registry's counters.
+// run; fields mirror consistency.Registry's counters. The protocol fields
+// are zero unless ClusterSpec.ConsistencyProtocol was set.
 type ClusterConsistency struct {
 	BlocksWritten      uint64
 	WritesInvalidating uint64
 	Invalidations      uint64
+
+	// Callback-protocol traffic (ConsistencyProtocol runs only).
+	ControlMessages   uint64
+	OwnershipAcquires uint64
+	Downgrades        uint64
 }
 
 // InvalidationFraction returns writes-requiring-invalidation over all
@@ -199,13 +232,23 @@ type Cluster struct {
 	lookahead sim.Time
 
 	// Coordinator state between epochs.
-	msgBatch []filerMsg
-	invBatch []invMsg
-	cons     ClusterConsistency
-	track    bool
+	msgBatch   []filerMsg
+	invBatch   []invMsg
+	protoBatch []protoMsg
+	cons       ClusterConsistency
+	track      bool
+	proto      *protoCoordinator   // nil outside protocol runs
+	protoPorts []*clusterProtoPort // by host ID; nil outside protocol runs
 
-	started bool
-	epochs  uint64
+	// Lifecycle (see Start/StartDrivers/Advance/Run/Close).
+	started        bool
+	closed         bool
+	driversStarted bool
+	autoStop       bool // Run-mode: stop syncers at the barrier after trace completion
+	syncersStopped bool
+	end            sim.Time // the barrier the next Advance cycle runs to
+	wg             sync.WaitGroup
+	epochs         uint64
 }
 
 // NewCluster builds the sharded simulation described by the spec.
@@ -248,6 +291,11 @@ func NewCluster(spec ClusterSpec) (*Cluster, error) {
 		return nil, fmt.Errorf("core: sharded run needs a positive filer service latency (epoch lookahead)")
 	}
 
+	if spec.ConsistencyProtocol {
+		c.proto = newProtoCoordinator(c)
+		c.protoPorts = make([]*clusterProtoPort, n)
+	}
+
 	for i, hc := range spec.Hosts {
 		sh := c.shards[i%shards]
 		var seg, bgSeg *netsim.Segment
@@ -263,7 +311,11 @@ func NewCluster(spec ClusterSpec) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
-		if c.track {
+		if c.proto != nil {
+			p := &clusterProtoPort{sh: sh, h: h, host: int32(i), co: c.proto}
+			c.protoPorts[i] = p
+			h.SetConsistencyPort(p)
+		} else if c.track {
 			h.SetInvalidationSink(&clusterSink{sh: sh, host: int32(i)})
 		}
 		drv, err := NewDriver(sh.eng, []*Host{h}, nil, spec.Sources[i], spec.Warmup[i])
@@ -291,9 +343,25 @@ func (c *Cluster) Hosts() []*Host { return c.hosts }
 // Filer returns the shared filer.
 func (c *Cluster) Filer() *filer.Filer { return c.fsrv }
 
+// Drivers returns the per-host trace drivers in host-ID order. Scenario
+// runs feed and poll them between epochs.
+func (c *Cluster) Drivers() []*Driver { return c.drivers }
+
 // Consistency returns the invalidation accounting (zero unless
-// TrackInvalidations was set).
-func (c *Cluster) Consistency() ClusterConsistency { return c.cons }
+// TrackInvalidations or ConsistencyProtocol was set). Under the callback
+// protocol the coordinator's counters are folded together with the
+// per-host port counters (silent-owner writes, request-side control
+// messages); call it only between epochs or after the run.
+func (c *Cluster) Consistency() ClusterConsistency {
+	cons := c.cons
+	if c.proto != nil {
+		c.proto.fold(&cons)
+		for _, p := range c.protoPorts {
+			p.fold(&cons)
+		}
+	}
+	return cons
+}
 
 // Epochs returns the number of barrier intervals executed.
 func (c *Cluster) Epochs() uint64 { return c.epochs }
@@ -339,8 +407,8 @@ func (c *Cluster) BlocksIssued() uint64 {
 
 // worker is one shard's goroutine: per epoch it applies the coordinator's
 // invalidation batch, then advances its engine to the epoch end.
-func (c *Cluster) worker(sh *clusterShard, wg *sync.WaitGroup) {
-	defer wg.Done()
+func (c *Cluster) worker(sh *clusterShard) {
+	defer c.wg.Done()
 	for end := range sh.cmd {
 		sh.applyInvalidations(c.invBatch)
 		sh.eng.RunUntil(end)
@@ -393,11 +461,14 @@ func (c *Cluster) gather() {
 
 	c.msgBatch = c.msgBatch[:0]
 	c.invBatch = c.invBatch[:0]
+	c.protoBatch = c.protoBatch[:0]
 	for _, sh := range c.shards {
 		c.msgBatch = append(c.msgBatch, sh.outMsgs...)
 		c.invBatch = append(c.invBatch, sh.outInv...)
+		c.protoBatch = append(c.protoBatch, sh.outProto...)
 		sh.outMsgs = sh.outMsgs[:0]
 		sh.outInv = sh.outInv[:0]
+		sh.outProto = sh.outProto[:0]
 	}
 
 	// Sort both batches by their partition-independent delivery keys.
@@ -418,6 +489,16 @@ func (c *Cluster) gather() {
 		}
 		if a.writer != b.writer {
 			return a.writer < b.writer
+		}
+		return a.seq < b.seq
+	})
+	sort.Slice(c.protoBatch, func(i, j int) bool {
+		a, b := &c.protoBatch[i], &c.protoBatch[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.host != b.host {
+			return a.host < b.host
 		}
 		return a.seq < b.seq
 	})
@@ -451,15 +532,20 @@ func (c *Cluster) serviceFiler() {
 
 // idle reports whether no exchange message is waiting and no engine holds
 // a non-daemon event: nothing but background daemon ticks can ever happen
-// again.
+// again. A pending protocol request always keeps at least one callback
+// event or ack message alive (see clusterproto.go), so an idle cluster
+// with outstanding protocol state is a lost-message bug; fail loudly.
 func (c *Cluster) idle() bool {
-	if len(c.msgBatch) > 0 || len(c.invBatch) > 0 {
+	if len(c.msgBatch) > 0 || len(c.invBatch) > 0 || len(c.protoBatch) > 0 {
 		return false
 	}
 	for _, sh := range c.shards {
 		if sh.eng.NonDaemonPending() > 0 {
 			return false
 		}
+	}
+	if c.proto != nil && c.proto.pending() > 0 {
+		panic("core: cluster idle with protocol requests outstanding")
 	}
 	return true
 }
@@ -484,43 +570,85 @@ func (c *Cluster) nextEpochEnd(end sim.Time) sim.Time {
 	return next
 }
 
-// Run executes the sharded simulation to completion: it starts every
-// per-host driver, advances the shards epoch by epoch, stops the periodic
-// syncers at the first barrier after all trace work has drained (the
-// sharded analogue of Driver.Run's shutdown), and returns once the system
-// is quiescent.
-func (c *Cluster) Run() {
+// Start spawns the shard worker goroutines. It must be called (directly or
+// via Run) before Advance; pair it with Close.
+func (c *Cluster) Start() {
 	if c.started {
-		panic("core: cluster already run")
+		panic("core: cluster already started")
 	}
 	c.started = true
-
-	var wg sync.WaitGroup
 	if len(c.shards) > 1 {
 		for _, sh := range c.shards {
-			wg.Add(1)
-			go c.worker(sh, &wg)
+			c.wg.Add(1)
+			go c.worker(sh)
 		}
-		defer func() {
-			for _, sh := range c.shards {
-				close(sh.cmd)
-			}
-			wg.Wait()
-		}()
 	}
+}
 
+// Close stops the shard workers. Safe to call more than once; Run calls it
+// automatically.
+func (c *Cluster) Close() {
+	if !c.started || c.closed {
+		return
+	}
+	c.closed = true
+	if len(c.shards) > 1 {
+		for _, sh := range c.shards {
+			close(sh.cmd)
+		}
+		c.wg.Wait()
+	}
+}
+
+// StartDrivers primes every per-host trace driver: collection flags are
+// set per the warmup configuration and the initial op windows are pumped,
+// scheduling each host's first events. Run calls it; step-mode users call
+// it once after any prestart work (e.g. crash recovery) has drained.
+func (c *Cluster) StartDrivers() {
+	if c.driversStarted {
+		panic("core: cluster drivers already started")
+	}
+	c.driversStarted = true
 	for _, d := range c.drivers {
 		d.start()
 	}
+}
 
-	syncersStopped := false
-	end := sim.Time(0) // first epoch runs the t=0 kickoff events
+// StopSyncers halts every host's periodic writeback daemons. Scenario runs
+// call it during wind-down, exactly like the sequential path.
+func (c *Cluster) StopSyncers() {
+	for _, h := range c.hosts {
+		h.StopSyncers()
+	}
+}
+
+// Advance runs barrier cycles until the cluster is idle — no undelivered
+// exchange message and nothing but daemon ticks pending anywhere — or, if
+// pause > 0, until a barrier lands on the pause time (barriers are forced
+// onto pause exactly, never past it). It returns true when idle, false
+// when paused. On either return every shard's clock sits at the last
+// barrier and all events up to it have executed, so the caller may inspect
+// and mutate global state (sample telemetry, feed trace, run fault events)
+// before calling Advance again. Pause times and the mutations made at them
+// must themselves be shard-count invariant for the cluster's determinism
+// contract to extend to the whole run.
+func (c *Cluster) Advance(pause sim.Time) bool {
+	if !c.started {
+		panic("core: cluster not started")
+	}
+	if pause > 0 && c.end > pause {
+		// The previous Advance overshot this pause when it scheduled its
+		// final barrier (pause times are the caller's, not the cluster's);
+		// pull the pending target back. No events have run past the last
+		// completed barrier, so lowering the target is always safe.
+		c.end = pause
+	}
 	for {
-		c.runEpoch(end)
+		c.runEpoch(c.end)
 		c.epochs++
 		c.gather()
 
-		if !syncersStopped {
+		if c.autoStop && !c.syncersStopped {
 			allDone := true
 			for _, d := range c.drivers {
 				if !d.done() {
@@ -534,27 +662,57 @@ func (c *Cluster) Run() {
 				// stay dirty rather than draining forever. This happens
 				// at the first barrier after completion — a schedule
 				// that is itself shard-count invariant.
-				for _, h := range c.hosts {
-					h.StopSyncers()
-				}
-				syncersStopped = true
+				c.StopSyncers()
+				c.syncersStopped = true
 			}
 		}
 
 		if c.idle() {
-			if syncersStopped {
-				return
+			if c.autoStop && !c.syncersStopped {
+				// Nothing can ever run again, yet some driver still has
+				// trace work: a lost completion. Fail loudly rather than
+				// spin.
+				panic("core: cluster stalled with trace work outstanding")
 			}
-			// Nothing can ever run again, yet some driver still has trace
-			// work: a lost completion. Fail loudly rather than spin.
-			panic("core: cluster stalled with trace work outstanding")
+			return true
 		}
 
 		c.serviceFiler()
-		prev := end
-		end = c.nextEpochEnd(end)
-		if end <= prev {
+		c.serviceProtocol()
+		atPause := pause > 0 && c.end >= pause
+		prev := c.end
+		c.end = c.nextEpochEnd(prev)
+		if pause > 0 && prev < pause && c.end > pause {
+			c.end = pause
+		}
+		if c.end <= prev {
 			panic("core: cluster epoch failed to advance")
 		}
+		if atPause {
+			return false
+		}
 	}
+}
+
+// RunToCompletion drives a started cluster (drivers already primed) until
+// all trace work has drained: syncers stop at the first barrier after
+// completion — the sharded analogue of Driver.Run's shutdown — and the
+// call returns once the system is quiescent. Step-mode callers that need
+// prestart work (crash recovery) use Start + Advance + StartDrivers +
+// RunToCompletion; everyone else just calls Run.
+func (c *Cluster) RunToCompletion() {
+	c.autoStop = true
+	c.Advance(0)
+}
+
+// Run executes the sharded simulation to completion: it starts every
+// per-host driver, advances the shards epoch by epoch, stops the periodic
+// syncers at the first barrier after all trace work has drained (the
+// sharded analogue of Driver.Run's shutdown), and returns once the system
+// is quiescent.
+func (c *Cluster) Run() {
+	c.Start()
+	defer c.Close()
+	c.StartDrivers()
+	c.RunToCompletion()
 }

@@ -132,6 +132,59 @@ func TestClusterInvalidationAccounting(t *testing.T) {
 	}
 }
 
+// TestClusterProtocolInvariance locks the callback protocol's barrier
+// routing at the core level: ownership acquisitions, holder callbacks,
+// downgrades and their accounting are bit-identical for every shard count,
+// and the traffic is actually exercised (the test trace writes a shared
+// block range).
+func TestClusterProtocolInvariance(t *testing.T) {
+	var ref clusterSnapshot
+	for i, shards := range []int{1, 2, 3, 4} {
+		spec := clusterSpecForTest(4, shards)
+		spec.ConsistencyProtocol = true
+		c, err := NewCluster(spec)
+		if err != nil {
+			t.Fatalf("NewCluster(shards=%d): %v", shards, err)
+		}
+		c.Run()
+		snap := snapshotCluster(c)
+		if i == 0 {
+			ref = snap
+			if ref.Cons.ControlMessages == 0 || ref.Cons.OwnershipAcquires == 0 {
+				t.Fatalf("protocol cluster recorded no protocol traffic: %+v", ref.Cons)
+			}
+			if ref.Cons.Downgrades == 0 {
+				t.Error("shared-range reads forced no downgrades")
+			}
+			if ref.Cons.BlocksWritten == 0 {
+				t.Error("no block writes counted while collecting")
+			}
+			continue
+		}
+		if !reflect.DeepEqual(ref, snap) {
+			t.Errorf("protocol shards=%d diverged from shards=1:\nref: %+v\ngot: %+v", shards, ref, snap)
+		}
+	}
+}
+
+// TestClusterProtocolExclusivePortPanics locks the mutual exclusion of the
+// consistency hooks: a host cannot carry both an invalidation sink and a
+// protocol port.
+func TestClusterProtocolExclusivePortPanics(t *testing.T) {
+	spec := clusterSpecForTest(2, 1)
+	spec.ConsistencyProtocol = true
+	c, err := NewCluster(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("setting an invalidation sink on a protocol host should panic")
+		}
+	}()
+	c.Hosts()[0].SetInvalidationSink(&clusterSink{})
+}
+
 // TestClusterSpecValidation covers the constructor's error paths.
 func TestClusterSpecValidation(t *testing.T) {
 	spec := clusterSpecForTest(2, 2)

@@ -238,6 +238,11 @@ func (d *Driver) noteIssue(blocks int64) {
 	}
 }
 
+// Done reports whether all trace work has completed: the source is drained
+// and no ops are queued or in flight. Sharded scenario runs poll it at
+// epoch barriers to detect the end of a phase.
+func (d *Driver) Done() bool { return d.done() }
+
 // done reports whether all trace work has completed.
 func (d *Driver) done() bool {
 	if !d.srcDone || d.held != nil || d.opsInFlight > 0 {
@@ -348,6 +353,16 @@ func (d *Driver) RunPhase(maxBlocks int64, deadline sim.Time) {
 		d.phaseLimit = d.consumed
 	}
 	d.eng.RunWhile(func() bool { return !d.quiet() })
+}
+
+// PumpMore clears the source-drained latch and pumps again. Sharded
+// scenario runs append a phase (or chunk) of trace to an appendable source
+// between epochs and call this so the driver consults the source it had
+// already seen run dry. Threads whose queues refill are kicked, scheduling
+// their first events at the engine's current time.
+func (d *Driver) PumpMore() {
+	d.srcDone = false
+	d.pump()
 }
 
 // start primes the driver without running the engine: zero-warmup

@@ -36,6 +36,18 @@ type InvalidationSink interface {
 	BlockWritten(host int, key uint64, collecting bool)
 }
 
+// ConsistencyPort routes a host's reads and writes through a sharded
+// callback consistency protocol (the Cluster analogue of
+// consistency.Registry in ModeCallback): a write acquires exclusive
+// ownership — paying control-message round trips through the epoch
+// barrier — before it may commit, and a read of a block exclusively owned
+// elsewhere forces a downgrade and dirty flush first. fn(arg) runs when
+// the operation may proceed.
+type ConsistencyPort interface {
+	AcquireRead(key uint64, fn func(any), arg any)
+	AcquireWrite(key uint64, fn func(any), arg any)
+}
+
 // Host is one compute server's cache stack: a RAM buffer cache and a flash
 // cache in front of the shared filer, reached over a private network
 // segment. All block I/O enters through Read and Write; completions are
@@ -70,6 +82,7 @@ type Host struct {
 	fsrv  FilerPort
 	reg   *consistency.Registry // nil when consistency is not modeled
 	inv   InvalidationSink      // nil outside sharded runs
+	cport ConsistencyPort       // nil outside sharded protocol runs
 
 	// pending de-duplicates concurrent demand fetches of the same block:
 	// waiters are woken when the single fetch completes. Waiter slices
@@ -183,7 +196,24 @@ func (h *Host) SetInvalidationSink(s InvalidationSink) {
 	if h.reg != nil {
 		panic("core: host has both a consistency registry and an invalidation sink")
 	}
+	if h.cport != nil {
+		panic("core: host has both a consistency port and an invalidation sink")
+	}
 	h.inv = s
+}
+
+// SetConsistencyPort routes this host's reads and writes through a sharded
+// run's barrier-deferred callback protocol. It is mutually exclusive with
+// both a consistency.Registry (the sequential protocol) and an
+// InvalidationSink (sharded instant mode).
+func (h *Host) SetConsistencyPort(p ConsistencyPort) {
+	if h.reg != nil {
+		panic("core: host has both a consistency registry and a consistency port")
+	}
+	if h.inv != nil {
+		panic("core: host has both an invalidation sink and a consistency port")
+	}
+	h.cport = p
 }
 
 // StopSyncers halts periodic writeback daemons so the engine can drain at
@@ -240,6 +270,12 @@ func (h *Host) read(key cache.Key, done cont) {
 		h.reg.AcquireRead(h.cfg.ID, uint64(key), func() { readProceed(r) })
 		return
 	}
+	if h.cport != nil {
+		// Sharded callback protocol: the downgrade round trips thread
+		// through the epoch barrier (see clusterproto.go).
+		h.cport.AcquireRead(uint64(key), readProceed, r)
+		return
+	}
 	readProceed(r)
 }
 
@@ -287,6 +323,12 @@ func (h *Host) write(key cache.Key, done cont) {
 	// exclusive ownership, paying the message round trips.
 	if h.reg != nil {
 		h.reg.AcquireWrite(h.cfg.ID, uint64(key), func() { writeProceed(r) })
+		return
+	}
+	if h.cport != nil {
+		// Sharded callback protocol: ownership acquisition (and the
+		// invalidation it implies) crosses shards at the epoch barrier.
+		h.cport.AcquireWrite(uint64(key), writeProceed, r)
 		return
 	}
 	if h.inv != nil {

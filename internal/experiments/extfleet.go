@@ -22,7 +22,11 @@ func init() {
 // paper's consistency worst case) while the population grows 64 → 4096;
 // each simulation point runs on the sharded cluster executor
 // (flashsim.Config.Shards), whose results are bit-identical for every
-// shard count, so the charts are reproducible on any machine.
+// shard count, so the charts are reproducible on any machine. A second
+// sweep re-runs the smaller populations under the callback consistency
+// protocol (the traffic the paper's §3.8 deliberately left unmodeled) and
+// charts its control-message volume and latency overhead against the
+// instant-invalidation baseline.
 func ExtFleet(o Options) (*Report, error) {
 	scale := o.scale()
 	hostCounts := []int{64, 256, 1024, 4096}
@@ -41,15 +45,23 @@ func ExtFleet(o Options) (*Report, error) {
 	hitFig := stats.NewFigure(
 		"Extension: hit-rate dilution vs fleet size",
 		"hosts", "rate (%)")
+	protoFig := stats.NewFigure(
+		"Extension: callback-protocol overhead vs fleet size (the traffic paper §3.8 left unmodeled)",
+		"hosts", "overhead")
 	traffic := trafficFig.AddSeries("filer reads/s")
 	lat := latFig.AddSeries("read latency")
 	ramHit := hitFig.AddSeries("RAM hit rate")
 	flashHit := hitFig.AddSeries("flash hit rate")
 	invFrac := hitFig.AddSeries("writes invalidating")
+	msgsPerWrite := protoFig.AddSeries("control msgs per block write")
+	latOverhead := protoFig.AddSeries("read latency overhead (%)")
 
 	var table strings.Builder
 	fmt.Fprintf(&table, "%-8s %12s %12s %10s %10s %12s %14s\n",
 		"hosts", "read (us)", "filer rd/s", "ram hit", "flash hit", "invalidating", "sim seconds")
+	var protoTable strings.Builder
+	fmt.Fprintf(&protoTable, "%-8s %14s %14s %12s %14s %12s\n",
+		"hosts", "ctrl msgs", "msgs/write", "acquires", "downgrades", "read +%")
 
 	// Always run on the cluster executor — its results are identical for
 	// every shard count, so the report does not depend on the machine's
@@ -62,9 +74,12 @@ func ExtFleet(o Options) (*Report, error) {
 		shardCount = 2
 	}
 
-	s := newSweep(o, "ext-fleet")
-	for _, hosts := range hostCounts {
-		hosts := hosts
+	// The protocol sweep is capped: a write-acquire calls back every
+	// holder, so on a fully shared working set the message volume grows
+	// with the square of the population — the sweep's own point.
+	protoMaxHosts := 256
+
+	fleetPoint := func(hosts int) flashsim.Config {
 		cfg := baseline(o)
 		cfg.Hosts = hosts
 		cfg.ThreadsPerHost = 2
@@ -76,7 +91,18 @@ func ExtFleet(o Options) (*Report, error) {
 		cfg.Workload.WorkingSetBlocks = gb(8, scale)
 		cfg.Workload.TotalBlocks = perHostBlocks * int64(hosts)
 		cfg.Shards = shardCount
-		s.add(fmt.Sprintf("ext-fleet hosts=%d", hosts), cfg,
+		return cfg
+	}
+
+	// instantRead remembers each population's instant-mode read latency so
+	// the protocol point (delivered later in declaration order) can chart
+	// its overhead against it.
+	instantRead := make(map[int]float64)
+
+	s := newSweep(o, "ext-fleet")
+	for _, hosts := range hostCounts {
+		hosts := hosts
+		s.add(fmt.Sprintf("ext-fleet hosts=%d", hosts), fleetPoint(hosts),
 			func(res *flashsim.Result) {
 				reads := float64(res.FilerFastReads + res.FilerSlowReads)
 				readRate := 0.0
@@ -84,6 +110,7 @@ func ExtFleet(o Options) (*Report, error) {
 					readRate = reads / res.SimulatedSeconds
 				}
 				x := float64(hosts)
+				instantRead[hosts] = res.ReadLatencyMicros
 				traffic.Add(x, readRate)
 				lat.Add(x, res.ReadLatencyMicros)
 				ramHit.Add(x, 100*res.RAMHitRate)
@@ -95,14 +122,40 @@ func ExtFleet(o Options) (*Report, error) {
 					100*res.InvalidationFraction, res.SimulatedSeconds)
 			})
 	}
+	for _, hosts := range hostCounts {
+		hosts := hosts
+		if hosts > protoMaxHosts {
+			continue
+		}
+		cfg := fleetPoint(hosts)
+		cfg.ConsistencyProtocol = true
+		s.add(fmt.Sprintf("ext-fleet hosts=%d protocol", hosts), cfg,
+			func(res *flashsim.Result) {
+				x := float64(hosts)
+				perWrite := 0.0
+				if res.BlocksWrittenShared > 0 {
+					perWrite = float64(res.ControlMessages) / float64(res.BlocksWrittenShared)
+				}
+				overhead := 0.0
+				if base := instantRead[hosts]; base > 0 {
+					overhead = 100 * (res.ReadLatencyMicros - base) / base
+				}
+				msgsPerWrite.Add(x, perWrite)
+				latOverhead.Add(x, overhead)
+				fmt.Fprintf(&protoTable, "%-8d %14d %14.1f %12d %14d %11.1f%%\n",
+					hosts, res.ControlMessages, perWrite,
+					res.OwnershipAcquires, res.Downgrades, overhead)
+			})
+	}
 	if err := s.run(); err != nil {
 		return nil, err
 	}
 	return &Report{
 		Name: "ext-fleet",
-		Description: "Fleet-scale population sweep on the sharded cluster executor " +
-			"(extension; the paper stops at eight hosts)",
-		Figures: []*stats.Figure{trafficFig, latFig, hitFig},
-		Tables:  []string{table.String()},
+		Description: "Fleet-scale population sweep on the sharded cluster executor, " +
+			"instant invalidation vs the callback consistency protocol " +
+			"(extension; the paper stops at eight hosts and counts invalidations only)",
+		Figures: []*stats.Figure{trafficFig, latFig, hitFig, protoFig},
+		Tables:  []string{table.String(), protoTable.String()},
 	}, nil
 }

@@ -10,11 +10,14 @@ func TestExtFleetShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Figures) != 3 {
-		t.Fatalf("want traffic, latency and hit-rate figures, got %d", len(rep.Figures))
+	if len(rep.Figures) != 4 {
+		t.Fatalf("want traffic, latency, hit-rate and protocol figures, got %d", len(rep.Figures))
 	}
-	if len(rep.Tables) == 0 || !strings.Contains(rep.Tables[0], "hosts") {
+	if len(rep.Tables) < 2 || !strings.Contains(rep.Tables[0], "hosts") {
 		t.Fatal("fleet table missing")
+	}
+	if !strings.Contains(rep.Tables[1], "msgs/write") {
+		t.Fatal("protocol table missing")
 	}
 
 	traffic := findSeries(t, rep.Figures[0], "filer reads/s")
@@ -43,5 +46,22 @@ func TestExtFleetShape(t *testing.T) {
 				t.Fatalf("%s: %v%% out of range", s.Name, p.Y)
 			}
 		}
+	}
+
+	// The protocol sweep: ownership traffic is charged on every
+	// population point, and the per-write message volume grows with the
+	// fleet (more holders per callback).
+	msgs := findSeries(t, rep.Figures[3], "control msgs per block write")
+	if n := len(msgs.Points); n != 2 {
+		t.Fatalf("want 2 quick-mode protocol points, got %d", n)
+	}
+	for _, p := range msgs.Points {
+		if p.Y <= 0 {
+			t.Errorf("protocol point at %v hosts recorded no control traffic", p.X)
+		}
+	}
+	if msgs.Points[1].Y <= msgs.Points[0].Y {
+		t.Errorf("control messages per write did not grow with hosts: %.1f -> %.1f",
+			msgs.Points[0].Y, msgs.Points[1].Y)
 	}
 }

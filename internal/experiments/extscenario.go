@@ -22,6 +22,11 @@ func init() {
 // split into the recovery delay (the metadata scan and dirty flush the
 // paper declined to simulate, §7.8) and the re-warm time back to the
 // pre-crash hit rate.
+//
+// Every point executes on the sharded cluster (two hosts, two shards):
+// the crash now hits one host of a live fleet — its recovery traffic
+// drains through the epoch barrier while the survivor keeps serving — and
+// the report is bit-identical for every shard count and on every machine.
 func ExtScenario(o Options) (*Report, error) {
 	scale := o.scale()
 	fs, err := sharedServer(o, 60)
@@ -38,6 +43,8 @@ func ExtScenario(o Options) (*Report, error) {
 	var scs []*flashsim.Scenario
 	addPoint := func(flashGB float64, scenarioName string, persistent bool) error {
 		cfg := baseline(o)
+		cfg.Hosts = 2
+		cfg.Shards = 2
 		cfg.FlashBlocks = int(gb(flashGB, scale))
 		cfg.PersistentFlash = persistent
 		cfg.Workload.FileSet = fs

@@ -104,6 +104,62 @@ func (s *SliceSource) Next() (Op, bool) {
 // Reset rewinds the source to the beginning.
 func (s *SliceSource) Reset() { s.pos = 0 }
 
+// QueueSource is an appendable Source: a FIFO of ops that can be extended
+// with Push between drains. Sharded scenario runs feed each host's driver
+// one phase (or chunk) of trace at a time through one of these; the driver
+// sees an ordinary Source that temporarily runs dry between feeds.
+type QueueSource struct {
+	ops  []Op
+	head int
+}
+
+// NewQueueSource returns an empty appendable source.
+func NewQueueSource() *QueueSource { return &QueueSource{} }
+
+// Push appends one op to the queue.
+func (q *QueueSource) Push(op Op) {
+	if q.head == len(q.ops) {
+		// Fully drained: recycle the backing array instead of growing it
+		// forever across feeds.
+		q.ops = q.ops[:0]
+		q.head = 0
+	} else if q.head > 1024 && q.head > len(q.ops)/2 {
+		// Mostly drained: compact the consumed prefix away so a long
+		// feed-while-draining phase holds O(pending), not O(ever pushed).
+		n := copy(q.ops, q.ops[q.head:])
+		q.ops = q.ops[:n]
+		q.head = 0
+	}
+	q.ops = append(q.ops, op)
+}
+
+// Pending returns the number of ops pushed but not yet consumed.
+func (q *QueueSource) Pending() int { return len(q.ops) - q.head }
+
+// DropPending discards the ops pushed but not yet consumed and returns the
+// number of blocks they covered. Time-bounded scenario phases call it at
+// their deadline: pre-generated trace that was never dispatched is simply
+// never issued.
+func (q *QueueSource) DropPending() int64 {
+	var blocks int64
+	for _, op := range q.ops[q.head:] {
+		blocks += int64(op.Count)
+	}
+	q.ops = q.ops[:0]
+	q.head = 0
+	return blocks
+}
+
+// Next implements Source.
+func (q *QueueSource) Next() (Op, bool) {
+	if q.head >= len(q.ops) {
+		return Op{}, false
+	}
+	op := q.ops[q.head]
+	q.head++
+	return op, true
+}
+
 // Stats summarises a trace.
 type Stats struct {
 	Ops         uint64
