@@ -11,6 +11,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 
@@ -245,6 +246,18 @@ func BenchmarkFleetSharded(b *testing.B) {
 		shards = 2
 	}
 	benchFleet(b, shards)
+}
+
+// BenchmarkFleetShards sweeps the fleet across explicit shard counts so
+// scaling (and the single-shard cluster overhead against the sequential
+// row) is visible in one benchmark table. Shards=1 still pays the barrier
+// machinery; 2..8 show how the epoch schedule amortizes it.
+func BenchmarkFleetShards(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchFleet(b, shards)
+		})
+	}
 }
 
 // --- sharded scenario benches ---

@@ -79,6 +79,7 @@ func main() {
 	telemetryPath := flag.String("telemetry", "", "write scenario telemetry to this file (.ndjson for NDJSON, else CSV; - for stdout)")
 	tracePath := flag.String("trace", "", "replay a binary trace file instead of synthesizing")
 	warmupBlocks := flag.Int64("warmup-blocks", 0, "warmup volume when replaying a trace")
+	epochstats := flag.Bool("epochstats", false, "after a sharded run, print barrier-schedule statistics: epochs executed, mean epoch length, messages per barrier")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -168,6 +169,7 @@ func main() {
 		die(err)
 		fmt.Println(header(wssList[0], writesList[0]))
 		fmt.Print(res)
+		printEpochStats(*epochstats, res.Epochs, res.BarrierMessages, res.SimulatedSeconds)
 		die(writeTelemetry(*telemetryPath, res.Telemetry))
 		return
 	}
@@ -189,6 +191,7 @@ func main() {
 		die(r.Err())
 		fmt.Println(header(wssList[0], writesList[0]))
 		fmt.Print(res)
+		printEpochStats(*epochstats, res.Epochs, res.BarrierMessages, res.SimulatedSeconds)
 		return
 	}
 
@@ -204,11 +207,25 @@ func main() {
 	_, err = flashsim.RunGrid(cfgs, *parallel, func(i int, res *flashsim.Result) {
 		fmt.Println(header(wssList[i/len(writesList)], writesList[i%len(writesList)]))
 		fmt.Print(res)
+		printEpochStats(*epochstats, res.Epochs, res.BarrierMessages, res.SimulatedSeconds)
 		if len(cfgs) > 1 && i < len(cfgs)-1 {
 			fmt.Println()
 		}
 	})
 	die(err)
+}
+
+// printEpochStats reports the barrier schedule of a sharded run: how many
+// epochs the coordinator executed, how long the mean epoch was in
+// simulated time, and how many cross-shard messages each barrier carried
+// on average. Sequential runs have no barrier schedule (epochs == 0) and
+// print nothing.
+func printEpochStats(enabled bool, epochs, msgs uint64, simSeconds float64) {
+	if !enabled || epochs == 0 {
+		return
+	}
+	fmt.Printf("epochs %d  mean epoch %.1f us  messages/barrier %.2f\n",
+		epochs, 1e6*simSeconds/float64(epochs), float64(msgs)/float64(epochs))
 }
 
 // writeTelemetry exports a scenario's telemetry series. An empty path

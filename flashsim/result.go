@@ -66,6 +66,13 @@ type Result struct {
 	// RecoverySeconds is the post-crash recovery delay before the first
 	// request was served (RecoveredStart runs only).
 	RecoverySeconds float64
+
+	// Barrier-schedule statistics (sharded runs only; zero otherwise).
+	// Both are properties of the global epoch schedule and therefore
+	// identical at every shard count. Deliberately excluded from String():
+	// the golden-hash surface predates them.
+	Epochs          uint64
+	BarrierMessages uint64
 }
 
 func buildResult(cfg Config, eng *sim.Engine, fsrv *filer.Filer,

@@ -111,6 +111,12 @@ type ScenarioResult struct {
 	BlocksIssued     uint64
 	SimulatedSeconds float64
 	EngineEvents     uint64
+
+	// Barrier-schedule statistics (sharded runs only; zero otherwise).
+	// Shard-count invariant, and deliberately excluded from String():
+	// the golden-hash surface predates them.
+	Epochs          uint64
+	BarrierMessages uint64
 }
 
 // String renders a deterministic human-readable summary: the phase table,

@@ -86,7 +86,13 @@ func runScenarioSharded(cfg Config, sc *Scenario, period sim.Time) (*ScenarioRes
 		sources[i] = feeds[i]
 	}
 	// Warmup is all zeros: scenario runs collect from the first block.
-	cl, err := core.NewCluster(clusterSpec(cfg, sources, make([]int64, cfg.Hosts)))
+	// Scenario runs pin the classic fixed-lookahead barrier grid: phase
+	// feeds, fault events and telemetry samples anchor to barrier times,
+	// so the grid is part of the scenario golden surface and must not
+	// shift under the adaptive schedule.
+	spec := clusterSpec(cfg, sources, make([]int64, cfg.Hosts))
+	spec.FixedLookahead = true
+	cl, err := core.NewCluster(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -153,6 +159,8 @@ func runScenarioSharded(cfg Config, sc *Scenario, period sim.Time) (*ScenarioRes
 	res.BlocksIssued = r.blocksIssued()
 	res.SimulatedSeconds = cl.Now().Seconds()
 	res.EngineEvents = cl.Events()
+	res.Epochs = cl.Epochs()
+	res.BarrierMessages = cl.BarrierMessages()
 	return res, nil
 }
 

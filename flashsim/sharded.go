@@ -139,6 +139,8 @@ func buildShardedResult(cfg Config, cl *core.Cluster) *Result {
 		BlocksIssued:     cl.BlocksIssued(),
 		SimulatedSeconds: cl.Now().Seconds(),
 		Events:           cl.Events(),
+		Epochs:           cl.Epochs(),
+		BarrierMessages:  cl.BarrierMessages(),
 	}
 	hosts := cl.Hosts()
 	var busy float64

@@ -195,6 +195,12 @@ type LRU struct {
 	dirties  list
 	pool     entryPool
 
+	// resHook, when set, observes every residency transition: called with
+	// (key, true) as Insert indexes the block and (key, false) as Remove
+	// drops it. Sharded runs use it to maintain a block→holders index so
+	// barrier invalidation only visits hosts that actually hold a copy.
+	resHook func(Key, bool)
+
 	// Statistics.
 	hits, misses, evictions uint64
 }
@@ -232,6 +238,11 @@ func (c *LRU) DirtyLen() int { return c.dirties.len }
 
 // Medium returns the cache's storage medium.
 func (c *LRU) Medium() Medium { return c.medium }
+
+// SetResidencyHook registers fn to observe every block entering (added
+// true) and leaving (added false) this cache. Set once, before any
+// inserts; a nil hook (the default) costs nothing on the hot paths.
+func (c *LRU) SetResidencyHook(fn func(Key, bool)) { c.resHook = fn }
 
 // Hits and Misses report Get outcomes; Evictions reports victims removed.
 func (c *LRU) Hits() uint64      { return c.hits }
@@ -295,6 +306,9 @@ func (c *LRU) Insert(key Key) *Entry {
 	e := c.pool.get(key, c.medium)
 	c.index[key] = e
 	c.lru.pushFront(e)
+	if c.resHook != nil {
+		c.resHook(key, true)
+	}
 	return e
 }
 
@@ -312,6 +326,9 @@ func (c *LRU) Remove(e *Entry) {
 	delete(c.index, e.key)
 	c.lru.remove(e)
 	c.evictions++
+	if c.resHook != nil {
+		c.resHook(e.key, false)
+	}
 	c.pool.put(e)
 }
 

@@ -21,6 +21,7 @@ type SLRU struct {
 	protected    list
 	dirties      list
 	pool         entryPool
+	resHook      func(Key, bool)
 
 	hits, misses, evictions uint64
 }
@@ -51,6 +52,9 @@ func (s *SLRU) Medium() Medium { return s.medium }
 
 // ProtectedLen reports the protected segment's population (for tests).
 func (s *SLRU) ProtectedLen() int { return s.protected.len }
+
+// SetResidencyHook implements BlockCache.
+func (s *SLRU) SetResidencyHook(fn func(Key, bool)) { s.resHook = fn }
 
 // Hits, Misses, Evictions implement BlockCache.
 func (s *SLRU) Hits() uint64      { return s.hits }
@@ -133,6 +137,9 @@ func (s *SLRU) Insert(key Key) *Entry {
 	e.seg = segProbation
 	s.index[key] = e
 	s.probation.pushFront(e)
+	if s.resHook != nil {
+		s.resHook(key, true)
+	}
 	return e
 }
 
@@ -153,6 +160,9 @@ func (s *SLRU) Remove(e *Entry) {
 		s.probation.remove(e)
 	}
 	s.evictions++
+	if s.resHook != nil {
+		s.resHook(e.key, false)
+	}
 	s.pool.put(e)
 }
 

@@ -30,6 +30,7 @@ type TwoQ struct {
 	ghostCount int
 	pool       entryPool
 	ghostPool  *ghostNode // free list of ghost nodes
+	resHook    func(Key, bool)
 
 	hits, misses, evictions uint64
 }
@@ -72,6 +73,9 @@ func (q *TwoQ) Medium() Medium { return q.medium }
 // A1inLen and GhostLen report internal queue sizes (for tests).
 func (q *TwoQ) A1inLen() int  { return q.a1in.len }
 func (q *TwoQ) GhostLen() int { return q.ghostCount }
+
+// SetResidencyHook implements BlockCache.
+func (q *TwoQ) SetResidencyHook(fn func(Key, bool)) { q.resHook = fn }
 
 // Hits, Misses, Evictions implement BlockCache.
 func (q *TwoQ) Hits() uint64      { return q.hits }
@@ -147,6 +151,9 @@ func (q *TwoQ) Insert(key Key) *Entry {
 		q.a1in.pushFront(e)
 	}
 	q.index[key] = e
+	if q.resHook != nil {
+		q.resHook(key, true)
+	}
 	return e
 }
 
@@ -168,6 +175,9 @@ func (q *TwoQ) Remove(e *Entry) {
 		q.ghostAdd(e.key)
 	}
 	q.evictions++
+	if q.resHook != nil {
+		q.resHook(e.key, false)
+	}
 	q.pool.put(e)
 }
 

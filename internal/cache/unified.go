@@ -12,6 +12,7 @@ type Unified struct {
 	lru     list
 	dirties list
 	pool    entryPool
+	resHook func(Key, bool)
 
 	ramBufs, flashBufs int // total buffers per medium
 	freeRAM, freeFlash int // unallocated buffers per medium
@@ -50,6 +51,9 @@ func (u *Unified) DirtyLen() int { return u.dirties.len }
 
 // ResidentRAM returns how many resident blocks live in RAM buffers.
 func (u *Unified) ResidentRAM() int { return u.residentRAM }
+
+// SetResidencyHook mirrors BlockCache.SetResidencyHook.
+func (u *Unified) SetResidencyHook(fn func(Key, bool)) { u.resHook = fn }
 
 // Hits/Misses/Evictions mirror LRU. HitsByMedium splits hits.
 func (u *Unified) Hits() uint64      { return u.hits }
@@ -142,6 +146,9 @@ func (u *Unified) Insert(key Key) *Entry {
 	e := u.pool.get(key, m)
 	u.index[key] = e
 	u.lru.pushFront(e)
+	if u.resHook != nil {
+		u.resHook(key, true)
+	}
 	return e
 }
 
@@ -164,6 +171,9 @@ func (u *Unified) Remove(e *Entry) {
 		u.freeFlash++
 	}
 	u.evictions++
+	if u.resHook != nil {
+		u.resHook(e.key, false)
+	}
 	u.pool.put(e)
 }
 

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 
 	"repro/internal/filer"
@@ -130,19 +129,91 @@ type clusterShard struct {
 	outInv   []invMsg
 	outProto []protoMsg
 
-	// Barrier-deferred invalidation delivery (worker side).
+	// Barrier-deferred invalidation delivery (worker side). res indexes
+	// block residency so a batch message visits only actual holders; it
+	// is nil under the callback protocol (which never uses the batch) and
+	// in untracked runs.
+	res           *residencyIndex
 	invDrops      []bool // per message of the current batch: a local copy dropped
 	invalidations uint64 // local copies dropped while collecting
+
+	// upInFlight counts this shard's request packets currently crossing
+	// the wire toward the filer (incremented at Send2(ToFiler), decremented
+	// on arrival). The coordinator sums the shards between epochs: a
+	// globally empty up-direction lets the adaptive schedule add one wire
+	// transit to the epoch bound (see lookahead.go). Only maintained when
+	// the adaptive schedule is active.
+	upInFlight int64
+
+	// inbox holds the filer completions the coordinator serviced at the
+	// last barrier. The worker schedules them itself at the start of the
+	// next epoch, keeping the coordinator's between-epoch work flat in
+	// the message count. inboxMin (valid while inbox is non-empty) folds
+	// into the event horizon, which must see pending completions.
+	inbox    []schedEvent
+	inboxMin sim.Time
 
 	cmd  chan sim.Time
 	done chan struct{}
 }
 
+// schedEvent is one barrier-serviced completion awaiting delivery onto a
+// shard engine.
+type schedEvent struct {
+	at  sim.Time
+	fn  func(any)
+	arg any
+}
+
+// beginEpoch is the worker-side barrier entry: deliver the completions
+// the coordinator serviced, size and clear the invalidation drop flags,
+// and drop the local copies the batch names — all before any of the
+// epoch's events run.
+func (sh *clusterShard) beginEpoch(inv []invMsg) {
+	for i := range sh.inbox {
+		ev := &sh.inbox[i]
+		sh.eng.At2(ev.at, ev.fn, ev.arg)
+	}
+	sh.inbox = sh.inbox[:0]
+	if cap(sh.invDrops) < len(inv) {
+		sh.invDrops = make([]bool, len(inv))
+	}
+	sh.invDrops = sh.invDrops[:len(inv)]
+	clear(sh.invDrops)
+	sh.applyInvalidations(inv)
+}
+
 // applyInvalidations drops local copies named by the sorted batch, before
-// any of the epoch's events run.
+// any of the epoch's events run. With the residency index the per-message
+// work is proportional to the hosts actually holding the block; the
+// fallback probes every host in the shard. Both visit hosts in ascending
+// local (= global, within a shard) ID order, so the two paths make
+// identical Invalidate calls.
 func (sh *clusterShard) applyInvalidations(batch []invMsg) {
 	for i := range batch {
 		m := &batch[i]
+		if sh.res != nil {
+			s := sh.res.sets[m.key]
+			if s == nil {
+				continue
+			}
+			// Snapshot the holders first: Invalidate fires the residency
+			// hooks, which mutate the set being read.
+			sh.res.scratch = s.appendLocals(sh.res.scratch[:0])
+			for _, li := range sh.res.scratch {
+				h := sh.hosts[li]
+				if h.ID() == int(m.writer) {
+					continue
+				}
+				if h.Invalidate(m.key) {
+					sh.invDrops[i] = true
+					if m.collect {
+						sh.invalidations++
+					}
+				}
+			}
+			continue
+		}
 		for _, h := range sh.hosts {
 			if h.ID() == int(m.writer) {
 				continue
@@ -195,6 +266,16 @@ type ClusterSpec struct {
 	// sharded analogue of consistency.ModeCallback; implies the
 	// TrackInvalidations accounting.
 	ConsistencyProtocol bool
+
+	// FixedLookahead pins the epoch schedule to the classic fixed-
+	// lookahead walk: barriers one filer floor apart, jumping over idle
+	// stretches. Scenario runs set it — their trace feeds and fault
+	// events anchor to barrier times, making the barrier grid part of
+	// their golden surface — and ConsistencyProtocol implies it, since
+	// protocol hop costs are quantized in lookahead units. When false,
+	// the cluster uses the adaptive per-edge schedule (lookahead.go),
+	// which merges barriers the fixed walk executes needlessly.
+	FixedLookahead bool
 }
 
 // ClusterConsistency aggregates the invalidation accounting of a sharded
@@ -229,12 +310,17 @@ type Cluster struct {
 	drivers   []*Driver // by host ID
 	hostShard []*clusterShard
 	fsrv      *filer.Filer
-	lookahead sim.Time
+	lookahead sim.Time // the filer floor: protocol hop cost and pinned epoch length
+	bound     edgeLookahead
 
-	// Coordinator state between epochs.
+	// Coordinator state between epochs. The batches and the per-shard
+	// merge source slices are reused across epochs (see gather).
 	msgBatch   []filerMsg
 	invBatch   []invMsg
 	protoBatch []protoMsg
+	srcMsgs    [][]filerMsg
+	srcInv     [][]invMsg
+	srcProto   [][]protoMsg
 	cons       ClusterConsistency
 	track      bool
 	proto      *protoCoordinator   // nil outside protocol runs
@@ -242,6 +328,7 @@ type Cluster struct {
 
 	// Lifecycle (see Start/StartDrivers/Advance/Run/Close).
 	started        bool
+	inline         bool // epochs run on the coordinator goroutine itself
 	closed         bool
 	driversStarted bool
 	autoStop       bool // Run-mode: stop syncers at the barrier after trace completion
@@ -249,6 +336,7 @@ type Cluster struct {
 	end            sim.Time // the barrier the next Advance cycle runs to
 	wg             sync.WaitGroup
 	epochs         uint64
+	barrierMsgs    uint64
 }
 
 // NewCluster builds the sharded simulation described by the spec.
@@ -287,9 +375,8 @@ func NewCluster(spec ClusterSpec) (*Cluster, error) {
 	}
 	c.fsrv = spec.NewFiler(c.shards[0].eng)
 	c.lookahead = c.fsrv.MinServiceLatency()
-	if c.lookahead <= 0 {
-		return nil, fmt.Errorf("core: sharded run needs a positive filer service latency (epoch lookahead)")
-	}
+	adaptive := !spec.FixedLookahead && !spec.ConsistencyProtocol
+	upTransit := sim.Time(-1) // min wire transit over every request lane, found below
 
 	if spec.ConsistencyProtocol {
 		c.proto = newProtoCoordinator(c)
@@ -306,10 +393,18 @@ func NewCluster(spec ClusterSpec) (*Cluster, error) {
 			seg = netsim.NewDuplexSegment(sh.eng, fmt.Sprintf("seg%d", i), spec.Timing.NetBase, spec.Timing.NetPerBit)
 			bgSeg = netsim.NewDuplexSegment(sh.eng, fmt.Sprintf("seg%d-bg", i), spec.Timing.NetBase, spec.Timing.NetPerBit)
 		}
+		for _, s := range []*netsim.Segment{seg, bgSeg} {
+			if lk := s.Lookahead(); upTransit < 0 || lk < upTransit {
+				upTransit = lk
+			}
+		}
 		h, err := NewHost(sh.eng, hc, spec.Timing, seg, bgSeg,
 			&clusterPort{sh: sh, host: int32(i)}, nil)
 		if err != nil {
 			return nil, err
+		}
+		if adaptive {
+			h.setUpCounter(&sh.upInFlight)
 		}
 		if c.proto != nil {
 			p := &clusterProtoPort{sh: sh, h: h, host: int32(i), co: c.proto}
@@ -317,6 +412,10 @@ func NewCluster(spec ClusterSpec) (*Cluster, error) {
 			h.SetConsistencyPort(p)
 		} else if c.track {
 			h.SetInvalidationSink(&clusterSink{sh: sh, host: int32(i)})
+			if sh.res == nil {
+				sh.res = newResidencyIndex()
+			}
+			sh.res.addHost(h, i/shards)
 		}
 		drv, err := NewDriver(sh.eng, []*Host{h}, nil, spec.Sources[i], spec.Warmup[i])
 		if err != nil {
@@ -327,6 +426,10 @@ func NewCluster(spec ClusterSpec) (*Cluster, error) {
 		c.hosts[i] = h
 		c.drivers[i] = drv
 		c.hostShard[i] = sh
+	}
+	var err error
+	if c.bound, err = newEdgeLookahead(c.lookahead, upTransit, adaptive); err != nil {
+		return nil, err
 	}
 	return c, nil
 }
@@ -365,6 +468,12 @@ func (c *Cluster) Consistency() ClusterConsistency {
 
 // Epochs returns the number of barrier intervals executed.
 func (c *Cluster) Epochs() uint64 { return c.epochs }
+
+// BarrierMessages returns the total number of cross-shard messages
+// exchanged at barriers (filer arrivals, invalidations and protocol
+// traffic combined). Both counters are properties of the global barrier
+// schedule, so they are invariant across shard counts.
+func (c *Cluster) BarrierMessages() uint64 { return c.barrierMsgs }
 
 // Now returns the completion time of the simulation: the latest event any
 // shard executed.
@@ -405,24 +514,27 @@ func (c *Cluster) BlocksIssued() uint64 {
 	return n
 }
 
-// worker is one shard's goroutine: per epoch it applies the coordinator's
-// invalidation batch, then advances its engine to the epoch end.
+// worker is one shard's goroutine: per epoch it delivers the barrier's
+// serviced completions, applies the coordinator's invalidation batch, then
+// advances its engine to the epoch end.
 func (c *Cluster) worker(sh *clusterShard) {
 	defer c.wg.Done()
 	for end := range sh.cmd {
-		sh.applyInvalidations(c.invBatch)
+		sh.beginEpoch(c.invBatch)
 		sh.eng.RunUntil(end)
 		sh.done <- struct{}{}
 	}
 }
 
-// runEpoch advances every shard to end, in parallel when there is more
-// than one shard.
+// runEpoch advances every shard to end — in parallel through the workers,
+// or inline on this goroutine when parallelism cannot pay (one shard, or
+// a single-processor runtime where the channel handshake is pure cost).
 func (c *Cluster) runEpoch(end sim.Time) {
-	if len(c.shards) == 1 {
-		sh := c.shards[0]
-		sh.applyInvalidations(c.invBatch)
-		sh.eng.RunUntil(end)
+	if c.inline {
+		for _, sh := range c.shards {
+			sh.beginEpoch(c.invBatch)
+			sh.eng.RunUntil(end)
+		}
 		return
 	}
 	for _, sh := range c.shards {
@@ -459,64 +571,43 @@ func (c *Cluster) gather() {
 		sh.invalidations = 0
 	}
 
+	// Canonicalize each outbox (sort only its equal-time runs) and k-way
+	// merge into the reused batches — the full global order by the
+	// partition-independent delivery keys, with no per-epoch allocation
+	// (see exchange.go). The workers size and clear their own drop flags
+	// at the next epoch's start.
 	c.msgBatch = c.msgBatch[:0]
 	c.invBatch = c.invBatch[:0]
 	c.protoBatch = c.protoBatch[:0]
+	c.srcMsgs = c.srcMsgs[:0]
+	c.srcInv = c.srcInv[:0]
+	c.srcProto = c.srcProto[:0]
 	for _, sh := range c.shards {
-		c.msgBatch = append(c.msgBatch, sh.outMsgs...)
-		c.invBatch = append(c.invBatch, sh.outInv...)
-		c.protoBatch = append(c.protoBatch, sh.outProto...)
+		canonicalizeRuns(sh.outMsgs, filerMsgAt, cmpFilerMsg)
+		canonicalizeRuns(sh.outInv, invMsgAt, cmpInvMsg)
+		canonicalizeRuns(sh.outProto, protoMsgAt, cmpProtoMsg)
+		c.srcMsgs = append(c.srcMsgs, sh.outMsgs)
+		c.srcInv = append(c.srcInv, sh.outInv)
+		c.srcProto = append(c.srcProto, sh.outProto)
+	}
+	c.msgBatch = mergeSorted(c.msgBatch, c.srcMsgs, cmpFilerMsg)
+	c.invBatch = mergeSorted(c.invBatch, c.srcInv, cmpInvMsg)
+	c.protoBatch = mergeSorted(c.protoBatch, c.srcProto, cmpProtoMsg)
+	c.barrierMsgs += uint64(len(c.msgBatch) + len(c.invBatch) + len(c.protoBatch))
+	for _, sh := range c.shards {
 		sh.outMsgs = sh.outMsgs[:0]
 		sh.outInv = sh.outInv[:0]
 		sh.outProto = sh.outProto[:0]
 	}
-
-	// Sort both batches by their partition-independent delivery keys.
-	sort.Slice(c.msgBatch, func(i, j int) bool {
-		a, b := &c.msgBatch[i], &c.msgBatch[j]
-		if a.at != b.at {
-			return a.at < b.at
-		}
-		if a.host != b.host {
-			return a.host < b.host
-		}
-		return a.seq < b.seq
-	})
-	sort.Slice(c.invBatch, func(i, j int) bool {
-		a, b := &c.invBatch[i], &c.invBatch[j]
-		if a.at != b.at {
-			return a.at < b.at
-		}
-		if a.writer != b.writer {
-			return a.writer < b.writer
-		}
-		return a.seq < b.seq
-	})
-	sort.Slice(c.protoBatch, func(i, j int) bool {
-		a, b := &c.protoBatch[i], &c.protoBatch[j]
-		if a.at != b.at {
-			return a.at < b.at
-		}
-		if a.host != b.host {
-			return a.host < b.host
-		}
-		return a.seq < b.seq
-	})
-	for _, sh := range c.shards {
-		if cap(sh.invDrops) < len(c.invBatch) {
-			sh.invDrops = make([]bool, len(c.invBatch))
-		}
-		sh.invDrops = sh.invDrops[:len(c.invBatch)]
-		for i := range sh.invDrops {
-			sh.invDrops[i] = false
-		}
-	}
 }
 
 // serviceFiler draws the filer's response for every gathered arrival, in
-// globally sorted order, and schedules the completions on the owning
-// shards. Completions always land in the shards' future because the epoch
-// length never exceeds the filer's minimum service latency.
+// globally sorted order — the draw order is what keeps the filer's RNG
+// stream shard-count invariant — and stashes each completion in the
+// owning shard's inbox; the shard schedules it itself at the next epoch's
+// start. Completions always land at or after the next barrier because the
+// epoch bound never outruns the arrival-plus-floor guarantee
+// (lookahead.go).
 func (c *Cluster) serviceFiler() {
 	for i := range c.msgBatch {
 		m := &c.msgBatch[i]
@@ -526,7 +617,12 @@ func (c *Cluster) serviceFiler() {
 		} else {
 			lat = c.fsrv.TakeReadLatency()
 		}
-		c.hostShard[m.host].eng.At2(m.at+lat, m.fn, m.arg)
+		sh := c.hostShard[m.host]
+		at := m.at + lat
+		if len(sh.inbox) == 0 || at < sh.inboxMin {
+			sh.inboxMin = at
+		}
+		sh.inbox = append(sh.inbox, schedEvent{at: at, fn: m.fn, arg: m.arg})
 	}
 }
 
@@ -550,24 +646,42 @@ func (c *Cluster) idle() bool {
 	return true
 }
 
-// nextEpochEnd picks the next barrier time: one lookahead ahead, or a jump
-// straight to the globally earliest pending event when every shard is idle
-// longer than that. Both quantities are functions of global simulation
+// nextEpochEnd picks the next barrier time from the active schedule
+// (lookahead.go): the pinned walk places it one filer floor ahead with a
+// jump over idle stretches; the adaptive schedule places it one floor —
+// plus one wire transit when the up-direction is globally empty — past
+// the event horizon. Every input is a function of global simulation
 // state, so the barrier schedule — and with it every delivery decision —
 // is identical for every shard count.
 func (c *Cluster) nextEpochEnd(end sim.Time) sim.Time {
-	next := end + c.lookahead
+	horizon, ok := c.eventHorizon()
+	inFlight := false
+	if c.bound.adaptive {
+		for _, sh := range c.shards {
+			if sh.upInFlight != 0 {
+				inFlight = true
+				break
+			}
+		}
+	}
+	return c.bound.next(end, horizon, ok, inFlight)
+}
+
+// eventHorizon returns the globally earliest pending event — across the
+// shard engines and the not-yet-delivered barrier completions in the
+// shard inboxes — or false when nothing is pending anywhere.
+func (c *Cluster) eventHorizon() (sim.Time, bool) {
 	var minAt sim.Time
 	found := false
 	for _, sh := range c.shards {
 		if at, ok := sh.eng.NextEventAt(); ok && (!found || at < minAt) {
 			minAt, found = at, true
 		}
+		if len(sh.inbox) > 0 && (!found || sh.inboxMin < minAt) {
+			minAt, found = sh.inboxMin, true
+		}
 	}
-	if found && minAt > next {
-		return minAt
-	}
-	return next
+	return minAt, found
 }
 
 // Start spawns the shard worker goroutines. It must be called (directly or
@@ -577,7 +691,11 @@ func (c *Cluster) Start() {
 		panic("core: cluster already started")
 	}
 	c.started = true
-	if len(c.shards) > 1 {
+	// Worker goroutines only pay off with real parallelism: on a single
+	// processor (or a single shard) the channel handshake per epoch is
+	// pure overhead, so the coordinator runs the epochs itself.
+	c.inline = len(c.shards) == 1 || runtime.GOMAXPROCS(0) == 1
+	if !c.inline {
 		for _, sh := range c.shards {
 			c.wg.Add(1)
 			go c.worker(sh)
@@ -592,7 +710,7 @@ func (c *Cluster) Close() {
 		return
 	}
 	c.closed = true
-	if len(c.shards) > 1 {
+	if !c.inline {
 		for _, sh := range c.shards {
 			close(sh.cmd)
 		}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"slices"
+
+	"repro/internal/sim"
+)
+
+// This file implements the barrier exchange's gather step without the
+// per-epoch allocation the original sort-based version paid. Each shard's
+// outbox is appended in its engine's execution order, so it is already
+// non-decreasing in arrival time; only messages stamped at the same
+// instant can be out of (host, seq) order. canonicalizeRuns therefore
+// sorts just the equal-time runs of each outbox — almost always length
+// one — after which mergeSorted produces the globally sorted batch with a
+// k-way merge into a reused buffer. The comparison functions are package-
+// level (nothing captured), so neither step allocates.
+
+func cmpFilerMsg(a, b filerMsg) int {
+	if a.at != b.at {
+		if a.at < b.at {
+			return -1
+		}
+		return 1
+	}
+	if a.host != b.host {
+		if a.host < b.host {
+			return -1
+		}
+		return 1
+	}
+	if a.seq < b.seq {
+		return -1
+	}
+	return 1
+}
+
+func cmpInvMsg(a, b invMsg) int {
+	if a.at != b.at {
+		if a.at < b.at {
+			return -1
+		}
+		return 1
+	}
+	if a.writer != b.writer {
+		if a.writer < b.writer {
+			return -1
+		}
+		return 1
+	}
+	if a.seq < b.seq {
+		return -1
+	}
+	return 1
+}
+
+func cmpProtoMsg(a, b protoMsg) int {
+	if a.at != b.at {
+		if a.at < b.at {
+			return -1
+		}
+		return 1
+	}
+	if a.host != b.host {
+		if a.host < b.host {
+			return -1
+		}
+		return 1
+	}
+	if a.seq < b.seq {
+		return -1
+	}
+	return 1
+}
+
+func filerMsgAt(m *filerMsg) sim.Time { return m.at }
+func invMsgAt(m *invMsg) sim.Time     { return m.at }
+func protoMsgAt(m *protoMsg) sim.Time { return m.at }
+
+// canonicalizeRuns sorts each equal-time run of an outbox by the delivery
+// tiebreak, turning a per-shard "sorted by time" outbox into one fully
+// sorted by the partition-independent delivery key.
+func canonicalizeRuns[T any](msgs []T, at func(*T) sim.Time, cmp func(a, b T) int) {
+	for i := 0; i < len(msgs); {
+		j := i + 1
+		for j < len(msgs) && at(&msgs[j]) == at(&msgs[i]) {
+			j++
+		}
+		if j-i > 1 {
+			slices.SortFunc(msgs[i:j], cmp)
+		}
+		i = j
+	}
+}
+
+// mergeSorted k-way merges the per-shard sorted outboxes into dst. The
+// head scan is linear in the shard count — single digits — which beats a
+// heap for these widths. srcs is consumed (each element resliced empty).
+func mergeSorted[T any](dst []T, srcs [][]T, cmp func(a, b T) int) []T {
+	for {
+		best := -1
+		for s := range srcs {
+			if len(srcs[s]) == 0 {
+				continue
+			}
+			if best < 0 || cmp(srcs[s][0], srcs[best][0]) < 0 {
+				best = s
+			}
+		}
+		if best < 0 {
+			return dst
+		}
+		dst = append(dst, srcs[best][0])
+		srcs[best] = srcs[best][1:]
+	}
+}

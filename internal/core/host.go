@@ -98,6 +98,12 @@ type Host struct {
 	collect bool
 	st      HostStats
 
+	// upInFlight, when non-nil, points at the owning shard's counter of
+	// request packets currently crossing the wire toward the filer. The
+	// cluster's adaptive epoch schedule widens the barrier bound by one
+	// wire transit whenever the counter is globally zero (lookahead.go).
+	upInFlight *int64
+
 	syncers []*sim.Ticker
 }
 
@@ -181,6 +187,49 @@ func (h *Host) FlashDevice() FlashDev { return h.flashIO }
 
 // Segment exposes the host's network segment.
 func (h *Host) Segment() *netsim.Segment { return h.seg }
+
+// setResidencyHook registers fn to observe any-tier residency
+// transitions: fn(key, true) when a block becomes resident in some cache
+// tier, fn(key, false) when the last copy leaves. For the layered
+// architectures a tier's own insert/remove only changes any-tier
+// residency when the sibling tier has no copy, hence the Peek guards.
+// Sharded runs install the hook at construction to index which hosts hold
+// each block (see residency.go); sequential runs leave it unset and pay
+// nothing.
+func (h *Host) setResidencyHook(fn func(key uint64, held bool)) {
+	if h.uni != nil {
+		h.uni.SetResidencyHook(func(k cache.Key, added bool) { fn(uint64(k), added) })
+		return
+	}
+	h.ram.SetResidencyHook(func(k cache.Key, added bool) {
+		if h.flash.Peek(k) == nil {
+			fn(uint64(k), added)
+		}
+	})
+	h.flash.SetResidencyHook(func(k cache.Key, added bool) {
+		if h.ram.Peek(k) == nil {
+			fn(uint64(k), added)
+		}
+	})
+}
+
+// setUpCounter attaches the shard's in-flight up-packet counter; every
+// filer-bound send increments it and the matching arrival decrements it.
+// Only the shard's own goroutine touches the counter, and the cluster
+// coordinator reads it between epochs with all shards quiescent.
+func (h *Host) setUpCounter(ctr *int64) { h.upInFlight = ctr }
+
+func (h *Host) noteUpSend() {
+	if h.upInFlight != nil {
+		*h.upInFlight++
+	}
+}
+
+func (h *Host) noteUpArrival() {
+	if h.upInFlight != nil {
+		*h.upInFlight--
+	}
+}
 
 // SetCollect enables statistics collection (called after warmup).
 func (h *Host) SetCollect(on bool) { h.collect = on }
@@ -638,6 +687,7 @@ func (h *Host) fetchFromFiler(key cache.Key, c cont) {
 		r := h.getReq()
 		r.key = key
 		r.c = c
+		h.noteUpSend()
 		h.seg.Send2(netsim.ToFiler, 0, fetchSent, r)
 		return
 	}
@@ -652,6 +702,7 @@ func (h *Host) fetchFromFiler(key cache.Key, c cont) {
 	r := h.getReq()
 	r.key = key
 	r.dedup = true
+	h.noteUpSend()
 	h.seg.Send2(netsim.ToFiler, 0, fetchSent, r)
 }
 
@@ -668,6 +719,7 @@ func (h *Host) newWaiters(c cont) []cont {
 
 func fetchSent(a any) {
 	r := a.(*hostReq)
+	r.h.noteUpArrival()
 	r.h.fsrv.Read2(fetchServed, r)
 }
 

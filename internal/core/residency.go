@@ -1,0 +1,89 @@
+package core
+
+import "math/bits"
+
+// residencyIndex maps a block key to the set of shard-local hosts holding
+// a copy in any cache tier. Each host's caches report residency
+// transitions through the hook installed at cluster construction, so the
+// index is exact at every instant of the shard's timeline. Barrier
+// invalidation consults it to visit only the hosts that actually hold the
+// written block — the legacy path probed every host in the shard per
+// message, which dominated the sharded profile on shared-working-set
+// fleets.
+//
+// The index is strictly per-shard state: hooks fire on the shard's
+// goroutine during epochs, and applyInvalidations reads it on the same
+// goroutine at epoch start.
+type residencyIndex struct {
+	hosts   int // shard-local host count; fixed before the run starts
+	sets    map[uint64]*holderSet
+	free    *holderSet // recycled empty sets
+	scratch []int32    // reused holder snapshot (see applyInvalidations)
+}
+
+// holderSet is a bitmap over shard-local host indexes. Sets are recycled
+// through the index's free list; empties leave the map so the map's size
+// tracks the number of blocks resident anywhere in the shard.
+type holderSet struct {
+	bits []uint64
+	n    int
+	next *holderSet // free-list link
+}
+
+func newResidencyIndex() *residencyIndex {
+	return &residencyIndex{sets: make(map[uint64]*holderSet)}
+}
+
+// addHost wires host h (shard-local index local) to the index.
+func (ri *residencyIndex) addHost(h *Host, local int) {
+	ri.hosts++
+	h.setResidencyHook(func(key uint64, held bool) { ri.update(key, local, held) })
+}
+
+// update records that host local now holds (or no longer holds) key.
+func (ri *residencyIndex) update(key uint64, local int, held bool) {
+	s := ri.sets[key]
+	w, b := local>>6, uint(local&63)
+	if held {
+		if s == nil {
+			if s = ri.free; s != nil {
+				ri.free = s.next
+				s.next = nil
+			} else {
+				s = &holderSet{bits: make([]uint64, (ri.hosts+63)>>6)}
+			}
+			ri.sets[key] = s
+		}
+		if s.bits[w]&(1<<b) == 0 {
+			s.bits[w] |= 1 << b
+			s.n++
+		}
+		return
+	}
+	if s == nil {
+		return
+	}
+	if s.bits[w]&(1<<b) != 0 {
+		s.bits[w] &^= 1 << b
+		s.n--
+		if s.n == 0 {
+			delete(ri.sets, key)
+			s.next = ri.free
+			ri.free = s
+		}
+	}
+}
+
+// appendLocals appends the set's host indexes to dst in ascending order —
+// ascending shard-local index is ascending global host ID within a shard
+// (hosts are assigned round-robin in ID order), which keeps the
+// invalidation visit order identical to the legacy all-hosts probe.
+func (s *holderSet) appendLocals(dst []int32) []int32 {
+	for w, word := range s.bits {
+		for word != 0 {
+			dst = append(dst, int32(w<<6|bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+	return dst
+}

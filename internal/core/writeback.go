@@ -290,6 +290,7 @@ func (h *Host) writeBlockToFiler(key cache.Key, ln lane, c cont) {
 	r := h.getReq()
 	r.ln = ln
 	r.c = c
+	h.noteUpSend()
 	h.lane(ln).Send2(netsim.ToFiler, trace.BlockSize, filerWriteSent, r)
 }
 
@@ -303,6 +304,7 @@ func (h *Host) lane(ln lane) *netsim.Segment {
 
 func filerWriteSent(a any) {
 	r := a.(*hostReq)
+	r.h.noteUpArrival()
 	r.h.fsrv.Write2(filerWriteServed, r)
 }
 
