@@ -216,13 +216,29 @@ func fleetBenchConfig(shards int) flashsim.Config {
 	return cfg
 }
 
+// reportParallelismEnv records the parallelism environment as benchmark
+// metrics: a shard-speedup number is meaningless without knowing how many
+// cores the run actually had (BENCH_6 showed shards>1 losing to shards=1
+// on a single-core CI runner, which reads as a regression unless the core
+// count travels with the numbers). The -cpu flag varies GOMAXPROCS per
+// sub-benchmark, so the metric is per-row, not per-process.
+func reportParallelismEnv(b *testing.B) {
+	b.Helper()
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+	b.ReportMetric(float64(runtime.NumCPU()), "cpus")
+}
+
 // benchFleet runs the 1024-host fleet at a fixed shard count. The
 // sequential/sharded pair makes the intra-simulation speedup visible; on a
 // multi-core machine the sharded rows should run several times faster,
 // while producing identical results for every shard count.
 func benchFleet(b *testing.B, shards int) {
 	b.Helper()
-	cfg := fleetBenchConfig(shards)
+	benchFleetConfig(b, fleetBenchConfig(shards))
+}
+
+func benchFleetConfig(b *testing.B, cfg flashsim.Config) {
+	b.Helper()
 	var events uint64
 	for i := 0; i < b.N; i++ {
 		res, err := flashsim.Run(cfg)
@@ -232,6 +248,7 @@ func benchFleet(b *testing.B, shards int) {
 		events = res.Events
 	}
 	b.ReportMetric(float64(events), "events/run")
+	reportParallelismEnv(b)
 }
 
 // BenchmarkFleetSequential runs the fleet on the classic sequential
@@ -256,6 +273,26 @@ func BenchmarkFleetShards(b *testing.B) {
 	for _, shards := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 			benchFleet(b, shards)
+		})
+	}
+}
+
+// BenchmarkFleetPartitions sweeps the filer partition count on the
+// 4-shard fleet with the object tier enabled: with partitions > 1 the
+// coordinator services the backends on parallel goroutines, so on a
+// multi-core machine the partitioned rows should shave the barrier's
+// serial filer-service time (results are bit-identical at every count;
+// see TestPartitionCountInvariance). Run with -cpu 1,2,4 to see the
+// crossover against the goroutine overhead.
+func BenchmarkFleetPartitions(b *testing.B) {
+	for _, parts := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("parts=%d", parts), func(b *testing.B) {
+			cfg := fleetBenchConfig(4)
+			cfg.FilerPartitions = parts
+			cfg.ObjectTier = true
+			cfg.ObjectWriteThrough = true
+			cfg.ObjectReadPromote = true
+			benchFleetConfig(b, cfg)
 		})
 	}
 }

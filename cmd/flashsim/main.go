@@ -49,8 +49,12 @@ import (
 
 	"repro/flashsim"
 	"repro/internal/profiling"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
+
+// microsTime converts a microsecond flag value to simulated time.
+func microsTime(us float64) sim.Time { return sim.Time(us * float64(sim.Microsecond)) }
 
 func main() {
 	arch := flag.String("arch", "naive", "cache architecture: naive, lookaside, unified")
@@ -72,6 +76,12 @@ func main() {
 	replacement := flag.String("replacement", "lru", "flash replacement policy: lru, fifo, clock, slru, 2q")
 	ftlBacked := flag.Bool("ftl", false, "route flash traffic through the FTL device simulator")
 	prefetch := flag.Float64("prefetch", 0.90, "filer fast-read (prefetch success) rate")
+	filerPartitions := flag.Int("filer-partitions", 0, "filer backend partitions: blocks are hash-routed over this many independent backends, results identical at every count (0 = 1)")
+	objectTier := flag.Bool("object-tier", false, "enable the object tier behind the filer's block tier (S3-behind-EBS)")
+	objectRead := flag.Float64("object-read", 0, "object-tier read latency in microseconds (0 = timing model default)")
+	objectWrite := flag.Float64("object-write", 0, "object-tier write latency in microseconds (0 = timing model default)")
+	objectWriteThrough := flag.Bool("object-write-through", true, "copy buffered writes to the object tier in the background")
+	objectReadPromote := flag.Bool("object-read-promote", true, "install object-served blocks into the block tier")
 	parallel := flag.Int("parallel", 0, "worker pool size for multi-point sweeps (0 = all CPUs)")
 	shards := flag.Int("shards", 0, "engine shards within one simulation: hosts are partitioned over this many parallel event engines, results identical at every count (0 = sequential for one host, GOMAXPROCS cluster for multi-host; >= 1 forces the cluster)")
 	scenarioName := flag.String("scenario", "", "run a scripted scenario: a built-in name or a JSON file path")
@@ -121,6 +131,16 @@ func main() {
 	base.FlashReplacement, err = flashsim.ParseReplacement(*replacement)
 	die(err)
 	base.Timing.FilerFastReadRate = *prefetch
+	base.FilerPartitions = *filerPartitions
+	base.ObjectTier = *objectTier
+	base.ObjectWriteThrough = *objectWriteThrough
+	base.ObjectReadPromote = *objectReadPromote
+	if *objectRead > 0 {
+		base.Timing.ObjectRead = microsTime(*objectRead)
+	}
+	if *objectWrite > 0 {
+		base.Timing.ObjectWrite = microsTime(*objectWrite)
+	}
 	base.Workload.SharedWorkingSet = *shared
 	base.Workload.Seed = *seed
 	base.Shards = *shards
@@ -169,7 +189,7 @@ func main() {
 		die(err)
 		fmt.Println(header(wssList[0], writesList[0]))
 		fmt.Print(res)
-		printEpochStats(*epochstats, res.Epochs, res.BarrierMessages, res.SimulatedSeconds)
+		printEpochStats(*epochstats, res.Epochs, res.BarrierMessages, res.SimulatedSeconds, res.FilerPartitions)
 		die(writeTelemetry(*telemetryPath, res.Telemetry))
 		return
 	}
@@ -191,7 +211,7 @@ func main() {
 		die(r.Err())
 		fmt.Println(header(wssList[0], writesList[0]))
 		fmt.Print(res)
-		printEpochStats(*epochstats, res.Epochs, res.BarrierMessages, res.SimulatedSeconds)
+		printEpochStats(*epochstats, res.Epochs, res.BarrierMessages, res.SimulatedSeconds, res.FilerPartitions)
 		return
 	}
 
@@ -207,7 +227,7 @@ func main() {
 	_, err = flashsim.RunGrid(cfgs, *parallel, func(i int, res *flashsim.Result) {
 		fmt.Println(header(wssList[i/len(writesList)], writesList[i%len(writesList)]))
 		fmt.Print(res)
-		printEpochStats(*epochstats, res.Epochs, res.BarrierMessages, res.SimulatedSeconds)
+		printEpochStats(*epochstats, res.Epochs, res.BarrierMessages, res.SimulatedSeconds, res.FilerPartitions)
 		if len(cfgs) > 1 && i < len(cfgs)-1 {
 			fmt.Println()
 		}
@@ -218,14 +238,21 @@ func main() {
 // printEpochStats reports the barrier schedule of a sharded run: how many
 // epochs the coordinator executed, how long the mean epoch was in
 // simulated time, and how many cross-shard messages each barrier carried
-// on average. Sequential runs have no barrier schedule (epochs == 0) and
-// print nothing.
-func printEpochStats(enabled bool, epochs, msgs uint64, simSeconds float64) {
+// on average, followed by each filer backend partition's service counts
+// and barrier queue depths. Sequential runs have no barrier schedule
+// (epochs == 0) and print nothing.
+func printEpochStats(enabled bool, epochs, msgs uint64, simSeconds float64,
+	parts []flashsim.FilerPartitionStats) {
 	if !enabled || epochs == 0 {
 		return
 	}
 	fmt.Printf("epochs %d  mean epoch %.1f us  messages/barrier %.2f\n",
 		epochs, 1e6*simSeconds/float64(epochs), float64(msgs)/float64(epochs))
+	for p, st := range parts {
+		fmt.Printf("filer partition %d: %d serviced (%d fast, %d slow, %d object, %d writes)  max queue %d  mean queue %.2f\n",
+			p, st.Serviced(), st.FastReads, st.SlowReads, st.ObjectReads, st.Writes,
+			st.MaxBarrierQueue, st.MeanBarrierQueue)
+	}
 }
 
 // writeTelemetry exports a scenario's telemetry series. An empty path

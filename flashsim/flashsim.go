@@ -230,6 +230,32 @@ type Config struct {
 	Timing   Timing
 	Workload Workload
 
+	// FilerPartitions partitions the filer namespace over that many
+	// independent backends, each block routed to exactly one by a
+	// deterministic hash of its key, with per-partition service counters,
+	// tier residency and (on sharded runs) barrier queue gauges.
+	// Partitioning never changes simulated results — they are
+	// bit-identical for every (Shards × FilerPartitions) combination —
+	// only the backend load accounting and the wall-clock shape of
+	// sharded runs. 0 selects one partition; negative values are
+	// rejected.
+	FilerPartitions int
+
+	// ObjectTier layers an object store (S3-behind-EBS) behind the
+	// filer's block tier: reads that miss the prefetch cache and whose
+	// block is not block-tier resident pay Timing.ObjectRead instead of
+	// the block-tier slow read. Off by default (the paper's two-level
+	// filer model).
+	ObjectTier bool
+
+	// ObjectWriteThrough copies every buffered filer write to the object
+	// tier in the background (accounted as object writes, not charged to
+	// the client); ObjectReadPromote installs object-served blocks into
+	// the block tier so re-reads pay the cheaper slow read. Both apply
+	// only with ObjectTier set.
+	ObjectWriteThrough bool
+	ObjectReadPromote  bool
+
 	// Shards, when >= 1, executes the simulation as a sharded cluster:
 	// hosts are partitioned over that many parallel discrete-event
 	// engines synchronized by a conservative epoch barrier, with the
@@ -323,6 +349,15 @@ func (c *Config) Validate() error {
 	if c.Shards < 0 {
 		return fmt.Errorf("flashsim: negative shard count")
 	}
+	if c.FilerPartitions < 0 {
+		return fmt.Errorf("flashsim: negative filer partition count")
+	}
+	// The filer's own Validate covers the partition count (after the
+	// 0-means-one normalization), tier latencies, and the object-read vs
+	// block-tier relation when the object tier is enabled.
+	if err := filerConfig(*c).Validate(); err != nil {
+		return err
+	}
 	hc := core.HostConfig{
 		RAMBlocks:   c.RAMBlocks,
 		FlashBlocks: c.FlashBlocks,
@@ -334,6 +369,42 @@ func (c *Config) Validate() error {
 		return err
 	}
 	return c.Timing.Validate()
+}
+
+// filerConfig translates the public configuration into the filer's own:
+// FilerPartitions 0 normalizes to one partition (mirroring Shards'
+// 0-means-default), and the object tier is attached only when enabled.
+func filerConfig(cfg Config) filer.Config {
+	fc := filer.Config{
+		Partitions:   cfg.FilerPartitions,
+		FastRead:     cfg.Timing.FilerFastRead,
+		SlowRead:     cfg.Timing.FilerSlowRead,
+		Write:        cfg.Timing.FilerWrite,
+		PrefetchRate: cfg.Timing.FilerFastReadRate,
+	}
+	if fc.Partitions == 0 {
+		fc.Partitions = 1
+	}
+	if cfg.ObjectTier {
+		fc.Object = &filer.ObjectTier{
+			Read:         cfg.Timing.ObjectRead,
+			Write:        cfg.Timing.ObjectWrite,
+			WriteThrough: cfg.ObjectWriteThrough,
+			ReadPromote:  cfg.ObjectReadPromote,
+		}
+	}
+	return fc
+}
+
+// newFiler builds the configuration's filer on the given engine and RNG
+// stream; the configuration was validated up front, so a constructor
+// error here is a bug.
+func newFiler(eng *sim.Engine, rnd *rng.RNG, cfg Config) *filer.Filer {
+	f, err := filer.NewPartitioned(eng, rnd, filerConfig(cfg))
+	if err != nil {
+		panic("flashsim: filer construction after validation: " + err.Error())
+	}
+	return f
 }
 
 // workloadFileSet returns the configuration's file-server model,
@@ -478,9 +549,7 @@ func hostConfig(cfg Config, id int) core.HostConfig {
 func buildSimulation(cfg Config, src trace.Source, warmupBlocks int64) (*simulation, error) {
 	eng := &sim.Engine{}
 	seedRNG := rng.New(cfg.Seed)
-	fsrv := filer.New(eng, seedRNG.Fork(),
-		cfg.Timing.FilerFastRead, cfg.Timing.FilerSlowRead, cfg.Timing.FilerWrite,
-		cfg.Timing.FilerFastReadRate)
+	fsrv := newFiler(eng, seedRNG.Fork(), cfg)
 
 	var reg *consistency.Registry
 	if cfg.Hosts > 1 || cfg.TrackConsistency {

@@ -45,6 +45,18 @@ type Result struct {
 	FilerSlowReads uint64
 	FilerWrites    uint64
 
+	// Object-tier traffic (ObjectTier runs only; zero otherwise).
+	FilerObjectReads  uint64
+	FilerObjectWrites uint64
+
+	// FilerPartitions reports each filer backend partition's load
+	// accounting in partition order (always at least one entry). The
+	// service counters are shard- and partition-count invariant; the
+	// barrier queue gauges exist only on sharded runs. Excluded from
+	// String() like the barrier statistics below: the golden-hash surface
+	// predates partitioning, and the per-backend split is diagnostic.
+	FilerPartitions []FilerPartitionStats
+
 	// Flash device utilisation across hosts.
 	FlashBusyFraction float64
 
@@ -75,17 +87,44 @@ type Result struct {
 	BarrierMessages uint64
 }
 
+// FilerPartitionStats is one filer backend partition's load accounting;
+// see filer.PartitionStats for field semantics.
+type FilerPartitionStats = filer.PartitionStats
+
+// fillFilerStats copies the filer's aggregate and per-partition counters
+// into the result (shared by the sequential and sharded builders).
+func fillFilerStats(res *Result, fsrv *filer.Filer) {
+	res.FilerFastReads = fsrv.FastReads()
+	res.FilerSlowReads = fsrv.SlowReads()
+	res.FilerWrites = fsrv.Writes()
+	res.FilerObjectReads = fsrv.ObjectReads()
+	res.FilerObjectWrites = fsrv.ObjectWrites()
+	res.FilerPartitions = make([]FilerPartitionStats, fsrv.Partitions())
+	for p := range res.FilerPartitions {
+		res.FilerPartitions[p] = fsrv.PartitionStats(p)
+	}
+}
+
+// fillScenarioFilerStats mirrors fillFilerStats for scenario results,
+// which only carry the diagnostic (non-golden) filer fields.
+func fillScenarioFilerStats(res *ScenarioResult, fsrv *filer.Filer) {
+	res.FilerObjectReads = fsrv.ObjectReads()
+	res.FilerObjectWrites = fsrv.ObjectWrites()
+	res.FilerPartitions = make([]FilerPartitionStats, fsrv.Partitions())
+	for p := range res.FilerPartitions {
+		res.FilerPartitions[p] = fsrv.PartitionStats(p)
+	}
+}
+
 func buildResult(cfg Config, eng *sim.Engine, fsrv *filer.Filer,
 	reg *consistency.Registry, hosts []*core.Host, drv *core.Driver) *Result {
 	res := &Result{
-		FilerFastReads:   fsrv.FastReads(),
-		FilerSlowReads:   fsrv.SlowReads(),
-		FilerWrites:      fsrv.Writes(),
 		OpsCompleted:     drv.OpsCompleted(),
 		BlocksIssued:     drv.BlocksIssued(),
 		SimulatedSeconds: eng.Now().Seconds(),
 		Events:           eng.Processed(),
 	}
+	fillFilerStats(res, fsrv)
 	var busy float64
 	for _, h := range hosts {
 		res.Hosts.Merge(h.Stats())
@@ -122,6 +161,12 @@ func (r *Result) String() string {
 		r.WriteLatencyMicros, r.WriteP50Micros, r.WriteP99Micros)
 	fmt.Fprintf(&b, "filer: %d fast reads, %d slow reads, %d writes\n",
 		r.FilerFastReads, r.FilerSlowReads, r.FilerWrites)
+	if r.FilerObjectReads > 0 || r.FilerObjectWrites > 0 {
+		// Conditional like the consistency lines below: the object tier is
+		// opt-in, so pre-tier goldens never see this row.
+		fmt.Fprintf(&b, "object tier: %d reads, %d writes\n",
+			r.FilerObjectReads, r.FilerObjectWrites)
+	}
 	fmt.Fprintf(&b, "flash device busy: %4.1f%%\n", 100*r.FlashBusyFraction)
 	if r.BlocksWrittenShared > 0 {
 		fmt.Fprintf(&b, "invalidations: %.1f%% of %d block writes (%d copies dropped)\n",

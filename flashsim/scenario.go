@@ -22,6 +22,9 @@ type (
 	ScenarioPhase = scenario.Phase
 	// ScenarioEvent is one scripted fault (crash, flush, leave, join).
 	ScenarioEvent = scenario.Event
+	// ScenarioFilerSpec overrides the filer backend layout (partition
+	// count, object tier) for a scenario run.
+	ScenarioFilerSpec = scenario.FilerSpec
 	// TimeSeries is the exportable telemetry table (CSV / NDJSON).
 	TimeSeries = stats.TimeSeries
 )
@@ -117,6 +120,14 @@ type ScenarioResult struct {
 	// the golden-hash surface predates them.
 	Epochs          uint64
 	BarrierMessages uint64
+
+	// Filer backend statistics: per-partition load accounting (see
+	// Result.FilerPartitions) and object-tier traffic. The service
+	// counters are shard- and partition-count invariant; like the barrier
+	// statistics they are excluded from String().
+	FilerPartitions   []FilerPartitionStats
+	FilerObjectReads  uint64
+	FilerObjectWrites uint64
 }
 
 // String renders a deterministic human-readable summary: the phase table,
@@ -256,6 +267,10 @@ func RunScenario(cfg Config, sc *Scenario) (*ScenarioResult, error) {
 		return nil, fmt.Errorf("flashsim: scenario %s sampling period %vms rounds to zero",
 			sc.Name, sc.SampleEveryMillis)
 	}
+	cfg, ferr := applyScenarioFiler(cfg, sc)
+	if ferr != nil {
+		return nil, ferr
+	}
 
 	if cfg.Shards >= 1 {
 		// The sharded executor: the scenario's phases, events and
@@ -330,7 +345,38 @@ func RunScenario(cfg Config, sc *Scenario) (*ScenarioResult, error) {
 	res.BlocksIssued = s.drv.BlocksIssued()
 	res.SimulatedSeconds = s.eng.Now().Seconds()
 	res.EngineEvents = s.eng.Processed()
+	fillScenarioFilerStats(res, s.fsrv)
 	return res, nil
+}
+
+// applyScenarioFiler folds the scenario's filer specification into the
+// configuration before either executor builds its filer, then re-validates
+// the resulting filer layout (the scenario may pair an object-tier latency
+// with a config whose block tier undercuts it).
+func applyScenarioFiler(cfg Config, sc *Scenario) (Config, error) {
+	f := sc.Filer
+	if f == nil {
+		return cfg, nil
+	}
+	if f.Partitions > 0 {
+		cfg.FilerPartitions = f.Partitions
+	}
+	if f.ObjectTier {
+		cfg.ObjectTier = true
+		if f.ObjectReadMicros > 0 {
+			cfg.Timing.ObjectRead = sim.Time(f.ObjectReadMicros * float64(sim.Microsecond))
+		}
+		if f.ObjectWriteMicros > 0 {
+			cfg.Timing.ObjectWrite = sim.Time(f.ObjectWriteMicros * float64(sim.Microsecond))
+		}
+		// Validate normalized absent policy fields to non-nil.
+		cfg.ObjectWriteThrough = *f.WriteThrough
+		cfg.ObjectReadPromote = *f.ReadPromote
+	}
+	if err := filerConfig(cfg).Validate(); err != nil {
+		return cfg, fmt.Errorf("flashsim: scenario %s: %w", sc.Name, err)
+	}
+	return cfg, nil
 }
 
 // scenarioGenerator builds the effectively-unbounded trace generator of a

@@ -161,6 +161,7 @@ func runScenarioSharded(cfg Config, sc *Scenario, period sim.Time) (*ScenarioRes
 	res.EngineEvents = cl.Events()
 	res.Epochs = cl.Epochs()
 	res.BarrierMessages = cl.BarrierMessages()
+	fillScenarioFilerStats(res, cl.Filer())
 	return res, nil
 }
 

@@ -60,9 +60,7 @@ func clusterSpec(cfg Config, sources []trace.Source, warmup []int64) core.Cluste
 		Timing:        cfg.Timing,
 		HalfDuplexNet: cfg.HalfDuplexNet,
 		NewFiler: func(eng *sim.Engine) *filer.Filer {
-			return filer.New(eng, seedRNG.Fork(),
-				cfg.Timing.FilerFastRead, cfg.Timing.FilerSlowRead, cfg.Timing.FilerWrite,
-				cfg.Timing.FilerFastReadRate)
+			return newFiler(eng, seedRNG.Fork(), cfg)
 		},
 		Sources: sources,
 		Warmup:  warmup,
@@ -132,9 +130,6 @@ func runSharded(cfg Config, src trace.Source, warmupBlocks int64, pre prestartFn
 func buildShardedResult(cfg Config, cl *core.Cluster) *Result {
 	fsrv := cl.Filer()
 	res := &Result{
-		FilerFastReads:   fsrv.FastReads(),
-		FilerSlowReads:   fsrv.SlowReads(),
-		FilerWrites:      fsrv.Writes(),
 		OpsCompleted:     cl.OpsCompleted(),
 		BlocksIssued:     cl.BlocksIssued(),
 		SimulatedSeconds: cl.Now().Seconds(),
@@ -142,6 +137,7 @@ func buildShardedResult(cfg Config, cl *core.Cluster) *Result {
 		Epochs:           cl.Epochs(),
 		BarrierMessages:  cl.BarrierMessages(),
 	}
+	fillFilerStats(res, fsrv)
 	hosts := cl.Hosts()
 	var busy float64
 	for _, h := range hosts {

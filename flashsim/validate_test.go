@@ -29,6 +29,19 @@ func TestConfigValidate(t *testing.T) {
 		{"no threads", func(c *Config) { c.ThreadsPerHost = 0 }, "thread"},
 		{"negative cache", func(c *Config) { c.RAMBlocks = -1 }, "negative cache size"},
 		{"empty working set", func(c *Config) { c.Workload.WorkingSetBlocks = 0 }, "working set size"},
+		{"partitions 0 (auto)", func(c *Config) { c.FilerPartitions = 0 }, ""},
+		{"partitions 4", func(c *Config) { c.FilerPartitions = 4 }, ""},
+		{"negative partitions", func(c *Config) { c.FilerPartitions = -1 }, "partition count"},
+		{"object tier defaults", func(c *Config) { c.ObjectTier = true }, ""},
+		{"negative object read", func(c *Config) {
+			c.ObjectTier = true
+			c.Timing.ObjectRead = -1
+		}, "negative"},
+		{"object read below slow read", func(c *Config) {
+			c.ObjectTier = true
+			c.Timing.ObjectRead = c.Timing.FilerSlowRead / 2
+		}, "below"},
+		{"nan prefetch rate", func(c *Config) { c.Timing.FilerFastReadRate = math.NaN() }, "rate"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			cfg := DefaultConfig()

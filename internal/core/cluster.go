@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"slices"
 	"sync"
 
 	"repro/internal/filer"
@@ -69,7 +70,10 @@ type filerMsg struct {
 	at    sim.Time // arrival time at the filer (up-segment transit end)
 	host  int32
 	seq   uint64 // per-host issue counter; breaks same-instant ties
+	part  int32  // filer backend partition the key routes to
 	write bool
+	fast  bool // reads: the pre-drawn fast/slow outcome (service phase 1)
+	key   uint64
 	fn    func(any)
 	arg   any
 }
@@ -84,23 +88,27 @@ type invMsg struct {
 }
 
 // clusterPort is the per-host FilerPort of a sharded run: it appends the
-// request to the shard's outbox. It runs on the shard's goroutine only.
+// request to the shard's per-partition outbox lane for the key's filer
+// backend (routing is a pure hash, safe on the shard goroutine). It runs
+// on the shard's goroutine only.
 type clusterPort struct {
 	sh   *clusterShard
 	host int32
 	seq  uint64
 }
 
-func (p *clusterPort) Read2(fn func(any), arg any) {
+func (p *clusterPort) Read2(key uint64, fn func(any), arg any) {
 	p.seq++
-	p.sh.outMsgs = append(p.sh.outMsgs,
-		filerMsg{at: p.sh.eng.Now(), host: p.host, seq: p.seq, fn: fn, arg: arg})
+	part := p.sh.route(key)
+	p.sh.outMsgs[part] = append(p.sh.outMsgs[part],
+		filerMsg{at: p.sh.eng.Now(), host: p.host, seq: p.seq, part: part, key: key, fn: fn, arg: arg})
 }
 
-func (p *clusterPort) Write2(fn func(any), arg any) {
+func (p *clusterPort) Write2(key uint64, fn func(any), arg any) {
 	p.seq++
-	p.sh.outMsgs = append(p.sh.outMsgs,
-		filerMsg{at: p.sh.eng.Now(), host: p.host, seq: p.seq, write: true, fn: fn, arg: arg})
+	part := p.sh.route(key)
+	p.sh.outMsgs[part] = append(p.sh.outMsgs[part],
+		filerMsg{at: p.sh.eng.Now(), host: p.host, seq: p.seq, part: part, key: key, write: true, fn: fn, arg: arg})
 }
 
 // clusterSink is the per-host InvalidationSink of a sharded run.
@@ -125,9 +133,20 @@ type clusterShard struct {
 	hosts   []*Host
 	drivers []*Driver
 
-	outMsgs  []filerMsg
-	outInv   []invMsg
-	outProto []protoMsg
+	// route maps a block key to its filer backend partition (the filer's
+	// pure hash, shared by every shard).
+	route func(uint64) int32
+
+	// outMsgs is one outbox lane per filer partition; sealOutbox merges
+	// the lanes into sealed — the shard's globally mergeable sorted stream
+	// — on the shard's own goroutine at the epoch barrier, keeping the
+	// per-partition bookkeeping out of the coordinator's serial section.
+	outMsgs   [][]filerMsg
+	sealed    []filerMsg
+	outSorted []filerMsg   // backing store sealed points into when lanes merge
+	outHeads  [][]filerMsg // merge head scratch, reused across epochs
+	outInv    []invMsg
+	outProto  []protoMsg
 
 	// Barrier-deferred invalidation delivery (worker side). res indexes
 	// block residency so a batch message visits only actual holders; it
@@ -145,42 +164,119 @@ type clusterShard struct {
 	// the adaptive schedule is active.
 	upInFlight int64
 
-	// inbox holds the filer completions the coordinator serviced at the
-	// last barrier. The worker schedules them itself at the start of the
-	// next epoch, keeping the coordinator's between-epoch work flat in
-	// the message count. inboxMin (valid while inbox is non-empty) folds
-	// into the event horizon, which must see pending completions.
-	inbox    []schedEvent
-	inboxMin sim.Time
+	// inboxLanes holds the filer completions the barrier serviced, one
+	// lane per filer partition: the service phase appends each completion
+	// to its (owning shard, partition) lane, so distinct partitions write
+	// distinct slices and may be serviced concurrently. The worker merges
+	// and schedules the lanes itself at the start of the next epoch,
+	// keeping the coordinator's between-epoch work flat in the message
+	// count. laneMin[p] (valid while lane p is non-empty) folds into the
+	// event horizon, which must see pending completions.
+	inboxLanes   [][]schedEvent
+	laneMin      []sim.Time
+	inboxScratch []schedEvent
 
 	cmd  chan sim.Time
 	done chan struct{}
 }
 
 // schedEvent is one barrier-serviced completion awaiting delivery onto a
-// shard engine.
+// shard engine. The arrival key (arrAt, host, seq) rides along so lane
+// delivery can restore the canonical global order: the engine runs
+// equal-time events in insertion order, and inserting by (at, then
+// arrival key) is exactly the order the pre-partitioned coordinator
+// produced by appending completions as it walked the sorted batch.
 type schedEvent struct {
-	at  sim.Time
-	fn  func(any)
-	arg any
+	at    sim.Time // completion time on the host's engine
+	arrAt sim.Time // arrival time at the filer (the service-order key)
+	host  int32
+	seq   uint64
+	fn    func(any)
+	arg   any
+}
+
+// cmpSchedEvent orders lane-merged completions for delivery: completion
+// time first, then the partition-independent arrival key. The key triple
+// is unique per message, so the order is total and sort-algorithm
+// independent.
+func cmpSchedEvent(a, b schedEvent) int {
+	switch {
+	case a.at != b.at:
+		if a.at < b.at {
+			return -1
+		}
+		return 1
+	case a.arrAt != b.arrAt:
+		if a.arrAt < b.arrAt {
+			return -1
+		}
+		return 1
+	case a.host != b.host:
+		if a.host < b.host {
+			return -1
+		}
+		return 1
+	case a.seq != b.seq:
+		if a.seq < b.seq {
+			return -1
+		}
+		return 1
+	}
+	return 0
 }
 
 // beginEpoch is the worker-side barrier entry: deliver the completions
-// the coordinator serviced, size and clear the invalidation drop flags,
-// and drop the local copies the batch names — all before any of the
-// epoch's events run.
+// the barrier serviced, size and clear the invalidation drop flags, and
+// drop the local copies the batch names — all before any of the epoch's
+// events run.
 func (sh *clusterShard) beginEpoch(inv []invMsg) {
-	for i := range sh.inbox {
-		ev := &sh.inbox[i]
-		sh.eng.At2(ev.at, ev.fn, ev.arg)
-	}
-	sh.inbox = sh.inbox[:0]
+	sh.deliverInbox()
 	if cap(sh.invDrops) < len(inv) {
 		sh.invDrops = make([]bool, len(inv))
 	}
 	sh.invDrops = sh.invDrops[:len(inv)]
 	clear(sh.invDrops)
 	sh.applyInvalidations(inv)
+}
+
+// deliverInbox merges the per-partition completion lanes and schedules
+// them onto the shard engine in canonical (completion, arrival) order —
+// see schedEvent. Delivering in ascending completion time also happens to
+// be the engine heap's cheapest insertion order.
+func (sh *clusterShard) deliverInbox() {
+	sh.inboxScratch = sh.inboxScratch[:0]
+	for p := range sh.inboxLanes {
+		sh.inboxScratch = append(sh.inboxScratch, sh.inboxLanes[p]...)
+		sh.inboxLanes[p] = sh.inboxLanes[p][:0]
+	}
+	if len(sh.inboxScratch) == 0 {
+		return
+	}
+	slices.SortFunc(sh.inboxScratch, cmpSchedEvent)
+	for i := range sh.inboxScratch {
+		ev := &sh.inboxScratch[i]
+		sh.eng.At2(ev.at, ev.fn, ev.arg)
+	}
+}
+
+// sealOutbox canonicalizes this shard's per-partition outbox lanes and
+// merges them into one sorted stream for the coordinator's global merge.
+// It runs on the shard's goroutine (the coordinator's in inline mode), so
+// with several shards the per-partition merge work is itself parallel.
+func (sh *clusterShard) sealOutbox() {
+	for p := range sh.outMsgs {
+		canonicalizeRuns(sh.outMsgs[p], filerMsgAt, cmpFilerMsg)
+	}
+	if len(sh.outMsgs) == 1 {
+		sh.sealed = sh.outMsgs[0]
+		return
+	}
+	sh.outHeads = sh.outHeads[:0]
+	for p := range sh.outMsgs {
+		sh.outHeads = append(sh.outHeads, sh.outMsgs[p])
+	}
+	sh.outSorted = mergeSorted(sh.outSorted[:0], sh.outHeads, cmpFilerMsg)
+	sh.sealed = sh.outSorted
 }
 
 // applyInvalidations drops local copies named by the sorted batch, before
@@ -310,17 +406,20 @@ type Cluster struct {
 	drivers   []*Driver // by host ID
 	hostShard []*clusterShard
 	fsrv      *filer.Filer
+	nparts    int      // filer backend partitions
 	lookahead sim.Time // the filer floor: protocol hop cost and pinned epoch length
 	bound     edgeLookahead
 
 	// Coordinator state between epochs. The batches and the per-shard
-	// merge source slices are reused across epochs (see gather).
+	// merge source slices are reused across epochs (see gather), as are
+	// the per-partition service index lists (see serviceFiler).
 	msgBatch   []filerMsg
 	invBatch   []invMsg
 	protoBatch []protoMsg
 	srcMsgs    [][]filerMsg
 	srcInv     [][]invMsg
 	srcProto   [][]protoMsg
+	partIdx    [][]int32
 	cons       ClusterConsistency
 	track      bool
 	proto      *protoCoordinator   // nil outside protocol runs
@@ -374,7 +473,16 @@ func NewCluster(spec ClusterSpec) (*Cluster, error) {
 		}
 	}
 	c.fsrv = spec.NewFiler(c.shards[0].eng)
+	c.nparts = c.fsrv.Partitions()
 	c.lookahead = c.fsrv.MinServiceLatency()
+	c.partIdx = make([][]int32, c.nparts)
+	route := func(key uint64) int32 { return int32(c.fsrv.Route(key)) }
+	for _, sh := range c.shards {
+		sh.route = route
+		sh.outMsgs = make([][]filerMsg, c.nparts)
+		sh.inboxLanes = make([][]schedEvent, c.nparts)
+		sh.laneMin = make([]sim.Time, c.nparts)
+	}
 	adaptive := !spec.FixedLookahead && !spec.ConsistencyProtocol
 	upTransit := sim.Time(-1) // min wire transit over every request lane, found below
 
@@ -428,7 +536,7 @@ func NewCluster(spec ClusterSpec) (*Cluster, error) {
 		c.hostShard[i] = sh
 	}
 	var err error
-	if c.bound, err = newEdgeLookahead(c.lookahead, upTransit, adaptive); err != nil {
+	if c.bound, err = newEdgeLookahead(c.fsrv.PartitionFloors(), upTransit, adaptive); err != nil {
 		return nil, err
 	}
 	return c, nil
@@ -515,13 +623,15 @@ func (c *Cluster) BlocksIssued() uint64 {
 }
 
 // worker is one shard's goroutine: per epoch it delivers the barrier's
-// serviced completions, applies the coordinator's invalidation batch, then
-// advances its engine to the epoch end.
+// serviced completions, applies the coordinator's invalidation batch,
+// advances its engine to the epoch end, then seals its outbox lanes into
+// one sorted stream so the coordinator's serial merge stays S-way.
 func (c *Cluster) worker(sh *clusterShard) {
 	defer c.wg.Done()
 	for end := range sh.cmd {
 		sh.beginEpoch(c.invBatch)
 		sh.eng.RunUntil(end)
+		sh.sealOutbox()
 		sh.done <- struct{}{}
 	}
 }
@@ -534,6 +644,7 @@ func (c *Cluster) runEpoch(end sim.Time) {
 		for _, sh := range c.shards {
 			sh.beginEpoch(c.invBatch)
 			sh.eng.RunUntil(end)
+			sh.sealOutbox()
 		}
 		return
 	}
@@ -571,10 +682,12 @@ func (c *Cluster) gather() {
 		sh.invalidations = 0
 	}
 
-	// Canonicalize each outbox (sort only its equal-time runs) and k-way
-	// merge into the reused batches — the full global order by the
-	// partition-independent delivery keys, with no per-epoch allocation
-	// (see exchange.go). The workers size and clear their own drop flags
+	// Merge the shard streams into the reused batches — the full global
+	// order by the partition-independent delivery keys, with no per-epoch
+	// allocation (see exchange.go). The filer streams were canonicalized
+	// and partition-merged ("sealed") on the shard goroutines at the
+	// barrier; the invalidation and protocol outboxes are single-lane and
+	// canonicalized here. The workers size and clear their own drop flags
 	// at the next epoch's start.
 	c.msgBatch = c.msgBatch[:0]
 	c.invBatch = c.invBatch[:0]
@@ -583,10 +696,9 @@ func (c *Cluster) gather() {
 	c.srcInv = c.srcInv[:0]
 	c.srcProto = c.srcProto[:0]
 	for _, sh := range c.shards {
-		canonicalizeRuns(sh.outMsgs, filerMsgAt, cmpFilerMsg)
 		canonicalizeRuns(sh.outInv, invMsgAt, cmpInvMsg)
 		canonicalizeRuns(sh.outProto, protoMsgAt, cmpProtoMsg)
-		c.srcMsgs = append(c.srcMsgs, sh.outMsgs)
+		c.srcMsgs = append(c.srcMsgs, sh.sealed)
 		c.srcInv = append(c.srcInv, sh.outInv)
 		c.srcProto = append(c.srcProto, sh.outProto)
 	}
@@ -595,34 +707,90 @@ func (c *Cluster) gather() {
 	c.protoBatch = mergeSorted(c.protoBatch, c.srcProto, cmpProtoMsg)
 	c.barrierMsgs += uint64(len(c.msgBatch) + len(c.invBatch) + len(c.protoBatch))
 	for _, sh := range c.shards {
-		sh.outMsgs = sh.outMsgs[:0]
+		for p := range sh.outMsgs {
+			sh.outMsgs[p] = sh.outMsgs[p][:0]
+		}
+		sh.sealed = nil
 		sh.outInv = sh.outInv[:0]
 		sh.outProto = sh.outProto[:0]
 	}
 }
 
-// serviceFiler draws the filer's response for every gathered arrival, in
-// globally sorted order — the draw order is what keeps the filer's RNG
-// stream shard-count invariant — and stashes each completion in the
-// owning shard's inbox; the shard schedules it itself at the next epoch's
-// start. Completions always land at or after the next barrier because the
-// epoch bound never outruns the arrival-plus-floor guarantee
-// (lookahead.go).
+// serviceFiler services every gathered arrival in two phases. Phase 1 is
+// serial and order-critical: it walks the globally sorted batch drawing
+// the fast/slow outcome for each read — the draw order is what keeps the
+// filer's RNG stream shard- and partition-count invariant — while
+// building the per-partition index lists and recording each backend's
+// barrier queue depth. Phase 2 carries no RNG and no cross-partition
+// state: each partition's requests take their tier latencies and land in
+// the owning shard's per-partition inbox lane; with several backends and
+// real parallelism the partitions are serviced concurrently (distinct
+// partitions touch distinct filer counters, residency maps and lane
+// slices). The shard merges and schedules its lanes at the next epoch's
+// start, restoring the canonical order (see schedEvent). Completions
+// always land at or after the next barrier because the epoch bound never
+// outruns the arrival-plus-floor guarantee (lookahead.go).
 func (c *Cluster) serviceFiler() {
+	if len(c.msgBatch) == 0 {
+		return
+	}
+	for p := range c.partIdx {
+		c.partIdx[p] = c.partIdx[p][:0]
+	}
 	for i := range c.msgBatch {
+		m := &c.msgBatch[i]
+		if !m.write {
+			m.fast = c.fsrv.DrawRead()
+		}
+		c.partIdx[m.part] = append(c.partIdx[m.part], int32(i))
+	}
+	for p := range c.partIdx {
+		c.fsrv.ObserveBarrierQueue(p, len(c.partIdx[p]))
+	}
+
+	// Parallel phase 2 pays only when there are multiple backends, real
+	// processors, and a batch big enough to amortize the goroutine
+	// handshakes; the gate reads only batch shape, never results (phase 2
+	// is order-independent, so the cut-over cannot change them).
+	if c.nparts > 1 && !c.inline && len(c.msgBatch) >= 4*c.nparts {
+		var wg sync.WaitGroup
+		for p := range c.partIdx {
+			if len(c.partIdx[p]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				c.servicePartition(p)
+			}(p)
+		}
+		wg.Wait()
+		return
+	}
+	for p := range c.partIdx {
+		c.servicePartition(p)
+	}
+}
+
+// servicePartition is serviceFiler's phase 2 for one backend partition:
+// tier bookkeeping, latency, and delivery into per-(shard,partition)
+// inbox lanes. Safe to run concurrently with other partitions.
+func (c *Cluster) servicePartition(p int) {
+	for _, i := range c.partIdx[p] {
 		m := &c.msgBatch[i]
 		var lat sim.Time
 		if m.write {
-			lat = c.fsrv.TakeWriteLatency()
+			lat = c.fsrv.ServeWrite(p, m.key)
 		} else {
-			lat = c.fsrv.TakeReadLatency()
+			lat = c.fsrv.ServeRead(p, m.key, m.fast)
 		}
 		sh := c.hostShard[m.host]
 		at := m.at + lat
-		if len(sh.inbox) == 0 || at < sh.inboxMin {
-			sh.inboxMin = at
+		if len(sh.inboxLanes[p]) == 0 || at < sh.laneMin[p] {
+			sh.laneMin[p] = at
 		}
-		sh.inbox = append(sh.inbox, schedEvent{at: at, fn: m.fn, arg: m.arg})
+		sh.inboxLanes[p] = append(sh.inboxLanes[p],
+			schedEvent{at: at, arrAt: m.at, host: m.host, seq: m.seq, fn: m.fn, arg: m.arg})
 	}
 }
 
@@ -669,7 +837,8 @@ func (c *Cluster) nextEpochEnd(end sim.Time) sim.Time {
 
 // eventHorizon returns the globally earliest pending event — across the
 // shard engines and the not-yet-delivered barrier completions in the
-// shard inboxes — or false when nothing is pending anywhere.
+// shards' per-partition inbox lanes — or false when nothing is pending
+// anywhere.
 func (c *Cluster) eventHorizon() (sim.Time, bool) {
 	var minAt sim.Time
 	found := false
@@ -677,8 +846,10 @@ func (c *Cluster) eventHorizon() (sim.Time, bool) {
 		if at, ok := sh.eng.NextEventAt(); ok && (!found || at < minAt) {
 			minAt, found = at, true
 		}
-		if len(sh.inbox) > 0 && (!found || sh.inboxMin < minAt) {
-			minAt, found = sh.inboxMin, true
+		for p := range sh.inboxLanes {
+			if len(sh.inboxLanes[p]) > 0 && (!found || sh.laneMin[p] < minAt) {
+				minAt, found = sh.laneMin[p], true
+			}
 		}
 	}
 	return minAt, found

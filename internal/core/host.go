@@ -13,16 +13,18 @@ import (
 
 // FilerPort is a host's route to the shared file server: the two
 // allocation-free service calls the request path issues once a packet has
-// crossed the host's network segment. In a sequential run the port is the
-// *filer.Filer itself; in a sharded run it is a per-host mailbox that
-// forwards the request to the epoch-barrier coordinator, which services
-// the filer in globally sorted arrival order (see Cluster).
+// crossed the host's network segment. The block key selects the filer
+// backend partition (and its tier state); it never affects fast/slow
+// draws, which come from one shared stream. In a sequential run the port
+// is the *filer.Filer itself; in a sharded run it is a per-host mailbox
+// that forwards the request to the epoch-barrier coordinator, which
+// services the filer in globally sorted arrival order (see Cluster).
 type FilerPort interface {
 	// Read2 services a one-block read; fn(arg) runs after the drawn
-	// fast-or-slow service latency.
-	Read2(fn func(any), arg any)
+	// fast-or-slow (or object-tier) service latency.
+	Read2(key uint64, fn func(any), arg any)
 	// Write2 services a one-block (always fast, buffered) write.
-	Write2(fn func(any), arg any)
+	Write2(key uint64, fn func(any), arg any)
 }
 
 // InvalidationSink observes block writes for cross-host invalidation in
@@ -720,7 +722,7 @@ func (h *Host) newWaiters(c cont) []cont {
 func fetchSent(a any) {
 	r := a.(*hostReq)
 	r.h.noteUpArrival()
-	r.h.fsrv.Read2(fetchServed, r)
+	r.h.fsrv.Read2(uint64(r.key), fetchServed, r)
 }
 
 func fetchServed(a any) {

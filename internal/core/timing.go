@@ -27,6 +27,12 @@ type Timing struct {
 	// FilerFastReadRate is the fraction of filer reads that are fast —
 	// the filer's prefetch success rate.
 	FilerFastReadRate float64
+
+	// ObjectRead and ObjectWrite are the object-tier (S3-behind-EBS)
+	// latencies, used only when the filer's object tier is enabled. The
+	// read must not undercut FilerSlowRead (the block tier it backs).
+	ObjectRead  sim.Time
+	ObjectWrite sim.Time
 }
 
 // DefaultTiming returns the paper's Table 1 parameters.
@@ -42,6 +48,10 @@ func DefaultTiming() Timing {
 		FilerSlowRead:     7952 * sim.Microsecond,
 		FilerWrite:        92 * sim.Microsecond,
 		FilerFastReadRate: 0.90,
+		// Object-store round trips sit in the tens of milliseconds; writes
+		// are background copies, modeled cheaper than the synchronous GET.
+		ObjectRead:  30 * sim.Millisecond,
+		ObjectWrite: 10 * sim.Millisecond,
 	}
 }
 
@@ -50,6 +60,7 @@ func (t Timing) Validate() error {
 	for _, v := range []sim.Time{
 		t.RAMRead, t.RAMWrite, t.FlashRead, t.FlashWrite,
 		t.NetBase, t.NetPerBit, t.FilerFastRead, t.FilerSlowRead, t.FilerWrite,
+		t.ObjectRead, t.ObjectWrite,
 	} {
 		if v < 0 {
 			return errNegativeTiming

@@ -283,11 +283,11 @@ func installCleanCopyRoom(a any) {
 // a data packet out, the filer's buffered write, and an acknowledgement
 // packet back.
 func (h *Host) writeBlockToFiler(key cache.Key, ln lane, c cont) {
-	_ = key // the filer model is content-free; the key documents intent
 	if h.collect {
 		h.st.FilerWritebacks++
 	}
 	r := h.getReq()
+	r.key = key
 	r.ln = ln
 	r.c = c
 	h.noteUpSend()
@@ -305,7 +305,7 @@ func (h *Host) lane(ln lane) *netsim.Segment {
 func filerWriteSent(a any) {
 	r := a.(*hostReq)
 	r.h.noteUpArrival()
-	r.h.fsrv.Write2(filerWriteServed, r)
+	r.h.fsrv.Write2(uint64(r.key), filerWriteServed, r)
 }
 
 func filerWriteServed(a any) {

@@ -13,6 +13,10 @@ func init() {
 	registry["ext-fleet"] = ExtFleet
 }
 
+// fleetPartitions is the partition count the ext-fleet partition sweep
+// compares against the single-backend baseline.
+const fleetPartitions = 4
+
 // ExtFleet is the fleet-scale extension: the paper simulates at most eight
 // hosts (§7.9), but its model — many client caches contending on one
 // shared filer — is exactly the shape of a production fleet, where the
@@ -48,6 +52,9 @@ func ExtFleet(o Options) (*Report, error) {
 	protoFig := stats.NewFigure(
 		"Extension: callback-protocol overhead vs fleet size (the traffic paper §3.8 left unmodeled)",
 		"hosts", "overhead")
+	partFig := stats.NewFigure(
+		"Extension: hottest filer backend load vs fleet size (filer partitioning)",
+		"hosts", "peak barrier queue (messages)")
 	traffic := trafficFig.AddSeries("filer reads/s")
 	lat := latFig.AddSeries("read latency")
 	ramHit := hitFig.AddSeries("RAM hit rate")
@@ -55,6 +62,8 @@ func ExtFleet(o Options) (*Report, error) {
 	invFrac := hitFig.AddSeries("writes invalidating")
 	msgsPerWrite := protoFig.AddSeries("control msgs per block write")
 	latOverhead := protoFig.AddSeries("read latency overhead (%)")
+	p1Peak := partFig.AddSeries("partitions=1 backend")
+	pNPeak := partFig.AddSeries(fmt.Sprintf("partitions=%d hottest backend", fleetPartitions))
 
 	var table strings.Builder
 	fmt.Fprintf(&table, "%-8s %12s %12s %10s %10s %12s %14s\n",
@@ -62,6 +71,11 @@ func ExtFleet(o Options) (*Report, error) {
 	var protoTable strings.Builder
 	fmt.Fprintf(&protoTable, "%-8s %14s %14s %12s %14s %12s\n",
 		"hosts", "ctrl msgs", "msgs/write", "acquires", "downgrades", "read +%")
+	var partTable strings.Builder
+	fmt.Fprintf(&partTable, "%-8s %14s %14s %16s %16s %10s\n",
+		"hosts", "p1 peak queue", "p1 mean queue",
+		fmt.Sprintf("p%d hot peak", fleetPartitions),
+		fmt.Sprintf("p%d hot mean", fleetPartitions), "relief")
 
 	// Always run on the cluster executor — its results are identical for
 	// every shard count, so the report does not depend on the machine's
@@ -96,8 +110,11 @@ func ExtFleet(o Options) (*Report, error) {
 
 	// instantRead remembers each population's instant-mode read latency so
 	// the protocol point (delivered later in declaration order) can chart
-	// its overhead against it.
+	// its overhead against it; p1Queue likewise remembers the single
+	// backend's peak barrier queue for the partition sweep's relief column.
 	instantRead := make(map[int]float64)
+	p1Queue := make(map[int]int)
+	meanQueue1 := make(map[int]float64)
 
 	s := newSweep(o, "ext-fleet")
 	for _, hosts := range hostCounts {
@@ -111,6 +128,11 @@ func ExtFleet(o Options) (*Report, error) {
 				}
 				x := float64(hosts)
 				instantRead[hosts] = res.ReadLatencyMicros
+				if len(res.FilerPartitions) > 0 {
+					p1Queue[hosts] = res.FilerPartitions[0].MaxBarrierQueue
+					meanQueue1[hosts] = res.FilerPartitions[0].MeanBarrierQueue
+					p1Peak.Add(x, float64(p1Queue[hosts]))
+				}
 				traffic.Add(x, readRate)
 				lat.Add(x, res.ReadLatencyMicros)
 				ramHit.Add(x, 100*res.RAMHitRate)
@@ -147,15 +169,46 @@ func ExtFleet(o Options) (*Report, error) {
 					res.OwnershipAcquires, res.Downgrades, overhead)
 			})
 	}
+	// Partition sweep: the same populations with the filer hash-split
+	// over fleetPartitions backends. The simulated timeline is
+	// bit-identical to the single-backend rows (partitioning is pure
+	// routing; see TestPartitionCountInvariance), so the curve that moves
+	// is the load each backend carries: the hottest backend's peak
+	// barrier queue drops ~fleetPartitions-fold, pushing the host count
+	// at which a single backend saturates — the knee of the 64 -> 4096
+	// curve — right by the same factor.
+	for _, hosts := range hostCounts {
+		hosts := hosts
+		cfg := fleetPoint(hosts)
+		cfg.FilerPartitions = fleetPartitions
+		s.add(fmt.Sprintf("ext-fleet hosts=%d partitions=%d", hosts, fleetPartitions), cfg,
+			func(res *flashsim.Result) {
+				var hot flashsim.FilerPartitionStats
+				for _, st := range res.FilerPartitions {
+					if st.MaxBarrierQueue > hot.MaxBarrierQueue {
+						hot = st
+					}
+				}
+				relief := 0.0
+				if hot.MaxBarrierQueue > 0 {
+					relief = float64(p1Queue[hosts]) / float64(hot.MaxBarrierQueue)
+				}
+				pNPeak.Add(float64(hosts), float64(hot.MaxBarrierQueue))
+				fmt.Fprintf(&partTable, "%-8d %14d %14.2f %16d %16.2f %9.1fx\n",
+					hosts, p1Queue[hosts], meanQueue1[hosts],
+					hot.MaxBarrierQueue, hot.MeanBarrierQueue, relief)
+			})
+	}
 	if err := s.run(); err != nil {
 		return nil, err
 	}
 	return &Report{
 		Name: "ext-fleet",
 		Description: "Fleet-scale population sweep on the sharded cluster executor, " +
-			"instant invalidation vs the callback consistency protocol " +
+			"instant invalidation vs the callback consistency protocol, " +
+			"plus the filer partition sweep " +
 			"(extension; the paper stops at eight hosts and counts invalidations only)",
-		Figures: []*stats.Figure{trafficFig, latFig, hitFig, protoFig},
-		Tables:  []string{table.String(), protoTable.String()},
+		Figures: []*stats.Figure{trafficFig, latFig, hitFig, protoFig, partFig},
+		Tables:  []string{table.String(), protoTable.String(), partTable.String()},
 	}, nil
 }

@@ -10,14 +10,17 @@ func TestExtFleetShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Figures) != 4 {
-		t.Fatalf("want traffic, latency, hit-rate and protocol figures, got %d", len(rep.Figures))
+	if len(rep.Figures) != 5 {
+		t.Fatalf("want traffic, latency, hit-rate, protocol and partition figures, got %d", len(rep.Figures))
 	}
-	if len(rep.Tables) < 2 || !strings.Contains(rep.Tables[0], "hosts") {
+	if len(rep.Tables) < 3 || !strings.Contains(rep.Tables[0], "hosts") {
 		t.Fatal("fleet table missing")
 	}
 	if !strings.Contains(rep.Tables[1], "msgs/write") {
 		t.Fatal("protocol table missing")
+	}
+	if !strings.Contains(rep.Tables[2], "relief") {
+		t.Fatal("partition table missing")
 	}
 
 	traffic := findSeries(t, rep.Figures[0], "filer reads/s")
@@ -63,5 +66,23 @@ func TestExtFleetShape(t *testing.T) {
 	if msgs.Points[1].Y <= msgs.Points[0].Y {
 		t.Errorf("control messages per write did not grow with hosts: %.1f -> %.1f",
 			msgs.Points[0].Y, msgs.Points[1].Y)
+	}
+
+	// The partition sweep: hash-splitting the filer must relieve the
+	// hottest backend at every population — the knee-shift claim.
+	p1 := findSeries(t, rep.Figures[4], "partitions=1 backend")
+	pN := findSeries(t, rep.Figures[4], "partitions=4 hottest backend")
+	if len(p1.Points) != 2 || len(pN.Points) != 2 {
+		t.Fatalf("want 2 partition points per series, got %d and %d",
+			len(p1.Points), len(pN.Points))
+	}
+	for i := range p1.Points {
+		if p1.Points[i].Y <= 0 || pN.Points[i].Y <= 0 {
+			t.Fatalf("partition sweep recorded no barrier queue at %v hosts", p1.Points[i].X)
+		}
+		if pN.Points[i].Y >= p1.Points[i].Y {
+			t.Errorf("partitioning did not relieve the hottest backend at %v hosts: %v -> %v",
+				p1.Points[i].X, p1.Points[i].Y, pN.Points[i].Y)
+		}
 	}
 }

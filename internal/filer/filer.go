@@ -5,127 +5,377 @@
 // buffered and always fast.)" The filer itself is a high-end box with
 // sophisticated caching, so it serves requests concurrently; contention is
 // on the network segments, not inside the filer.
+//
+// # Partitioned backends
+//
+// The namespace can be partitioned over N independent backends (Config.
+// Partitions): every block key routes to exactly one partition by a
+// deterministic hash, and each partition keeps its own service counters,
+// block-tier residency and barrier queue gauges. Partitioning never changes
+// simulated results — the fast/slow draw comes from ONE shared stream
+// consumed in global service order, and per-block tier state lives wholly
+// inside the block's one partition, so the union over partitions is the
+// same set for every partition count. What partitioning changes is the
+// load accounting (how many requests each backend absorbs per barrier) and
+// the wall-clock shape of sharded runs, whose coordinator services the
+// partitions' tier bookkeeping independently (see core/cluster.go).
+//
+// # Object tier
+//
+// Behind the block tier an optional object tier (Config.Object) models an
+// S3-behind-EBS hierarchy: higher latency, effectively unbounded
+// throughput. A read that misses the filer's prefetch cache and whose
+// block is not resident in the block tier pays the object-tier read
+// latency instead of the block-tier slow read; ReadPromote installs the
+// block into the block tier afterward. Writes land in the nonvolatile
+// buffer (always fast for the client) and make the block block-tier
+// resident; WriteThrough additionally copies it to the object tier in the
+// background (accounted, not charged to the client).
 package filer
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/rng"
 	"repro/internal/sim"
 )
 
-// Filer is the shared file server.
+// ObjectTier configures the optional object store behind the block tier.
+type ObjectTier struct {
+	// Read is the object-store read (GET) latency paid by a block-tier
+	// miss; it must not undercut the block tier's slow read.
+	Read sim.Time
+	// Write is the object-store write (PUT) latency. Write-through copies
+	// happen in the background, so this is accounting, not client latency.
+	Write sim.Time
+	// WriteThrough copies every buffered write to the object tier.
+	WriteThrough bool
+	// ReadPromote installs a block served from the object tier into the
+	// block tier, so re-reads pay the block-tier slow read instead.
+	ReadPromote bool
+}
+
+// Config describes a (possibly partitioned, possibly tiered) filer.
+type Config struct {
+	// Partitions is the number of independent backends the namespace is
+	// hashed over; it must be at least 1.
+	Partitions int
+
+	// FastRead, SlowRead and Write are the block-tier service latencies;
+	// PrefetchRate is the fraction of reads served fast.
+	FastRead     sim.Time
+	SlowRead     sim.Time
+	Write        sim.Time
+	PrefetchRate float64
+
+	// Object, when non-nil, layers the object tier behind the block tier.
+	Object *ObjectTier
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Partitions < 1 {
+		return fmt.Errorf("filer: partitions %d < 1", c.Partitions)
+	}
+	if c.FastRead < 0 || c.SlowRead < 0 || c.Write < 0 {
+		return fmt.Errorf("filer: negative latency")
+	}
+	if math.IsNaN(c.PrefetchRate) || c.PrefetchRate < 0 || c.PrefetchRate > 1 {
+		return fmt.Errorf("filer: prefetch rate %v out of [0,1]", c.PrefetchRate)
+	}
+	if o := c.Object; o != nil {
+		if o.Read < 0 || o.Write < 0 {
+			return fmt.Errorf("filer: negative object-tier latency")
+		}
+		if o.Read < c.SlowRead {
+			return fmt.Errorf("filer: object-tier read latency %v below block-tier slow read %v", o.Read, c.SlowRead)
+		}
+	}
+	return nil
+}
+
+// PartitionStats is one backend partition's load accounting. The service
+// counters are properties of the global service order, so they are
+// identical for every shard count; the barrier queue gauges exist only on
+// sharded runs (the sequential path services requests at arrival, with no
+// queue to observe).
+type PartitionStats struct {
+	FastReads    uint64
+	SlowReads    uint64
+	ObjectReads  uint64
+	Writes       uint64
+	ObjectWrites uint64
+
+	// MaxBarrierQueue is the most requests this partition absorbed at one
+	// epoch barrier; MeanBarrierQueue averages over barriers that carried
+	// any filer traffic at all.
+	MaxBarrierQueue  int
+	MeanBarrierQueue float64
+}
+
+// Serviced is the total requests the partition serviced.
+func (p PartitionStats) Serviced() uint64 {
+	return p.FastReads + p.SlowReads + p.ObjectReads + p.Writes
+}
+
+// partition is one backend's private state.
+type partition struct {
+	fastReads    uint64
+	slowReads    uint64
+	objectReads  uint64
+	writes       uint64
+	objectWrites uint64
+
+	// resident tracks block-tier residency for the object tier: a block
+	// written (or read-promoted) lives in the block tier until forever —
+	// the filer box does not model its own evictions. Nil without the
+	// object tier.
+	resident map[uint64]struct{}
+
+	// Barrier queue gauges (sharded runs; see ObserveBarrierQueue).
+	maxQueue int
+	queueSum uint64
+	queueObs uint64
+}
+
+// Filer is the shared file server: a partitioned, optionally tiered
+// backend set with one shared fast/slow draw stream.
 type Filer struct {
 	eng *sim.Engine
 	rnd *rng.RNG
+	cfg Config
 
-	fastRead     sim.Time
-	slowRead     sim.Time
-	write        sim.Time
-	prefetchRate float64
-
-	fastReads, slowReads, writes uint64
+	parts []partition
 }
 
-// New returns a filer with the given service latencies and prefetch
-// (fast-read) success rate in [0, 1].
+// New returns a single-partition, block-tier-only filer with the given
+// service latencies and prefetch (fast-read) success rate in [0, 1] — the
+// paper's classic model. It panics on invalid parameters; use
+// NewPartitioned for error returns and the partition/tier knobs.
 func New(eng *sim.Engine, rnd *rng.RNG, fastRead, slowRead, write sim.Time, prefetchRate float64) *Filer {
-	if fastRead < 0 || slowRead < 0 || write < 0 {
-		panic("filer: negative latency")
+	f, err := NewPartitioned(eng, rnd, Config{
+		Partitions:   1,
+		FastRead:     fastRead,
+		SlowRead:     slowRead,
+		Write:        write,
+		PrefetchRate: prefetchRate,
+	})
+	if err != nil {
+		panic(err.Error())
 	}
-	if prefetchRate < 0 || prefetchRate > 1 {
-		panic("filer: prefetch rate out of range")
-	}
-	return &Filer{
-		eng:          eng,
-		rnd:          rnd,
-		fastRead:     fastRead,
-		slowRead:     slowRead,
-		write:        write,
-		prefetchRate: prefetchRate,
-	}
+	return f
 }
 
-// Read services a one-block read; done runs after the fast or slow latency,
-// chosen randomly by the prefetch success rate.
-func (f *Filer) Read(done func()) {
-	lat := f.readLatency()
+// NewPartitioned returns the filer described by the configuration.
+func NewPartitioned(eng *sim.Engine, rnd *rng.RNG, cfg Config) (*Filer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	f := &Filer{eng: eng, rnd: rnd, cfg: cfg, parts: make([]partition, cfg.Partitions)}
+	if cfg.Object != nil {
+		for i := range f.parts {
+			f.parts[i].resident = make(map[uint64]struct{})
+		}
+	}
+	return f, nil
+}
+
+// Partitions returns the number of backend partitions.
+func (f *Filer) Partitions() int { return len(f.parts) }
+
+// Route maps a block key to its one backend partition: a SplitMix64-style
+// finalizer over the key, reduced mod the partition count. The hash is a
+// pure function of (key, partition count) — stable across runs, instances
+// and platforms — so a block's partition never depends on execution order.
+func (f *Filer) Route(key uint64) int {
+	if len(f.parts) == 1 {
+		return 0
+	}
+	z := key + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z % uint64(len(f.parts)))
+}
+
+// DrawRead consumes one fast/slow outcome from the shared draw stream.
+// The stream is shared across partitions deliberately: sharded runs draw
+// in globally sorted arrival order, so outcomes depend only on that order
+// — never on the partition count or the shard count.
+func (f *Filer) DrawRead() bool { return f.rnd.Bool(f.cfg.PrefetchRate) }
+
+// ServeRead services one read on a partition with a pre-drawn fast/slow
+// outcome and returns its latency. It touches only that partition's
+// counters and residency, so distinct partitions may be serviced
+// concurrently once their draws are taken.
+func (f *Filer) ServeRead(part int, key uint64, fast bool) sim.Time {
+	p := &f.parts[part]
+	if fast {
+		p.fastReads++
+		return f.cfg.FastRead
+	}
+	if o := f.cfg.Object; o != nil {
+		if _, ok := p.resident[key]; !ok {
+			p.objectReads++
+			if o.ReadPromote {
+				p.resident[key] = struct{}{}
+			}
+			return o.Read
+		}
+	}
+	p.slowReads++
+	return f.cfg.SlowRead
+}
+
+// ServeWrite services one (always fast, buffered) write on a partition and
+// returns its latency. The write lands in the block tier — the block
+// becomes resident — and WriteThrough accounts a background object copy.
+func (f *Filer) ServeWrite(part int, key uint64) sim.Time {
+	p := &f.parts[part]
+	p.writes++
+	if o := f.cfg.Object; o != nil {
+		p.resident[key] = struct{}{}
+		if o.WriteThrough {
+			p.objectWrites++
+		}
+	}
+	return f.cfg.Write
+}
+
+// Read services a one-block read; done runs after the fast or slow (or
+// object-tier) latency.
+func (f *Filer) Read(key uint64, done func()) {
+	lat := f.ServeRead(f.Route(key), key, f.DrawRead())
 	if done != nil {
 		f.eng.Schedule(lat, done)
 	}
 }
 
 // Read2 is the allocation-free form of Read: fn is a static func(any) run
-// with arg after the service latency. Unlike Read(nil), a nil fn still
-// schedules a (shared, no-op) completion event.
-func (f *Filer) Read2(fn func(any), arg any) {
-	f.eng.Schedule2(f.readLatency(), fn, arg)
-}
-
-// readLatency draws one read's service time (and counts the outcome).
-func (f *Filer) readLatency() sim.Time {
-	if f.rnd.Bool(f.prefetchRate) {
-		f.fastReads++
-		return f.fastRead
-	}
-	f.slowReads++
-	return f.slowRead
+// with arg after the service latency. Unlike Read(key, nil), a nil fn
+// still schedules a (shared, no-op) completion event.
+func (f *Filer) Read2(key uint64, fn func(any), arg any) {
+	f.eng.Schedule2(f.ServeRead(f.Route(key), key, f.DrawRead()), fn, arg)
 }
 
 // Write services a one-block write; writes hit the filer's nonvolatile
 // buffer and are always fast.
-func (f *Filer) Write(done func()) {
-	f.writes++
+func (f *Filer) Write(key uint64, done func()) {
+	lat := f.ServeWrite(f.Route(key), key)
 	if done != nil {
-		f.eng.Schedule(f.write, done)
+		f.eng.Schedule(lat, done)
 	}
 }
 
-// Write2 is the allocation-free form of Write. Unlike Write(nil), a nil fn
-// still schedules a (shared, no-op) completion event.
-func (f *Filer) Write2(fn func(any), arg any) {
-	f.writes++
-	f.eng.Schedule2(f.write, fn, arg)
+// Write2 is the allocation-free form of Write. Unlike Write(key, nil), a
+// nil fn still schedules a (shared, no-op) completion event.
+func (f *Filer) Write2(key uint64, fn func(any), arg any) {
+	f.eng.Schedule2(f.ServeWrite(f.Route(key), key), fn, arg)
+}
+
+// ObserveBarrierQueue records that a partition absorbed depth requests at
+// one epoch barrier. Sharded runs call it per (barrier, partition) so the
+// per-backend burst size — the quantity partitioning bounds — is visible
+// in the partition stats.
+func (f *Filer) ObserveBarrierQueue(part, depth int) {
+	if depth <= 0 {
+		return
+	}
+	p := &f.parts[part]
+	if depth > p.maxQueue {
+		p.maxQueue = depth
+	}
+	p.queueSum += uint64(depth)
+	p.queueObs++
 }
 
 // PrefetchRate returns the configured fast-read rate.
-func (f *Filer) PrefetchRate() float64 { return f.prefetchRate }
+func (f *Filer) PrefetchRate() float64 { return f.cfg.PrefetchRate }
 
-// FastReads, SlowReads and Writes report service counts.
-func (f *Filer) FastReads() uint64 { return f.fastReads }
-func (f *Filer) SlowReads() uint64 { return f.slowReads }
-func (f *Filer) Writes() uint64    { return f.writes }
+// FastReads, SlowReads, ObjectReads, Writes and ObjectWrites report
+// service counts summed over partitions.
+func (f *Filer) FastReads() uint64 { return f.sum(func(p *partition) uint64 { return p.fastReads }) }
+func (f *Filer) SlowReads() uint64 { return f.sum(func(p *partition) uint64 { return p.slowReads }) }
+func (f *Filer) ObjectReads() uint64 {
+	return f.sum(func(p *partition) uint64 { return p.objectReads })
+}
+func (f *Filer) Writes() uint64 { return f.sum(func(p *partition) uint64 { return p.writes }) }
+func (f *Filer) ObjectWrites() uint64 {
+	return f.sum(func(p *partition) uint64 { return p.objectWrites })
+}
 
-// MeanReadLatency returns the expected read service time given the
-// configured rates — useful for analytic cross-checks in tests.
+func (f *Filer) sum(get func(*partition) uint64) uint64 {
+	var n uint64
+	for i := range f.parts {
+		n += get(&f.parts[i])
+	}
+	return n
+}
+
+// PartitionStats returns one partition's load accounting.
+func (f *Filer) PartitionStats(part int) PartitionStats {
+	p := &f.parts[part]
+	st := PartitionStats{
+		FastReads:       p.fastReads,
+		SlowReads:       p.slowReads,
+		ObjectReads:     p.objectReads,
+		Writes:          p.writes,
+		ObjectWrites:    p.objectWrites,
+		MaxBarrierQueue: p.maxQueue,
+	}
+	if p.queueObs > 0 {
+		st.MeanBarrierQueue = float64(p.queueSum) / float64(p.queueObs)
+	}
+	return st
+}
+
+// MeanReadLatency returns the expected block-tier read service time given
+// the configured rates — useful for analytic cross-checks in tests.
 func (f *Filer) MeanReadLatency() sim.Time {
-	mean := f.prefetchRate*float64(f.fastRead) + (1-f.prefetchRate)*float64(f.slowRead)
+	mean := f.cfg.PrefetchRate*float64(f.cfg.FastRead) + (1-f.cfg.PrefetchRate)*float64(f.cfg.SlowRead)
 	return sim.Time(math.Round(mean))
 }
 
 // TakeReadLatency draws one read's service time without scheduling the
-// completion. Sharded runs service the filer at the epoch barrier: the
-// coordinator draws the latency here — in globally sorted arrival order,
-// so the RNG stream is consumed identically for every shard count — and
-// schedules the completion on the requesting host's shard itself.
-func (f *Filer) TakeReadLatency() sim.Time { return f.readLatency() }
+// completion — routing, draw and tier bookkeeping in one call. Sharded
+// runs service the filer at the epoch barrier in globally sorted arrival
+// order; the coordinator's two-phase form (DrawRead then ServeRead) is
+// equivalent to calling this per message in that order.
+func (f *Filer) TakeReadLatency(key uint64) sim.Time {
+	return f.ServeRead(f.Route(key), key, f.DrawRead())
+}
 
-// TakeWriteLatency is TakeReadLatency's write-side twin: it counts the
-// write and returns the (always fast) buffered-write service time.
-func (f *Filer) TakeWriteLatency() sim.Time {
-	f.writes++
-	return f.write
+// TakeWriteLatency is TakeReadLatency's write-side twin.
+func (f *Filer) TakeWriteLatency(key uint64) sim.Time {
+	return f.ServeWrite(f.Route(key), key)
 }
 
 // MinServiceLatency returns the smallest latency the filer can ever add to
 // a request. Sharded runs fold it into the epoch-barrier lookahead bound.
+// The object tier cannot lower it: object reads are validated to be no
+// faster than the block tier's slow read, and object writes happen in the
+// background of the (already counted) buffered write.
 func (f *Filer) MinServiceLatency() sim.Time {
-	min := f.fastRead
-	if f.slowRead < min {
-		min = f.slowRead
+	min := f.cfg.FastRead
+	if f.cfg.SlowRead < min {
+		min = f.cfg.SlowRead
 	}
-	if f.write < min {
-		min = f.write
+	if f.cfg.Write < min {
+		min = f.cfg.Write
 	}
 	return min
+}
+
+// PartitionFloors returns each partition's minimum service latency, the
+// per-(shard,partition)-edge lookahead floors of a sharded run. The model's
+// partitions share one latency configuration, so every floor equals
+// MinServiceLatency today; the per-partition shape is what the cluster's
+// edge lookahead consumes (core/lookahead.go).
+func (f *Filer) PartitionFloors() []sim.Time {
+	floors := make([]sim.Time, len(f.parts))
+	for i := range floors {
+		floors[i] = f.MinServiceLatency()
+	}
+	return floors
 }

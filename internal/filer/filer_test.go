@@ -14,13 +14,23 @@ const (
 	writeLat = 92 * sim.Microsecond
 )
 
+func blockConfig(parts int, rate float64) Config {
+	return Config{
+		Partitions:   parts,
+		FastRead:     fastRead,
+		SlowRead:     slowRead,
+		Write:        writeLat,
+		PrefetchRate: rate,
+	}
+}
+
 func TestWriteAlwaysFast(t *testing.T) {
 	var e sim.Engine
 	f := New(&e, rng.New(1), fastRead, slowRead, writeLat, 0.9)
 	for i := 0; i < 100; i++ {
 		start := e.Now()
 		var done sim.Time
-		f.Write(func() { done = e.Now() })
+		f.Write(uint64(i), func() { done = e.Now() })
 		e.Run()
 		if done-start != writeLat {
 			t.Fatalf("write latency %v", done-start)
@@ -36,7 +46,7 @@ func TestReadFastSlowMix(t *testing.T) {
 	f := New(&e, rng.New(2), fastRead, slowRead, writeLat, 0.9)
 	const n = 20000
 	for i := 0; i < n; i++ {
-		f.Read(nil)
+		f.Read(uint64(i), nil)
 	}
 	e.Run()
 	rate := float64(f.FastReads()) / n
@@ -54,7 +64,7 @@ func TestReadLatenciesAreFastOrSlow(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		start := e.Now()
 		var done sim.Time
-		f.Read(func() { done = e.Now() })
+		f.Read(uint64(i), func() { done = e.Now() })
 		e.Run()
 		lat := done - start
 		if lat != fastRead && lat != slowRead {
@@ -67,7 +77,7 @@ func TestPrefetchRateExtremes(t *testing.T) {
 	var e sim.Engine
 	f := New(&e, rng.New(4), fastRead, slowRead, writeLat, 1.0)
 	for i := 0; i < 100; i++ {
-		f.Read(nil)
+		f.Read(uint64(i), nil)
 	}
 	e.Run()
 	if f.SlowReads() != 0 {
@@ -75,7 +85,7 @@ func TestPrefetchRateExtremes(t *testing.T) {
 	}
 	f2 := New(&e, rng.New(5), fastRead, slowRead, writeLat, 0.0)
 	for i := 0; i < 100; i++ {
-		f2.Read(nil)
+		f2.Read(uint64(i), nil)
 	}
 	e.Run()
 	if f2.FastReads() != 0 {
@@ -101,8 +111,8 @@ func TestFilerConcurrent(t *testing.T) {
 	var e sim.Engine
 	f := New(&e, rng.New(7), fastRead, slowRead, writeLat, 1.0)
 	var d1, d2 sim.Time
-	f.Read(func() { d1 = e.Now() })
-	f.Read(func() { d2 = e.Now() })
+	f.Read(1, func() { d1 = e.Now() })
+	f.Read(2, func() { d2 = e.Now() })
 	e.Run()
 	if d1 != fastRead || d2 != fastRead {
 		t.Fatalf("concurrent reads at %v/%v", d1, d2)
@@ -127,4 +137,254 @@ func TestNegativeLatencyPanics(t *testing.T) {
 		}
 	}()
 	New(&e, rng.New(1), -1, 1, 1, 0.5)
+}
+
+// TestConfigValidate is the table-driven contract for every rejection the
+// configuration promises: partition counts below one, negative or NaN
+// latencies and rates, and an object tier faster than the block tier it
+// backs.
+func TestConfigValidate(t *testing.T) {
+	valid := blockConfig(4, 0.9)
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		ok     bool
+	}{
+		{"valid", func(c *Config) {}, true},
+		{"one partition", func(c *Config) { c.Partitions = 1 }, true},
+		{"zero partitions", func(c *Config) { c.Partitions = 0 }, false},
+		{"negative partitions", func(c *Config) { c.Partitions = -3 }, false},
+		{"negative fast read", func(c *Config) { c.FastRead = -1 }, false},
+		{"negative slow read", func(c *Config) { c.SlowRead = -1 }, false},
+		{"negative write", func(c *Config) { c.Write = -1 }, false},
+		{"NaN prefetch rate", func(c *Config) { c.PrefetchRate = math.NaN() }, false},
+		{"prefetch rate above one", func(c *Config) { c.PrefetchRate = 1.5 }, false},
+		{"negative prefetch rate", func(c *Config) { c.PrefetchRate = -0.1 }, false},
+		{"object tier valid", func(c *Config) {
+			c.Object = &ObjectTier{Read: 2 * slowRead, Write: slowRead}
+		}, true},
+		{"object read equals slow read", func(c *Config) {
+			c.Object = &ObjectTier{Read: slowRead}
+		}, true},
+		{"object read below slow read", func(c *Config) {
+			c.Object = &ObjectTier{Read: slowRead - 1}
+		}, false},
+		{"negative object read", func(c *Config) {
+			c.Object = &ObjectTier{Read: -1}
+		}, false},
+		{"negative object write", func(c *Config) {
+			c.Object = &ObjectTier{Read: 2 * slowRead, Write: -1}
+		}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := valid
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("config accepted, want rejection")
+			}
+		})
+	}
+}
+
+// TestRouteCoverageAndStability: every block maps to exactly one in-range
+// partition, the mapping is identical across filer instances and runs, and
+// a multi-partition filer actually spreads the namespace.
+func TestRouteCoverageAndStability(t *testing.T) {
+	var e sim.Engine
+	for _, parts := range []int{1, 2, 3, 4, 8} {
+		f, err := NewPartitioned(&e, rng.New(1), blockConfig(parts, 0.9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := NewPartitioned(&e, rng.New(99), blockConfig(parts, 0.5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, parts)
+		for key := uint64(0); key < 4096; key++ {
+			p := f.Route(key)
+			if p < 0 || p >= parts {
+				t.Fatalf("parts=%d: key %d routed to %d", parts, key, p)
+			}
+			if q := f.Route(key); q != p {
+				t.Fatalf("parts=%d: key %d unstable within an instance (%d vs %d)", parts, key, p, q)
+			}
+			if q := g.Route(key); q != p {
+				t.Fatalf("parts=%d: key %d differs across instances (%d vs %d)", parts, key, p, q)
+			}
+			counts[p]++
+		}
+		for p, n := range counts {
+			// 4096 keys over <= 8 partitions: a fair hash keeps every
+			// partition within a loose factor of the mean.
+			if n < 4096/parts/2 || n > 4096/parts*2 {
+				t.Fatalf("parts=%d: partition %d holds %d of 4096 keys", parts, p, n)
+			}
+		}
+	}
+}
+
+// TestPartitionCountInvariance: the latency sequence a request stream
+// observes is identical for every partition count, because the fast/slow
+// stream is shared and tier residency is per block.
+func TestPartitionCountInvariance(t *testing.T) {
+	trace := func(parts int, object bool) []sim.Time {
+		var e sim.Engine
+		cfg := blockConfig(parts, 0.5)
+		if object {
+			cfg.Object = &ObjectTier{Read: 4 * slowRead, Write: slowRead, WriteThrough: true, ReadPromote: true}
+		}
+		f, err := NewPartitioned(&e, rng.New(42), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var lats []sim.Time
+		for i := 0; i < 2000; i++ {
+			key := uint64(i % 331)
+			if i%3 == 0 {
+				lats = append(lats, f.TakeWriteLatency(key))
+			} else {
+				lats = append(lats, f.TakeReadLatency(key))
+			}
+		}
+		return lats
+	}
+	for _, object := range []bool{false, true} {
+		base := trace(1, object)
+		for _, parts := range []int{2, 3, 4, 8} {
+			got := trace(parts, object)
+			for i := range base {
+				if got[i] != base[i] {
+					t.Fatalf("object=%v parts=%d: latency %d diverged (%v vs %v)", object, parts, i, got[i], base[i])
+				}
+			}
+		}
+	}
+}
+
+// TestObjectTierSemantics walks the tier state machine: first read of a
+// cold block pays the object read, promotion makes re-reads block-tier
+// slow, writes make blocks resident and (write-through) count object
+// copies.
+func TestObjectTierSemantics(t *testing.T) {
+	var e sim.Engine
+	cfg := blockConfig(2, 0.0) // no fast reads: every read exercises the tiers
+	objRead := 4 * slowRead
+	cfg.Object = &ObjectTier{Read: objRead, Write: slowRead, WriteThrough: true, ReadPromote: true}
+	f, err := NewPartitioned(&e, rng.New(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if lat := f.TakeReadLatency(7); lat != objRead {
+		t.Fatalf("cold read latency %v, want object read %v", lat, objRead)
+	}
+	if lat := f.TakeReadLatency(7); lat != slowRead {
+		t.Fatalf("promoted re-read latency %v, want slow read %v", lat, slowRead)
+	}
+	if lat := f.TakeWriteLatency(8); lat != writeLat {
+		t.Fatalf("write latency %v, want buffered %v", lat, writeLat)
+	}
+	if lat := f.TakeReadLatency(8); lat != slowRead {
+		t.Fatalf("read after write latency %v, want slow read %v", lat, slowRead)
+	}
+	if f.ObjectReads() != 1 {
+		t.Fatalf("object reads = %d, want 1", f.ObjectReads())
+	}
+	if f.ObjectWrites() != 1 {
+		t.Fatalf("object writes = %d, want 1 (write-through)", f.ObjectWrites())
+	}
+
+	// Without promotion, a cold block pays the object read every time.
+	cfg.Object = &ObjectTier{Read: objRead}
+	g, err := NewPartitioned(&e, rng.New(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if lat := g.TakeReadLatency(7); lat != objRead {
+			t.Fatalf("unpromoted read %d latency %v, want %v", i, lat, objRead)
+		}
+	}
+	if g.ObjectWrites() != 0 {
+		t.Fatal("object writes without write-through")
+	}
+}
+
+// TestPartitionStats: counters land on the routed partition and sum to the
+// filer-wide totals; barrier queue gauges track max and mean.
+func TestPartitionStats(t *testing.T) {
+	var e sim.Engine
+	f, err := NewPartitioned(&e, rng.New(3), blockConfig(4, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			f.TakeReadLatency(uint64(i))
+		} else {
+			f.TakeWriteLatency(uint64(i))
+		}
+	}
+	var serviced, writes uint64
+	for p := 0; p < f.Partitions(); p++ {
+		st := f.PartitionStats(p)
+		serviced += st.Serviced()
+		writes += st.Writes
+		if st.Serviced() == 0 {
+			t.Fatalf("partition %d serviced nothing", p)
+		}
+	}
+	if serviced != n {
+		t.Fatalf("per-partition serviced sums to %d, want %d", serviced, n)
+	}
+	if writes != f.Writes() {
+		t.Fatalf("per-partition writes sum %d != total %d", writes, f.Writes())
+	}
+
+	f.ObserveBarrierQueue(2, 5)
+	f.ObserveBarrierQueue(2, 11)
+	f.ObserveBarrierQueue(2, 2)
+	f.ObserveBarrierQueue(3, 0) // ignored: no traffic that barrier
+	st := f.PartitionStats(2)
+	if st.MaxBarrierQueue != 11 {
+		t.Fatalf("max barrier queue %d, want 11", st.MaxBarrierQueue)
+	}
+	if math.Abs(st.MeanBarrierQueue-6.0) > 1e-9 {
+		t.Fatalf("mean barrier queue %v, want 6", st.MeanBarrierQueue)
+	}
+	if f.PartitionStats(3).MaxBarrierQueue != 0 {
+		t.Fatal("zero-depth observation recorded")
+	}
+}
+
+// TestPartitionFloors: one floor per partition, each the filer's minimum
+// service latency (homogeneous partitions today), and the object tier
+// never lowers the floor.
+func TestPartitionFloors(t *testing.T) {
+	var e sim.Engine
+	cfg := blockConfig(3, 0.9)
+	cfg.Object = &ObjectTier{Read: 2 * slowRead, Write: slowRead}
+	f, err := NewPartitioned(&e, rng.New(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floors := f.PartitionFloors()
+	if len(floors) != 3 {
+		t.Fatalf("%d floors for 3 partitions", len(floors))
+	}
+	for i, fl := range floors {
+		if fl != f.MinServiceLatency() {
+			t.Fatalf("floor %d = %v, want %v", i, fl, f.MinServiceLatency())
+		}
+	}
+	if f.MinServiceLatency() != fastRead {
+		t.Fatalf("min service latency %v, want %v", f.MinServiceLatency(), fastRead)
+	}
 }

@@ -84,6 +84,57 @@ type Phase struct {
 	Events []Event `json:"events,omitempty"`
 }
 
+// FilerSpec configures the shared filer's backend layout for a scenario:
+// partition count and the optional object tier behind the block tier. It
+// overrides the corresponding simulator configuration fields when set.
+type FilerSpec struct {
+	// Partitions is the backend partition count; 0 inherits the
+	// simulator configuration (whose own 0 means one partition).
+	Partitions int `json:"partitions,omitempty"`
+
+	// ObjectTier enables the S3-behind-EBS object tier behind the block
+	// tier.
+	ObjectTier bool `json:"object_tier,omitempty"`
+
+	// ObjectReadMicros and ObjectWriteMicros override the object-tier
+	// latencies in microseconds; 0 (or absent) keeps the timing model's
+	// values. Only meaningful with ObjectTier.
+	ObjectReadMicros  float64 `json:"object_read_us,omitempty"`
+	ObjectWriteMicros float64 `json:"object_write_us,omitempty"`
+
+	// WriteThrough copies buffered writes to the object tier in the
+	// background; ReadPromote installs object-served blocks into the
+	// block tier. Absent fields default to true when ObjectTier is set —
+	// the production-like policy — and are normalized by Validate.
+	WriteThrough *bool `json:"write_through,omitempty"`
+	ReadPromote  *bool `json:"read_promote,omitempty"`
+}
+
+func (f *FilerSpec) validate() error {
+	if f.Partitions < 0 {
+		return fmt.Errorf("filer partitions %d negative", f.Partitions)
+	}
+	for _, v := range []float64{f.ObjectReadMicros, f.ObjectWriteMicros} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("bad object-tier latency %v", v)
+		}
+	}
+	if !f.ObjectTier && (f.ObjectReadMicros != 0 || f.ObjectWriteMicros != 0 ||
+		f.WriteThrough != nil || f.ReadPromote != nil) {
+		return fmt.Errorf("object-tier settings without object_tier")
+	}
+	if f.ObjectTier {
+		t := true
+		if f.WriteThrough == nil {
+			f.WriteThrough = &t
+		}
+		if f.ReadPromote == nil {
+			f.ReadPromote = &t
+		}
+	}
+	return nil
+}
+
 // Scenario is an ordered list of phases plus telemetry settings.
 type Scenario struct {
 	Name        string `json:"name"`
@@ -92,6 +143,10 @@ type Scenario struct {
 	// SampleEveryMillis is the telemetry sampling period in simulated
 	// milliseconds; 0 is normalized to DefaultSampleMillis.
 	SampleEveryMillis float64 `json:"sample_every_ms,omitempty"`
+
+	// Filer, when present, overrides the simulator configuration's filer
+	// backend layout (partition count, object tier).
+	Filer *FilerSpec `json:"filer,omitempty"`
 
 	Phases []Phase `json:"phases"`
 }
@@ -117,6 +172,11 @@ func (s *Scenario) Validate() error {
 	}
 	if s.SampleEveryMillis == 0 {
 		s.SampleEveryMillis = DefaultSampleMillis
+	}
+	if s.Filer != nil {
+		if err := s.Filer.validate(); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
 	}
 	for i := range s.Phases {
 		if err := s.Phases[i].validate(); err != nil {
@@ -220,6 +280,12 @@ func (s *Scenario) HasChurn() bool {
 // a caller-owned scenario.
 func (s *Scenario) Clone() *Scenario {
 	out := *s
+	if s.Filer != nil {
+		f := *s.Filer
+		f.WriteThrough = clonePtr(s.Filer.WriteThrough)
+		f.ReadPromote = clonePtr(s.Filer.ReadPromote)
+		out.Filer = &f
+	}
 	out.Phases = make([]Phase, len(s.Phases))
 	for i, p := range s.Phases {
 		q := p

@@ -248,3 +248,98 @@ func TestClone(t *testing.T) {
 		t.Fatal("clone shares storage with the original")
 	}
 }
+
+func TestFilerSpecValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		f    *FilerSpec
+		want string // error substring; "" means accepted
+	}{
+		{"nil spec", nil, ""},
+		{"partitions only", &FilerSpec{Partitions: 4}, ""},
+		{"object tier", &FilerSpec{ObjectTier: true, ObjectReadMicros: 40000}, ""},
+		{"negative partitions", &FilerSpec{Partitions: -1}, "partitions"},
+		{"nan read latency", &FilerSpec{ObjectTier: true, ObjectReadMicros: math.NaN()}, "latency"},
+		{"inf write latency", &FilerSpec{ObjectTier: true, ObjectWriteMicros: math.Inf(1)}, "latency"},
+		{"negative latency", &FilerSpec{ObjectTier: true, ObjectReadMicros: -1}, "latency"},
+		{"latency without tier", &FilerSpec{ObjectReadMicros: 100}, "without object_tier"},
+		{"policy without tier", &FilerSpec{WriteThrough: ptr(true)}, "without object_tier"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := validScenario()
+			s.Filer = tc.f
+			err := s.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestFilerSpecNormalization locks the write-through / read-promote
+// defaulting: absent policy fields become true when the object tier is on.
+func TestFilerSpecNormalization(t *testing.T) {
+	s := validScenario()
+	f := false
+	s.Filer = &FilerSpec{ObjectTier: true, ReadPromote: &f}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Filer.WriteThrough == nil || !*s.Filer.WriteThrough {
+		t.Error("absent write_through not normalized to true")
+	}
+	if s.Filer.ReadPromote == nil || *s.Filer.ReadPromote {
+		t.Error("explicit read_promote=false overwritten")
+	}
+}
+
+// TestFilerSpecJSON locks the wire format of the filer block and its
+// deep-copy behavior under Clone.
+func TestFilerSpecJSON(t *testing.T) {
+	src := `{"name":"x","filer":{"partitions":4,"object_tier":true,` +
+		`"object_read_us":40000,"write_through":false},` +
+		`"phases":[{"name":"p","blocks":1}]}`
+	s, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := s.Filer
+	if f == nil || f.Partitions != 4 || !f.ObjectTier || f.ObjectReadMicros != 40000 {
+		t.Fatalf("parsed filer spec %+v", f)
+	}
+	if f.WriteThrough == nil || *f.WriteThrough {
+		t.Error("explicit write_through=false lost in parsing")
+	}
+	if f.ReadPromote == nil || !*f.ReadPromote {
+		t.Error("absent read_promote not normalized to true")
+	}
+
+	data, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Fatalf("round trip changed the scenario:\n%+v\n%+v", s, back)
+	}
+
+	c := s.Clone()
+	*c.Filer.WriteThrough = true
+	c.Filer.Partitions = 9
+	if *s.Filer.WriteThrough || s.Filer.Partitions != 4 {
+		t.Fatal("clone shares filer storage with the original")
+	}
+
+	if _, err := Parse([]byte(`{"name":"x","filer":{"shards":2},"phases":[{"name":"p","blocks":1}]}`)); err == nil {
+		t.Fatal("unknown filer field accepted")
+	}
+}
