@@ -37,11 +37,23 @@
 //	flashsim -scenario crash-recovery -hosts 4 -shards 4 -persistent
 //	flashsim -scenario my-scenario.json -telemetry telemetry.csv
 //	flashsim -list-scenarios
+//
+// Observability (see docs/OBSERVABILITY.md): sampled request-lifecycle
+// tracing exported as Chrome trace-event JSON (load in
+// https://ui.perfetto.dev; validate with tools/tracecheck), versioned
+// machine-readable run reports, and wall-clock self-profiling of sharded
+// runs. None of it perturbs simulated results:
+//
+//	flashsim -trace-sample 0.01 -trace-out trace.json
+//	flashsim -report-json report.json
+//	flashsim -hosts 8 -shards 4 -wall-profile -epochstats
+//	flashsim -hosts 8 -shards 4 -epochstats-json stats.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -89,7 +101,12 @@ func main() {
 	telemetryPath := flag.String("telemetry", "", "write scenario telemetry to this file (.ndjson for NDJSON, else CSV; - for stdout)")
 	tracePath := flag.String("trace", "", "replay a binary trace file instead of synthesizing")
 	warmupBlocks := flag.Int64("warmup-blocks", 0, "warmup volume when replaying a trace")
-	epochstats := flag.Bool("epochstats", false, "after a sharded run, print barrier-schedule statistics: epochs executed, mean epoch length, messages per barrier")
+	epochstats := flag.Bool("epochstats", false, "after a sharded run, print barrier-schedule statistics: epochs executed, mean epoch length, messages per barrier (plus the wall-clock breakdown with -wall-profile)")
+	epochstatsJSON := flag.String("epochstats-json", "", "write the -epochstats data as JSON to this file (- for stdout)")
+	traceSample := flag.Float64("trace-sample", 0, "fraction of requests to trace through their pipeline stages (0 disables; the sampled set is deterministic and shard-invariant)")
+	traceOut := flag.String("trace-out", "", "write sampled request-lifecycle spans as Chrome trace-event JSON to this file (- for stdout; load in ui.perfetto.dev); implies -trace-sample 0.01 when that is unset")
+	reportJSON := flag.String("report-json", "", "write a machine-readable run report (schema flashsim-report/1) to this file (- for stdout)")
+	wallProfile := flag.Bool("wall-profile", false, "profile where wall-clock time goes inside a sharded run (barrier wait, exchange merge, filer service); reported by -epochstats and the report's wall_clock section")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -143,6 +160,11 @@ func main() {
 	}
 	base.Workload.SharedWorkingSet = *shared
 	base.Workload.Seed = *seed
+	base.TraceSample = *traceSample
+	if *traceOut != "" && base.TraceSample == 0 {
+		base.TraceSample = 0.01
+	}
+	base.WallProfile = *wallProfile
 	base.Shards = *shards
 	if base.Shards == 0 && *hosts > 1 {
 		// Auto mode always selects the cluster executor (minimum two
@@ -185,11 +207,25 @@ func main() {
 		// auto default (applied to base above) selects it too — scenario
 		// results are bit-identical for every shard count, so the default
 		// multi-host output does not depend on this machine's core count.
+		if *reportJSON != "" {
+			die(fmt.Errorf("-report-json applies to steady-state runs, not scenarios"))
+		}
 		res, err := flashsim.RunScenario(point(wssList[0], writesList[0]), sc)
 		die(err)
 		fmt.Println(header(wssList[0], writesList[0]))
 		fmt.Print(res)
-		printEpochStats(*epochstats, res.Epochs, res.BarrierMessages, res.SimulatedSeconds, res.FilerPartitions)
+		printEpochStats(*epochstats, res.Epochs, res.BarrierMessages, res.SimulatedSeconds,
+			res.FilerPartitions, res.WallProfile)
+		if *traceOut != "" {
+			die(withOutput(*traceOut, func(w io.Writer) error {
+				return flashsim.WriteChromeTrace(w, res.Trace, base.Timing)
+			}))
+		}
+		if *epochstatsJSON != "" {
+			rep := flashsim.NewEpochStatsReport(res.Epochs, res.BarrierMessages,
+				res.SimulatedSeconds, res.FilerPartitions, res.WallProfile)
+			die(withOutput(*epochstatsJSON, rep.WriteJSON))
+		}
 		die(writeTelemetry(*telemetryPath, res.Telemetry))
 		return
 	}
@@ -206,12 +242,15 @@ func main() {
 		defer f.Close()
 		r, err := trace.NewBinaryReader(f)
 		die(err)
-		res, err := flashsim.RunTrace(point(wssList[0], writesList[0]), r, *warmupBlocks)
+		cfg := point(wssList[0], writesList[0])
+		res, err := flashsim.RunTrace(cfg, r, *warmupBlocks)
 		die(err)
 		die(r.Err())
 		fmt.Println(header(wssList[0], writesList[0]))
 		fmt.Print(res)
-		printEpochStats(*epochstats, res.Epochs, res.BarrierMessages, res.SimulatedSeconds, res.FilerPartitions)
+		printEpochStats(*epochstats, res.Epochs, res.BarrierMessages, res.SimulatedSeconds,
+			res.FilerPartitions, res.WallProfile)
+		die(exportRun(cfg, res, *traceOut, *reportJSON, *epochstatsJSON))
 		return
 	}
 
@@ -224,10 +263,15 @@ func main() {
 			cfgs = append(cfgs, point(wss, wr))
 		}
 	}
+	if len(cfgs) > 1 && (*traceOut != "" || *reportJSON != "" || *epochstatsJSON != "") {
+		die(fmt.Errorf("-trace-out, -report-json and -epochstats-json take a single -wss/-writes point"))
+	}
 	_, err = flashsim.RunGrid(cfgs, *parallel, func(i int, res *flashsim.Result) {
 		fmt.Println(header(wssList[i/len(writesList)], writesList[i%len(writesList)]))
 		fmt.Print(res)
-		printEpochStats(*epochstats, res.Epochs, res.BarrierMessages, res.SimulatedSeconds, res.FilerPartitions)
+		printEpochStats(*epochstats, res.Epochs, res.BarrierMessages, res.SimulatedSeconds,
+			res.FilerPartitions, res.WallProfile)
+		die(exportRun(cfgs[i], res, *traceOut, *reportJSON, *epochstatsJSON))
 		if len(cfgs) > 1 && i < len(cfgs)-1 {
 			fmt.Println()
 		}
@@ -235,14 +279,57 @@ func main() {
 	die(err)
 }
 
+// exportRun writes one steady-state result's observability artifacts —
+// the Chrome trace, the machine-readable report and the epoch-stats
+// snapshot — each gated on its flag.
+func exportRun(cfg flashsim.Config, res *flashsim.Result, traceOut, reportJSON, epochstatsJSON string) error {
+	if traceOut != "" {
+		if err := withOutput(traceOut, func(w io.Writer) error {
+			return flashsim.WriteChromeTrace(w, res.Trace, cfg.Timing)
+		}); err != nil {
+			return err
+		}
+	}
+	if reportJSON != "" {
+		if err := withOutput(reportJSON, flashsim.NewReport(cfg, res).WriteJSON); err != nil {
+			return err
+		}
+	}
+	if epochstatsJSON != "" {
+		rep := flashsim.NewEpochStatsReport(res.Epochs, res.BarrierMessages,
+			res.SimulatedSeconds, res.FilerPartitions, res.WallProfile)
+		if err := withOutput(epochstatsJSON, rep.WriteJSON); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// withOutput opens path for writing ("-" is stdout) and passes it to fn.
+func withOutput(path string, fn func(io.Writer) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // printEpochStats reports the barrier schedule of a sharded run: how many
 // epochs the coordinator executed, how long the mean epoch was in
 // simulated time, and how many cross-shard messages each barrier carried
 // on average, followed by each filer backend partition's service counts
-// and barrier queue depths. Sequential runs have no barrier schedule
-// (epochs == 0) and print nothing.
+// and barrier queue depths — and, when the run profiled itself
+// (-wall-profile), the wall-clock breakdown. Sequential runs have no
+// barrier schedule (epochs == 0) and print nothing.
 func printEpochStats(enabled bool, epochs, msgs uint64, simSeconds float64,
-	parts []flashsim.FilerPartitionStats) {
+	parts []flashsim.FilerPartitionStats, wp *flashsim.WallProfile) {
 	if !enabled || epochs == 0 {
 		return
 	}
@@ -252,6 +339,9 @@ func printEpochStats(enabled bool, epochs, msgs uint64, simSeconds float64,
 		fmt.Printf("filer partition %d: %d serviced (%d fast, %d slow, %d object, %d writes)  max queue %d  mean queue %.2f\n",
 			p, st.Serviced(), st.FastReads, st.SlowReads, st.ObjectReads, st.Writes,
 			st.MaxBarrierQueue, st.MeanBarrierQueue)
+	}
+	if wp != nil {
+		fmt.Print(wp.Summary())
 	}
 }
 

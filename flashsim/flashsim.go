@@ -24,12 +24,14 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/consistency"
 	"repro/internal/core"
 	"repro/internal/filer"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -256,6 +258,25 @@ type Config struct {
 	ObjectWriteThrough bool
 	ObjectReadPromote  bool
 
+	// TraceSample enables sampled request-lifecycle tracing: that
+	// fraction of block requests (chosen deterministically by a hash of
+	// the request's host and per-host sequence number, so the sampled set
+	// is identical for every Shards and FilerPartitions value) record a
+	// span per pipeline stage — queue wait, cache lookup, wire transit,
+	// filer service, writeback — into Result.Trace. Tracing observes the
+	// simulation without perturbing it: results are bit-identical with
+	// tracing on or off, and 0 (the default) keeps the request path
+	// allocation-free. Out of [0, 1] is rejected.
+	TraceSample float64
+
+	// WallProfile enables the sharded executor's wall-clock
+	// self-profiler: per-epoch real-time buckets (event execution,
+	// barrier wait, exchange merge, filer service) and shard-imbalance
+	// gauges, reported in Result.WallProfile. Sequential runs ignore it.
+	// Wall-clock numbers are real time and therefore nondeterministic;
+	// they never feed the golden-hash surface.
+	WallProfile bool
+
 	// Shards, when >= 1, executes the simulation as a sharded cluster:
 	// hosts are partitioned over that many parallel discrete-event
 	// engines synchronized by a conservative epoch barrier, with the
@@ -351,6 +372,9 @@ func (c *Config) Validate() error {
 	}
 	if c.FilerPartitions < 0 {
 		return fmt.Errorf("flashsim: negative filer partition count")
+	}
+	if f := c.TraceSample; math.IsNaN(f) || f < 0 || f > 1 {
+		return fmt.Errorf("flashsim: trace sample rate %v out of [0,1]", f)
 	}
 	// The filer's own Validate covers the partition count (after the
 	// 0-means-one normalization), tier latencies, and the object-read vs
@@ -585,17 +609,39 @@ func buildSimulation(cfg Config, src trace.Source, warmupBlocks int64) (*simulat
 	return &simulation{eng: eng, fsrv: fsrv, reg: reg, hosts: hosts, drv: drv}, nil
 }
 
+// attachTracer builds the run's request-lifecycle tracer and wires its
+// per-host buffers into the hosts. Nil (tracing fully disabled, the
+// zero-overhead path) when the sample rate is 0. Must run before any
+// trace op is pumped: the driver's queue-span accounting assumes the
+// tracer saw every enqueue.
+func attachTracer(cfg Config, hosts []*core.Host) *obs.Tracer {
+	if cfg.TraceSample <= 0 {
+		return nil
+	}
+	tr := obs.NewTracer(cfg.TraceSample)
+	for i, h := range hosts {
+		h.SetTrace(tr.Host(i))
+	}
+	return tr
+}
+
 func runTrace(cfg Config, src trace.Source, warmupBlocks int64, pre prestartFn) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	wallStart := time.Now()
 	if cfg.Shards >= 1 {
-		return runSharded(cfg, src, warmupBlocks, pre)
+		res, err := runSharded(cfg, src, warmupBlocks, pre)
+		if err == nil {
+			res.WallClockSeconds, res.PeakHeapBytes = runtimeFootprint(wallStart)
+		}
+		return res, err
 	}
 	s, err := buildSimulation(cfg, src, warmupBlocks)
 	if err != nil {
 		return nil, err
 	}
+	tr := attachTracer(cfg, s.hosts)
 	var recoverySeconds float64
 	if pre != nil {
 		recovered := 0
@@ -612,5 +658,9 @@ func runTrace(cfg Config, src trace.Source, warmupBlocks int64, pre prestartFn) 
 
 	res := buildResult(cfg, s.eng, s.fsrv, s.reg, s.hosts, s.drv)
 	res.RecoverySeconds = recoverySeconds
+	if tr != nil {
+		res.Trace = tr.Spans()
+	}
+	res.WallClockSeconds, res.PeakHeapBytes = runtimeFootprint(wallStart)
 	return res, nil
 }

@@ -83,13 +83,28 @@ var goldenRuns = []struct {
 	}, "aab7efe4f1834efec6ab846a1eccad0905f6243fce91cb48d0ed9e355ff07874"},
 }
 
+// scrubRuntime zeroes a result's real-time footprint — wall clock and
+// peak heap vary run to run — so bit-identity checks and golden hashes
+// see only the deterministic surface (zeroing also drops the
+// conditional "runtime:" String line).
+func scrubRuntime(res *Result) *Result {
+	res.WallClockSeconds, res.PeakHeapBytes = 0, 0
+	return res
+}
+
+// scrubScenarioRuntime is scrubRuntime for scenario results.
+func scrubScenarioRuntime(res *ScenarioResult) *ScenarioResult {
+	res.WallClockSeconds, res.PeakHeapBytes = 0, 0
+	return res
+}
+
 func resultChecksum(t *testing.T, cfg Config) string {
 	t.Helper()
 	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sum := sha256.Sum256([]byte(res.String()))
+	sum := sha256.Sum256([]byte(scrubRuntime(res).String()))
 	return hex.EncodeToString(sum[:])
 }
 

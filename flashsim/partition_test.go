@@ -58,6 +58,7 @@ func TestPartitionCountInvariance(t *testing.T) {
 				t.Fatalf("shards=%d partitions=%d reported %d partition stats",
 					shards, parts, len(got.FilerPartitions))
 			}
+			scrubRuntime(got)
 			sum := sha256.Sum256([]byte(got.String()))
 			if hex.EncodeToString(sum[:]) != partitionFleetGolden {
 				t.Errorf("shards=%d partitions=%d checksum drifted:\ngot  %s\nwant %s",
@@ -149,6 +150,7 @@ func TestScenarioPartitionCountInvariance(t *testing.T) {
 				t.Fatalf("shards=%d partitions=%d reported %d partition stats",
 					shards, parts, len(got.FilerPartitions))
 			}
+			scrubScenarioRuntime(got)
 			h := sha256.New()
 			h.Write([]byte(got.String()))
 			h.Write([]byte(got.Telemetry.CSV()))

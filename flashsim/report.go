@@ -1,0 +1,275 @@
+package flashsim
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/stats"
+)
+
+// This file builds the machine-readable run report (-report-json in
+// cmd/flashsim): a versioned JSON snapshot of a run's configuration,
+// headline metrics, counters, latency histograms, per-partition filer
+// load and (when profiled) the wall-clock breakdown. The schema is
+// documented in docs/OBSERVABILITY.md; consumers should tolerate new
+// fields and counter keys within a schema version.
+
+// ReportSchema identifies the report format; it changes only on
+// breaking (field-removing or meaning-changing) revisions.
+const ReportSchema = "flashsim-report/1"
+
+// HistogramBucket is one exported latency-histogram bucket: the
+// bucket's lower bound in simulated nanoseconds and its sample count
+// (internal/stats; only non-empty buckets are exported).
+type HistogramBucket = stats.HistogramBucket
+
+// ReportConfig is the configuration summary embedded in a report —
+// the knobs that shape the run, not the full Config (whose workload
+// may carry a multi-megabyte file-set model).
+type ReportConfig struct {
+	Hosts            int     `json:"hosts"`
+	ThreadsPerHost   int     `json:"threads_per_host"`
+	RAMBlocks        int     `json:"ram_blocks"`
+	FlashBlocks      int     `json:"flash_blocks"`
+	Arch             string  `json:"arch"`
+	RAMPolicy        string  `json:"ram_policy"`
+	FlashPolicy      string  `json:"flash_policy"`
+	FlashReplacement string  `json:"flash_replacement"`
+	Shards           int     `json:"shards"`
+	FilerPartitions  int     `json:"filer_partitions"`
+	ObjectTier       bool    `json:"object_tier"`
+	WorkingSetBlocks int64   `json:"working_set_blocks"`
+	WriteFraction    float64 `json:"write_fraction"`
+	SharedWorkingSet bool    `json:"shared_working_set"`
+	WorkloadSeed     uint64  `json:"workload_seed"`
+	Seed             uint64  `json:"seed"`
+	TraceSample      float64 `json:"trace_sample"`
+}
+
+// ReportPartition is one filer backend partition's load in a report.
+type ReportPartition struct {
+	FastReads        uint64  `json:"fast_reads"`
+	SlowReads        uint64  `json:"slow_reads"`
+	ObjectReads      uint64  `json:"object_reads"`
+	Writes           uint64  `json:"writes"`
+	ObjectWrites     uint64  `json:"object_writes"`
+	MaxBarrierQueue  int     `json:"max_barrier_queue"`
+	MeanBarrierQueue float64 `json:"mean_barrier_queue"`
+}
+
+// ReportWallClock is the wall-clock self-profile in a report
+// (WallProfile sharded runs only). All values are real time and vary
+// run to run.
+type ReportWallClock struct {
+	Shards           int     `json:"shards"`
+	Parallel         bool    `json:"parallel"`
+	Epochs           uint64  `json:"epochs"`
+	ExecNanos        []int64 `json:"exec_ns"`
+	BarrierWaitNanos int64   `json:"barrier_wait_ns"`
+	EpochSpanNanos   int64   `json:"epoch_span_ns"`
+	MergeNanos       int64   `json:"merge_ns"`
+	FilerPhase1Nanos int64   `json:"filer_phase1_ns"`
+	FilerPhase2Nanos int64   `json:"filer_phase2_ns"`
+	Imbalance        float64 `json:"imbalance"`
+	BarrierShare     float64 `json:"barrier_share"`
+}
+
+// Report is the machine-readable snapshot of one run. Everything
+// deterministic in it is bit-identical for every Shards and
+// FilerPartitions value; the wall_clock section and the runtime
+// footprint fields are real-time measurements and are not.
+type Report struct {
+	Schema string       `json:"schema"`
+	Config ReportConfig `json:"config"`
+
+	ReadLatencyMicros  float64 `json:"read_latency_us"`
+	WriteLatencyMicros float64 `json:"write_latency_us"`
+	ReadP50Micros      float64 `json:"read_p50_us"`
+	ReadP99Micros      float64 `json:"read_p99_us"`
+	WriteP50Micros     float64 `json:"write_p50_us"`
+	WriteP99Micros     float64 `json:"write_p99_us"`
+	RAMHitRate         float64 `json:"ram_hit_rate"`
+	FlashHitRate       float64 `json:"flash_hit_rate"`
+	FlashBusyFraction  float64 `json:"flash_busy_fraction"`
+	SimulatedSeconds   float64 `json:"simulated_seconds"`
+	RecoverySeconds    float64 `json:"recovery_seconds,omitempty"`
+
+	// Counters holds the run's integer counters under stable snake_case
+	// keys (encoding/json emits map keys sorted).
+	Counters map[string]uint64 `json:"counters"`
+
+	// Latency histograms: non-empty log buckets of the per-block
+	// application-observed samples.
+	ReadHistogram  []HistogramBucket `json:"read_histogram"`
+	WriteHistogram []HistogramBucket `json:"write_histogram"`
+
+	FilerPartitions []ReportPartition `json:"filer_partitions"`
+
+	WallClock *ReportWallClock `json:"wall_clock,omitempty"`
+
+	// Runtime footprint (nondeterministic; see Result).
+	WallClockSeconds float64 `json:"wall_clock_seconds"`
+	PeakHeapBytes    uint64  `json:"peak_heap_bytes"`
+
+	// TraceSpans counts the sampled request-lifecycle spans the run
+	// recorded (exported separately with WriteChromeTrace).
+	TraceSpans int `json:"trace_spans"`
+}
+
+// NewReport assembles a run's report from its configuration and result.
+func NewReport(cfg Config, res *Result) *Report {
+	rep := &Report{
+		Schema: ReportSchema,
+		Config: ReportConfig{
+			Hosts:            cfg.Hosts,
+			ThreadsPerHost:   cfg.ThreadsPerHost,
+			RAMBlocks:        cfg.RAMBlocks,
+			FlashBlocks:      cfg.FlashBlocks,
+			Arch:             cfg.Arch.String(),
+			RAMPolicy:        cfg.RAMPolicy.String(),
+			FlashPolicy:      cfg.FlashPolicy.String(),
+			FlashReplacement: cfg.FlashReplacement.String(),
+			Shards:           cfg.Shards,
+			FilerPartitions:  cfg.FilerPartitions,
+			ObjectTier:       cfg.ObjectTier,
+			WorkingSetBlocks: cfg.Workload.WorkingSetBlocks,
+			WriteFraction:    cfg.Workload.WriteFraction,
+			SharedWorkingSet: cfg.Workload.SharedWorkingSet,
+			WorkloadSeed:     cfg.Workload.Seed,
+			Seed:             cfg.Seed,
+			TraceSample:      cfg.TraceSample,
+		},
+		ReadLatencyMicros:  res.ReadLatencyMicros,
+		WriteLatencyMicros: res.WriteLatencyMicros,
+		ReadP50Micros:      res.ReadP50Micros,
+		ReadP99Micros:      res.ReadP99Micros,
+		WriteP50Micros:     res.WriteP50Micros,
+		WriteP99Micros:     res.WriteP99Micros,
+		RAMHitRate:         res.RAMHitRate,
+		FlashHitRate:       res.FlashHitRate,
+		FlashBusyFraction:  res.FlashBusyFraction,
+		SimulatedSeconds:   res.SimulatedSeconds,
+		RecoverySeconds:    res.RecoverySeconds,
+		Counters: map[string]uint64{
+			"ops_completed":         res.OpsCompleted,
+			"blocks_issued":         res.BlocksIssued,
+			"events":                res.Events,
+			"epochs":                res.Epochs,
+			"barrier_messages":      res.BarrierMessages,
+			"ram_hits":              res.Hosts.RAMHits,
+			"ram_misses":            res.Hosts.RAMMisses,
+			"flash_hits":            res.Hosts.FlashHits,
+			"flash_misses":          res.Hosts.FlashMisses,
+			"filer_fetches":         res.Hosts.FilerFetches,
+			"filer_writebacks":      res.Hosts.FilerWritebacks,
+			"flash_fills":           res.Hosts.FlashFills,
+			"flash_writebacks":      res.Hosts.FlashWritebacks,
+			"sync_evictions":        res.Hosts.SyncEvictions,
+			"coalesced_skips":       res.Hosts.CoalescedSkips,
+			"eviction_retries":      res.Hosts.EvictionRetries,
+			"blocks_read":           res.Hosts.BlocksRead,
+			"blocks_written":        res.Hosts.BlocksWritten,
+			"filer_fast_reads":      res.FilerFastReads,
+			"filer_slow_reads":      res.FilerSlowReads,
+			"filer_writes":          res.FilerWrites,
+			"filer_object_reads":    res.FilerObjectReads,
+			"filer_object_writes":   res.FilerObjectWrites,
+			"flash_device_reads":    res.FlashDeviceReads,
+			"flash_device_writes":   res.FlashDeviceWrites,
+			"invalidations":         res.Invalidations,
+			"blocks_written_shared": res.BlocksWrittenShared,
+			"control_messages":      res.ControlMessages,
+			"ownership_acquires":    res.OwnershipAcquires,
+			"downgrades":            res.Downgrades,
+		},
+		ReadHistogram:    res.Hosts.ReadHist.Buckets(),
+		WriteHistogram:   res.Hosts.WriteHist.Buckets(),
+		WallClockSeconds: res.WallClockSeconds,
+		PeakHeapBytes:    res.PeakHeapBytes,
+		TraceSpans:       len(res.Trace),
+	}
+	rep.FilerPartitions = reportPartitions(res.FilerPartitions)
+	rep.WallClock = reportWallClock(res.WallProfile)
+	return rep
+}
+
+// reportPartitions converts the filer's per-partition stats to the
+// tagged report shape.
+func reportPartitions(parts []FilerPartitionStats) []ReportPartition {
+	out := make([]ReportPartition, len(parts))
+	for i, p := range parts {
+		out[i] = ReportPartition{
+			FastReads:        p.FastReads,
+			SlowReads:        p.SlowReads,
+			ObjectReads:      p.ObjectReads,
+			Writes:           p.Writes,
+			ObjectWrites:     p.ObjectWrites,
+			MaxBarrierQueue:  p.MaxBarrierQueue,
+			MeanBarrierQueue: p.MeanBarrierQueue,
+		}
+	}
+	return out
+}
+
+// reportWallClock converts a wall profile to the tagged report shape
+// (nil in, nil out).
+func reportWallClock(wp *WallProfile) *ReportWallClock {
+	if wp == nil {
+		return nil
+	}
+	return &ReportWallClock{
+		Shards:           wp.Shards,
+		Parallel:         wp.Parallel,
+		Epochs:           wp.Epochs,
+		ExecNanos:        wp.ExecNanos,
+		BarrierWaitNanos: wp.BarrierWaitNanos,
+		EpochSpanNanos:   wp.EpochSpanNanos,
+		MergeNanos:       wp.MergeNanos,
+		FilerPhase1Nanos: wp.FilerPhase1Nanos,
+		FilerPhase2Nanos: wp.FilerPhase2Nanos,
+		Imbalance:        wp.Imbalance(),
+		BarrierShare:     wp.BarrierShare(),
+	}
+}
+
+// EpochStatsReport is the machine-readable form of cmd/flashsim's
+// -epochstats output (-epochstats-json): the barrier schedule, the
+// per-partition filer load, and — when the run profiled itself — the
+// wall-clock breakdown. Epochs is 0 on sequential runs.
+type EpochStatsReport struct {
+	Epochs             uint64            `json:"epochs"`
+	BarrierMessages    uint64            `json:"barrier_messages"`
+	MeanEpochMicros    float64           `json:"mean_epoch_us"`
+	MessagesPerBarrier float64           `json:"messages_per_barrier"`
+	FilerPartitions    []ReportPartition `json:"filer_partitions"`
+	WallClock          *ReportWallClock  `json:"wall_clock,omitempty"`
+}
+
+// NewEpochStatsReport assembles the epoch-stats snapshot from the fields
+// Result and ScenarioResult both carry.
+func NewEpochStatsReport(epochs, msgs uint64, simSeconds float64,
+	parts []FilerPartitionStats, wp *WallProfile) *EpochStatsReport {
+	rep := &EpochStatsReport{
+		Epochs:          epochs,
+		BarrierMessages: msgs,
+		FilerPartitions: reportPartitions(parts),
+		WallClock:       reportWallClock(wp),
+	}
+	if epochs > 0 {
+		rep.MeanEpochMicros = 1e6 * simSeconds / float64(epochs)
+		rep.MessagesPerBarrier = float64(msgs) / float64(epochs)
+	}
+	return rep
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error { return writeJSON(w, r) }
+
+// WriteJSON renders the epoch-stats report as indented JSON.
+func (r *EpochStatsReport) WriteJSON(w io.Writer) error { return writeJSON(w, r) }
+
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

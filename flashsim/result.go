@@ -2,12 +2,27 @@ package flashsim
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/consistency"
 	"repro/internal/core"
 	"repro/internal/filer"
+	"repro/internal/obs"
 	"repro/internal/sim"
+)
+
+// Re-exported observability types (internal/obs).
+type (
+	// TraceSpan is one recorded request-lifecycle stage: host, stage
+	// kind, per-host request sequence, block key and simulated [start,
+	// end) bounds.
+	TraceSpan = obs.Span
+	// TraceKind labels a span's pipeline stage.
+	TraceKind = obs.Kind
+	// WallProfile is the sharded executor's wall-clock self-profile.
+	WallProfile = obs.WallProfile
 )
 
 // Result carries everything a simulation measured. Latencies are
@@ -85,6 +100,35 @@ type Result struct {
 	// the golden-hash surface predates them.
 	Epochs          uint64
 	BarrierMessages uint64
+
+	// Trace holds the sampled request-lifecycle spans (TraceSample > 0
+	// runs only), merged across hosts into one deterministic order. The
+	// span set is identical for every Shards and FilerPartitions value;
+	// export with WriteChromeTrace. Excluded from String().
+	Trace []TraceSpan
+
+	// WallProfile carries the sharded executor's wall-clock self-profile
+	// (Config.WallProfile on a Shards >= 1 run; nil otherwise). Real-time
+	// measurements, so nondeterministic and excluded from String().
+	WallProfile *WallProfile
+
+	// WallClockSeconds and PeakHeapBytes record the real (not simulated)
+	// cost of the run: elapsed wall time and the runtime's peak heap
+	// footprint (MemStats.HeapSys). Nondeterministic, so excluded from
+	// the golden-hash surface — String() reports them on a trailing
+	// "runtime:" line that hash consumers strip (see golden_test.go).
+	WallClockSeconds float64
+	PeakHeapBytes    uint64
+}
+
+// runtimeFootprint returns the elapsed wall time since start and the
+// runtime's current heap footprint, read at run completion (the heap
+// high-water mark for a simulation, which allocates up front and
+// recycles in steady state).
+func runtimeFootprint(start time.Time) (float64, uint64) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return time.Since(start).Seconds(), ms.HeapSys
 }
 
 // FilerPartitionStats is one filer backend partition's load accounting;
@@ -181,5 +225,11 @@ func (r *Result) String() string {
 	}
 	fmt.Fprintf(&b, "completed %d ops / %d blocks in %.3f simulated seconds (%d events)\n",
 		r.OpsCompleted, r.BlocksIssued, r.SimulatedSeconds, r.Events)
+	if r.WallClockSeconds > 0 {
+		// Real-time footprint: nondeterministic, so hash consumers strip
+		// this line (tests zero the fields; CI filters "^runtime:").
+		fmt.Fprintf(&b, "runtime: %.3f s wall, %.1f MiB peak heap\n",
+			r.WallClockSeconds, float64(r.PeakHeapBytes)/(1<<20))
+	}
 	return b.String()
 }

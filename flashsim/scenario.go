@@ -3,6 +3,7 @@ package flashsim
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/runner/pool"
@@ -128,6 +129,17 @@ type ScenarioResult struct {
 	FilerPartitions   []FilerPartitionStats
 	FilerObjectReads  uint64
 	FilerObjectWrites uint64
+
+	// Observability (see the Result fields of the same names): sampled
+	// request-lifecycle spans (TraceSample > 0), the sharded executor's
+	// wall-clock self-profile (Config.WallProfile, sharded runs only),
+	// and the run's real-time footprint. All excluded from the
+	// golden-hash surface; String() reports the footprint on a trailing
+	// "runtime:" line that hash consumers strip.
+	Trace            []TraceSpan
+	WallProfile      *WallProfile
+	WallClockSeconds float64
+	PeakHeapBytes    uint64
 }
 
 // String renders a deterministic human-readable summary: the phase table,
@@ -153,6 +165,12 @@ func (r *ScenarioResult) String() string {
 	if r.Telemetry != nil {
 		fmt.Fprintf(&b, "telemetry: %d samples x %d columns\n",
 			r.Telemetry.Len(), r.Telemetry.NumColumns())
+	}
+	if r.WallClockSeconds > 0 {
+		// Real-time footprint: nondeterministic, so hash consumers strip
+		// this line (tests zero the fields; CI filters "^runtime:").
+		fmt.Fprintf(&b, "runtime: %.3f s wall, %.1f MiB peak heap\n",
+			r.WallClockSeconds, float64(r.PeakHeapBytes)/(1<<20))
 	}
 	return b.String()
 }
@@ -248,6 +266,7 @@ func rate(hits, misses uint64) float64 {
 // scenario_sharded.go and docs/SCENARIOS.md for the few semantic
 // differences from the sequential path).
 func RunScenario(cfg Config, sc *Scenario) (*ScenarioResult, error) {
+	wallStart := time.Now()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -276,7 +295,11 @@ func RunScenario(cfg Config, sc *Scenario) (*ScenarioResult, error) {
 		// The sharded executor: the scenario's phases, events and
 		// telemetry all synchronize at the cluster's epoch barrier, with
 		// results bit-identical for every shard count.
-		return runScenarioSharded(cfg, sc, period)
+		res, err := runScenarioSharded(cfg, sc, period)
+		if err == nil {
+			res.WallClockSeconds, res.PeakHeapBytes = runtimeFootprint(wallStart)
+		}
+		return res, err
 	}
 
 	gen, err := scenarioGenerator(cfg)
@@ -287,6 +310,7 @@ func RunScenario(cfg Config, sc *Scenario) (*ScenarioResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	tr := attachTracer(cfg, s.hosts)
 	s.drv.StartCollection()
 
 	// The telemetry probe: one row per sampling period with interval
@@ -346,6 +370,10 @@ func RunScenario(cfg Config, sc *Scenario) (*ScenarioResult, error) {
 	res.SimulatedSeconds = s.eng.Now().Seconds()
 	res.EngineEvents = s.eng.Processed()
 	fillScenarioFilerStats(res, s.fsrv)
+	if tr != nil {
+		res.Trace = tr.Spans()
+	}
+	res.WallClockSeconds, res.PeakHeapBytes = runtimeFootprint(wallStart)
 	return res, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -90,7 +91,11 @@ func runScenarioSharded(cfg Config, sc *Scenario, period sim.Time) (*ScenarioRes
 	// feeds, fault events and telemetry samples anchor to barrier times,
 	// so the grid is part of the scenario golden surface and must not
 	// shift under the adaptive schedule.
-	spec := clusterSpec(cfg, sources, make([]int64, cfg.Hosts))
+	var tr *obs.Tracer
+	if cfg.TraceSample > 0 {
+		tr = obs.NewTracer(cfg.TraceSample)
+	}
+	spec := clusterSpec(cfg, sources, make([]int64, cfg.Hosts), tr)
 	spec.FixedLookahead = true
 	cl, err := core.NewCluster(spec)
 	if err != nil {
@@ -162,6 +167,10 @@ func runScenarioSharded(cfg Config, sc *Scenario, period sim.Time) (*ScenarioRes
 	res.Epochs = cl.Epochs()
 	res.BarrierMessages = cl.BarrierMessages()
 	fillScenarioFilerStats(res, cl.Filer())
+	if tr != nil {
+		res.Trace = tr.Spans()
+	}
+	res.WallProfile = cl.WallProfile()
 	return res, nil
 }
 

@@ -29,7 +29,7 @@ func runScenarioWithShards(t *testing.T, cfg Config, name string, shards int) *S
 	if err != nil {
 		t.Fatalf("RunScenario(%s, shards=%d): %v", name, shards, err)
 	}
-	return res
+	return scrubScenarioRuntime(res)
 }
 
 // TestScenarioShardCountInvariance locks the scenario half of the sharded
@@ -108,6 +108,7 @@ func TestScenarioShardedTimedPhase(t *testing.T) {
 		if err != nil {
 			t.Fatalf("shards=%d: %v", shards, err)
 		}
+		scrubScenarioRuntime(res)
 		if res.Phases[1].BlocksIssued == 0 {
 			t.Fatalf("shards=%d: timed phase issued nothing", shards)
 		}

@@ -34,7 +34,7 @@ func scenarioChecksum(t *testing.T, cfg Config, name string) string {
 		t.Fatal(err)
 	}
 	h := sha256.New()
-	h.Write([]byte(res.String()))
+	h.Write([]byte(scrubScenarioRuntime(res).String()))
 	h.Write([]byte(res.Telemetry.CSV()))
 	h.Write([]byte(res.Telemetry.NDJSON()))
 	return hex.EncodeToString(h.Sum(nil))
@@ -94,7 +94,7 @@ func TestScenarioBatchParallelIdentical(t *testing.T) {
 		sums := make([]string, len(results))
 		for i, res := range results {
 			h := sha256.New()
-			h.Write([]byte(res.String()))
+			h.Write([]byte(scrubScenarioRuntime(res).String()))
 			h.Write([]byte(res.Telemetry.CSV()))
 			sums[i] = hex.EncodeToString(h.Sum(nil))
 		}

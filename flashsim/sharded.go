@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/filer"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -47,7 +48,7 @@ func splitTrace(src trace.Source, hosts int) (perHost [][]trace.Op, blocks []int
 // warmup volumes differ between them. The filer draws from the same forked
 // RNG stream as the sequential path, so its fast/slow outcomes depend only
 // on arrival order.
-func clusterSpec(cfg Config, sources []trace.Source, warmup []int64) core.ClusterSpec {
+func clusterSpec(cfg Config, sources []trace.Source, warmup []int64, tr *obs.Tracer) core.ClusterSpec {
 	hostCfgs := make([]core.HostConfig, cfg.Hosts)
 	for i := range hostCfgs {
 		hostCfgs[i] = hostConfig(cfg, i)
@@ -59,6 +60,8 @@ func clusterSpec(cfg Config, sources []trace.Source, warmup []int64) core.Cluste
 		Hosts:         hostCfgs,
 		Timing:        cfg.Timing,
 		HalfDuplexNet: cfg.HalfDuplexNet,
+		Tracer:        tr,
+		WallProfile:   cfg.WallProfile,
 		NewFiler: func(eng *sim.Engine) *filer.Filer {
 			return newFiler(eng, seedRNG.Fork(), cfg)
 		},
@@ -93,7 +96,11 @@ func runSharded(cfg Config, src trace.Source, warmupBlocks int64, pre prestartFn
 	for i := range sources {
 		sources[i] = trace.NewSliceSource(perHost[i])
 	}
-	cl, err := core.NewCluster(clusterSpec(cfg, sources, warmup))
+	var tr *obs.Tracer
+	if cfg.TraceSample > 0 {
+		tr = obs.NewTracer(cfg.TraceSample)
+	}
+	cl, err := core.NewCluster(clusterSpec(cfg, sources, warmup, tr))
 	if err != nil {
 		return nil, err
 	}
@@ -123,6 +130,10 @@ func runSharded(cfg Config, src trace.Source, warmupBlocks int64, pre prestartFn
 	cl.RunToCompletion()
 	res := buildShardedResult(cfg, cl)
 	res.RecoverySeconds = recoverySeconds
+	if tr != nil {
+		res.Trace = tr.Spans()
+	}
+	res.WallProfile = cl.WallProfile()
 	return res, nil
 }
 

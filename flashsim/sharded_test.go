@@ -25,7 +25,7 @@ func runWithShards(t *testing.T, cfg Config, shards int) *Result {
 	if err != nil {
 		t.Fatalf("Run(shards=%d): %v", shards, err)
 	}
-	return res
+	return scrubRuntime(res)
 }
 
 // TestShardedShardCountInvariance locks the sharded determinism contract:

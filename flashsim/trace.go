@@ -1,0 +1,49 @@
+package flashsim
+
+import (
+	"io"
+
+	"repro/internal/obs"
+)
+
+// This file exports a result's sampled request-lifecycle spans as Chrome
+// trace-event JSON (chrome://tracing, https://ui.perfetto.dev) and
+// re-exports the validator tools/tracecheck and the tests share.
+
+// WriteChromeTrace renders sampled spans (the Trace field of a Result or
+// ScenarioResult from a Config.TraceSample run) as Chrome trace-event
+// JSON. The timing model refines filer service spans with the tier their
+// duration identifies — fast, slow or object read — which the host-side
+// recorder cannot see. Output bytes are deterministic: identical for
+// every Shards and FilerPartitions value of the same configuration.
+func WriteChromeTrace(w io.Writer, spans []TraceSpan, timing Timing) error {
+	return obs.WriteChromeTrace(w, spans, obs.ChromeOptions{Namer: traceNamer(timing)})
+}
+
+// traceNamer labels demand filer service spans by matching their
+// duration against the timing model's fixed per-tier latencies. A span
+// lengthened past the base latency by prefetch-rate or barrier effects
+// keeps the generic stage name.
+func traceNamer(t Timing) func(obs.Span) string {
+	return func(s obs.Span) string {
+		if s.Kind != obs.KindFiler {
+			return ""
+		}
+		switch s.End - s.Start {
+		case t.FilerFastRead:
+			return "filer_fast"
+		case t.FilerSlowRead:
+			return "filer_slow"
+		case t.ObjectRead:
+			return "filer_object"
+		}
+		return ""
+	}
+}
+
+// ValidateChromeTrace checks r for the structural trace-event
+// invariants Perfetto relies on and returns the number of complete span
+// events (see internal/obs).
+func ValidateChromeTrace(r io.Reader) (int, error) {
+	return obs.ValidateChromeTrace(r)
+}

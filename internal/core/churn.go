@@ -117,7 +117,7 @@ func (h *Host) flushTier(appendDirty func([]*cache.Entry) []*cache.Entry,
 		if e.WritebackInFlight || e.Pinned {
 			continue
 		}
-		h.propagate(mv, t, e.Key(), e, e.Gen(), bgLane, funcCont(join.Done))
+		h.propagate(mv, t, e.Key(), e, e.Gen(), bgLane, funcCont(join.Done), 0)
 	}
 }
 

@@ -5,9 +5,11 @@ import (
 	"runtime"
 	"slices"
 	"sync"
+	"time"
 
 	"repro/internal/filer"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -175,6 +177,13 @@ type clusterShard struct {
 	inboxLanes   [][]schedEvent
 	laneMin      []sim.Time
 	inboxScratch []schedEvent
+
+	// execNanos is this shard's cumulative wall time spent executing
+	// epochs (inbox delivery, event execution, outbox sealing). Written by
+	// the shard's goroutine, read by the coordinator between epochs (the
+	// channel handshake orders the two); only maintained when the cluster
+	// carries a wall-clock profiler.
+	execNanos int64
 
 	cmd  chan sim.Time
 	done chan struct{}
@@ -372,6 +381,17 @@ type ClusterSpec struct {
 	// the cluster uses the adaptive per-edge schedule (lookahead.go),
 	// which merges barriers the fixed walk executes needlessly.
 	FixedLookahead bool
+
+	// Tracer, when non-nil, samples request lifecycles on every host.
+	// Tracing records simulated timestamps only — no events, no RNG — so
+	// results are bit-identical with or without it (see internal/obs).
+	Tracer *obs.Tracer
+
+	// WallProfile enables the cluster's wall-clock self-profiler:
+	// per-shard execution vs barrier-wait time, coordinator merge and
+	// filer service phases. Off by default; the profiled run pays a few
+	// clock reads per epoch.
+	WallProfile bool
 }
 
 // ClusterConsistency aggregates the invalidation accounting of a sharded
@@ -436,6 +456,15 @@ type Cluster struct {
 	wg             sync.WaitGroup
 	epochs         uint64
 	barrierMsgs    uint64
+
+	// Wall-clock self-profiling (ClusterSpec.WallProfile). wall is built
+	// in Start (the inline decision feeds it); wallExec is the coordinator's
+	// reusable per-shard execNanos snapshot and wallPrev the previous
+	// barrier time (the epoch's simulated length).
+	profile  bool
+	wall     *obs.WallCollector
+	wallExec []int64
+	wallPrev sim.Time
 }
 
 // NewCluster builds the sharded simulation described by the spec.
@@ -464,6 +493,7 @@ func NewCluster(spec ClusterSpec) (*Cluster, error) {
 		drivers:   make([]*Driver, n),
 		hostShard: make([]*clusterShard, n),
 		track:     spec.TrackInvalidations,
+		profile:   spec.WallProfile,
 	}
 	for s := range c.shards {
 		c.shards[s] = &clusterShard{
@@ -510,6 +540,11 @@ func NewCluster(spec ClusterSpec) (*Cluster, error) {
 			&clusterPort{sh: sh, host: int32(i)}, nil)
 		if err != nil {
 			return nil, err
+		}
+		if spec.Tracer != nil {
+			// Per-host buffers are touched only by the owning shard's
+			// goroutine; the barrier handshake orders the final merge.
+			h.SetTrace(spec.Tracer.Host(i))
 		}
 		if adaptive {
 			h.setUpCounter(&sh.upInFlight)
@@ -583,6 +618,16 @@ func (c *Cluster) Epochs() uint64 { return c.epochs }
 // schedule, so they are invariant across shard counts.
 func (c *Cluster) BarrierMessages() uint64 { return c.barrierMsgs }
 
+// WallProfile returns the finished wall-clock breakdown of the run, or
+// nil when ClusterSpec.WallProfile was off. Call it after the run (or
+// between epochs): it flushes the profiler's partial window.
+func (c *Cluster) WallProfile() *obs.WallProfile {
+	if c.wall == nil {
+		return nil
+	}
+	return c.wall.Finish(c.wallPrev)
+}
+
 // Now returns the completion time of the simulation: the latest event any
 // shard executed.
 func (c *Cluster) Now() sim.Time {
@@ -629,9 +674,17 @@ func (c *Cluster) BlocksIssued() uint64 {
 func (c *Cluster) worker(sh *clusterShard) {
 	defer c.wg.Done()
 	for end := range sh.cmd {
-		sh.beginEpoch(c.invBatch)
-		sh.eng.RunUntil(end)
-		sh.sealOutbox()
+		if c.wall == nil {
+			sh.beginEpoch(c.invBatch)
+			sh.eng.RunUntil(end)
+			sh.sealOutbox()
+		} else {
+			t0 := time.Now()
+			sh.beginEpoch(c.invBatch)
+			sh.eng.RunUntil(end)
+			sh.sealOutbox()
+			sh.execNanos += int64(time.Since(t0))
+		}
 		sh.done <- struct{}{}
 	}
 }
@@ -642,9 +695,17 @@ func (c *Cluster) worker(sh *clusterShard) {
 func (c *Cluster) runEpoch(end sim.Time) {
 	if c.inline {
 		for _, sh := range c.shards {
+			if c.wall == nil {
+				sh.beginEpoch(c.invBatch)
+				sh.eng.RunUntil(end)
+				sh.sealOutbox()
+				continue
+			}
+			t0 := time.Now()
 			sh.beginEpoch(c.invBatch)
 			sh.eng.RunUntil(end)
 			sh.sealOutbox()
+			sh.execNanos += int64(time.Since(t0))
 		}
 		return
 	}
@@ -734,6 +795,10 @@ func (c *Cluster) serviceFiler() {
 	if len(c.msgBatch) == 0 {
 		return
 	}
+	var t0 time.Time
+	if c.wall != nil {
+		t0 = time.Now()
+	}
 	for p := range c.partIdx {
 		c.partIdx[p] = c.partIdx[p][:0]
 	}
@@ -746,6 +811,11 @@ func (c *Cluster) serviceFiler() {
 	}
 	for p := range c.partIdx {
 		c.fsrv.ObserveBarrierQueue(p, len(c.partIdx[p]))
+	}
+	if c.wall != nil {
+		now := time.Now()
+		c.wall.AddFiler1(now.Sub(t0))
+		t0 = now
 	}
 
 	// Parallel phase 2 pays only when there are multiple backends, real
@@ -765,10 +835,13 @@ func (c *Cluster) serviceFiler() {
 			}(p)
 		}
 		wg.Wait()
-		return
+	} else {
+		for p := range c.partIdx {
+			c.servicePartition(p)
+		}
 	}
-	for p := range c.partIdx {
-		c.servicePartition(p)
+	if c.wall != nil {
+		c.wall.AddFiler2(time.Since(t0))
 	}
 }
 
@@ -866,6 +939,10 @@ func (c *Cluster) Start() {
 	// processor (or a single shard) the channel handshake per epoch is
 	// pure overhead, so the coordinator runs the epochs itself.
 	c.inline = len(c.shards) == 1 || runtime.GOMAXPROCS(0) == 1
+	if c.profile {
+		c.wall = obs.NewWallCollector(len(c.shards), !c.inline)
+		c.wallExec = make([]int64, len(c.shards))
+	}
 	if !c.inline {
 		for _, sh := range c.shards {
 			c.wg.Add(1)
@@ -933,9 +1010,23 @@ func (c *Cluster) Advance(pause sim.Time) bool {
 		c.end = pause
 	}
 	for {
+		if c.wall != nil {
+			c.wall.EpochStart()
+		}
 		c.runEpoch(c.end)
 		c.epochs++
-		c.gather()
+		if c.wall == nil {
+			c.gather()
+		} else {
+			for i, sh := range c.shards {
+				c.wallExec[i] = sh.execNanos
+			}
+			c.wall.EpochEnd(c.wallExec, c.end-c.wallPrev, c.end)
+			c.wallPrev = c.end
+			t0 := time.Now()
+			c.gather()
+			c.wall.AddMerge(time.Since(t0))
+		}
 
 		if c.autoStop && !c.syncersStopped {
 			allDone := true

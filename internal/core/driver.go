@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/consistency"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -22,6 +23,7 @@ type Driver struct {
 	reg   *consistency.Registry // may be nil
 
 	queues  map[uint32][]trace.Op
+	qtimes  map[uint32][]sim.Time // per-op enqueue times; only when tracing
 	busy    map[uint32]bool
 	held    *trace.Op // head-of-line op whose thread queue is full
 	srcDone bool
@@ -135,6 +137,12 @@ func (d *Driver) pump() {
 		}
 		d.held = nil
 		d.queues[tk] = append(d.queues[tk], op)
+		if d.tracing() {
+			if d.qtimes == nil {
+				d.qtimes = make(map[uint32][]sim.Time)
+			}
+			d.qtimes[tk] = append(d.qtimes[tk], d.eng.Now())
+		}
 		d.queuedOps++
 		d.kick(tk)
 	}
@@ -152,10 +160,36 @@ func (d *Driver) kick(tk uint32) {
 	op := q[0]
 	copy(q, q[1:])
 	d.queues[tk] = q[:len(q)-1]
+	if d.tracing() {
+		d.noteDequeue(tk, op)
+	}
 	d.queuedOps--
 	d.busy[tk] = true
 	d.opsInFlight++
 	d.runOp(tk, op)
+}
+
+// tracing reports whether request-lifecycle tracing is attached. A tracer
+// covers every host or none, so host 0 stands for all.
+func (d *Driver) tracing() bool { return d.hosts[0].tr != nil }
+
+// noteDequeue pops the op's enqueue time and records its host-queue wait
+// as a queue span on the track of the op's first block request — which
+// opStep issues synchronously next, so it takes the host's next request
+// sequence (NextSampled peeks without consuming). Tracers must attach
+// before any ops are pumped, so qtimes mirrors queues exactly.
+func (d *Driver) noteDequeue(tk uint32, op trace.Op) {
+	qt := d.qtimes[tk]
+	at := qt[0]
+	copy(qt, qt[1:])
+	d.qtimes[tk] = qt[:len(qt)-1]
+	if op.Count == 0 {
+		return // no block requests; nothing to attach the wait to
+	}
+	h := d.hostFor(op)
+	if seq := h.tr.NextSampled(); seq != 0 {
+		h.tr.Add(seq, obs.KindQueue, 0, at, d.eng.Now())
+	}
 }
 
 // opTask is one trace op's execution record: the blocks of a multi-block

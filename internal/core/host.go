@@ -7,6 +7,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/consistency"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -99,6 +100,14 @@ type Host struct {
 
 	collect bool
 	st      HostStats
+
+	// tr, when non-nil, is this host's request-lifecycle trace buffer.
+	// The request path pays one nil check at entry; untraced chains carry
+	// trSeq 0 so every downstream stage gate is a single integer compare.
+	// Tracing records simulated timestamps of stages that already exist —
+	// it schedules no events and draws no randomness, so results are
+	// bit-identical with or without it.
+	tr *obs.HostTrace
 
 	// upInFlight, when non-nil, points at the owning shard's counter of
 	// request packets currently crossing the wire toward the filer. The
@@ -233,6 +242,24 @@ func (h *Host) noteUpArrival() {
 	}
 }
 
+// SetTrace attaches the host's request-lifecycle trace buffer (nil
+// detaches). Attach before any requests are issued: the buffer's request
+// sequence must count from the first op for the sampler's cross-shard
+// invariance to hold.
+func (h *Host) SetTrace(t *obs.HostTrace) { h.tr = t }
+
+// span records one completed stage of a sampled request. Callers gate on
+// r.trSeq != 0, which implies h.tr != nil.
+func (h *Host) span(seq uint64, kind obs.Kind, key cache.Key, start sim.Time) {
+	h.tr.Add(seq, kind, uint64(key), start, h.eng.Now())
+}
+
+// mark records a zero-duration marker (cache-lookup outcome, dedup join).
+func (h *Host) mark(seq uint64, kind obs.Kind, key cache.Key) {
+	now := h.eng.Now()
+	h.tr.Add(seq, kind, uint64(key), now, now)
+}
+
 // SetCollect enables statistics collection (called after warmup).
 func (h *Host) SetCollect(on bool) { h.collect = on }
 
@@ -314,6 +341,9 @@ func (h *Host) read(key cache.Key, done cont) {
 	r.start = h.eng.Now()
 	r.collect = h.collect
 	r.c = done
+	if h.tr != nil {
+		r.trSeq = h.tr.StartReq()
+	}
 	if h.reg != nil {
 		// Under the callback protocol an exclusively-owned block must be
 		// downgraded (and its dirty data flushed) before the read; under
@@ -351,6 +381,9 @@ func finishRead(a any) {
 		h.st.ReadHist.Add(lat)
 		h.st.BlocksRead++
 	}
+	if r.trSeq != 0 {
+		h.span(r.trSeq, obs.KindRead, r.key, r.start)
+	}
 	done := r.c
 	h.putReq(r)
 	done.run()
@@ -368,6 +401,9 @@ func (h *Host) write(key cache.Key, done cont) {
 	r.start = h.eng.Now()
 	r.collect = h.collect
 	r.c = done
+	if h.tr != nil {
+		r.trSeq = h.tr.StartReq()
+	}
 	// A new version is born in this host's cache: all other copies are
 	// now stale. Under the paper's model the invalidation is instant and
 	// free (§3.8); under the callback protocol the writer first acquires
@@ -410,6 +446,9 @@ func finishWrite(a any) {
 		h.st.WriteHist.Add(lat)
 		h.st.BlocksWritten++
 	}
+	if r.trSeq != 0 {
+		h.span(r.trSeq, obs.KindWrite, r.key, r.start)
+	}
 	done := r.c
 	h.putReq(r)
 	done.run()
@@ -424,6 +463,9 @@ func (h *Host) readLayered(r *hostReq) {
 			if r.collect {
 				h.st.RAMHits++
 			}
+			if r.trSeq != 0 {
+				h.mark(r.trSeq, obs.KindRAMHit, key)
+			}
 			h.ramDev.Read2(finishRead, r)
 			return
 		}
@@ -436,6 +478,9 @@ func (h *Host) readLayered(r *hostReq) {
 			if r.collect {
 				h.st.FlashHits++
 			}
+			if r.trSeq != 0 {
+				h.mark(r.trSeq, obs.KindFlashHit, key)
+			}
 			h.flashIO.Read2(key, readFillRAM, r)
 			return
 		}
@@ -443,7 +488,10 @@ func (h *Host) readLayered(r *hostReq) {
 			h.st.FlashMisses++
 		}
 	}
-	h.fetchFromFiler(key, cont{readFillRAM, r})
+	if r.trSeq != 0 {
+		h.mark(r.trSeq, obs.KindMiss, key)
+	}
+	h.fetchFromFiler(key, cont{readFillRAM, r}, r.trSeq)
 }
 
 // readFillRAM resumes a read once the block's data is available (from a
@@ -488,11 +536,11 @@ func installRAMCleanRoom(a any) {
 func (h *Host) writeLayered(r *hostReq) {
 	if h.ram.Capacity() == 0 {
 		key := r.key
-		h.writeNoRAM(key, cont{finishWrite, r})
+		h.writeNoRAM(key, cont{finishWrite, r}, r.trSeq)
 		return
 	}
 	if e := h.ram.Get(r.key); e != nil {
-		h.commitRAMWrite(e, cont{finishWrite, r})
+		h.commitRAMWrite(e, cont{finishWrite, r}, r.trSeq)
 		return
 	}
 	// Write-allocate: traces are block-granular, so no read-modify-write
@@ -512,12 +560,12 @@ func writeLayeredRoom(a any) {
 		}
 		e = h.ram.Insert(r.key)
 	}
-	h.commitRAMWrite(e, cont{finishWrite, r})
+	h.commitRAMWrite(e, cont{finishWrite, r}, r.trSeq)
 }
 
 // commitRAMWrite applies the data write to a resident RAM entry and then
 // the RAM writeback policy.
-func (h *Host) commitRAMWrite(e *cache.Entry, c cont) {
+func (h *Host) commitRAMWrite(e *cache.Entry, c cont, trSeq uint64) {
 	e.DirtyEpoch++
 	h.ram.MarkDirty(e)
 	r := h.getReq()
@@ -525,28 +573,30 @@ func (h *Host) commitRAMWrite(e *cache.Entry, c cont) {
 	r.e = e
 	r.gen = e.Gen()
 	r.c = c
+	r.trSeq = trSeq
 	h.ramDev.Write2(commitRAMWritten, r)
 }
 
 func commitRAMWritten(a any) {
 	r := a.(*hostReq)
 	h := r.h
-	key, e, gen, c := r.key, r.e, r.gen, r.c
+	key, e, gen, c, trSeq := r.key, r.e, r.gen, r.c, r.trSeq
 	h.putReq(r)
-	h.applyPolicy(h.cfg.RAMPolicy, h.ramMove(), tierRAM, key, e, gen, c)
+	h.applyPolicy(h.cfg.RAMPolicy, h.ramMove(), tierRAM, key, e, gen, c, trSeq)
 }
 
 // writeNoRAM handles writes with no RAM tier (paper §7.5's "0 really means
 // 0" point): the write lands directly in flash, or goes to the filer when
 // there is no flash either.
-func (h *Host) writeNoRAM(key cache.Key, c cont) {
+func (h *Host) writeNoRAM(key cache.Key, c cont, trSeq uint64) {
 	if h.flash.Capacity() == 0 {
-		h.writeBlockToFiler(key, demandLane, c)
+		h.writeBlockToFiler(key, demandLane, c, trSeq)
 		return
 	}
 	r := h.getReq()
 	r.key = key
 	r.c = c
+	r.trSeq = trSeq
 	h.ensureFlashEntry(key, writeNoRAMEntry, r)
 }
 
@@ -554,16 +604,16 @@ func writeNoRAMEntry(a any, e *cache.Entry) {
 	r := a.(*hostReq)
 	h := r.h
 	if e == nil { // could not place (transient); go straight through
-		key, c := r.key, r.c
+		key, c, trSeq := r.key, r.c, r.trSeq
 		h.putReq(r)
-		h.writeBlockToFiler(key, demandLane, c)
+		h.writeBlockToFiler(key, demandLane, c, trSeq)
 		return
 	}
 	e.DirtyEpoch++
 	if h.cfg.Arch == Lookaside {
 		// Lookaside flash never holds dirty data: write the filer
 		// first, then update the flash copy.
-		h.writeBlockToFiler(r.key, demandLane, cont{writeNoRAMLookaside, r})
+		h.writeBlockToFiler(r.key, demandLane, cont{writeNoRAMLookaside, r}, r.trSeq)
 		return
 	}
 	h.flash.MarkDirty(e)
@@ -584,9 +634,9 @@ func writeNoRAMLookaside(a any) {
 func writeNoRAMFlashed(a any) {
 	r := a.(*hostReq)
 	h := r.h
-	key, e, gen, c := r.key, r.e, r.gen, r.c
+	key, e, gen, c, trSeq := r.key, r.e, r.gen, r.c, r.trSeq
 	h.putReq(r)
-	h.applyPolicy(h.cfg.FlashPolicy, moveToFiler, tierFlash, key, e, gen, c)
+	h.applyPolicy(h.cfg.FlashPolicy, moveToFiler, tierFlash, key, e, gen, c, trSeq)
 }
 
 // --- unified paths ---
@@ -597,6 +647,9 @@ func (h *Host) readUnified(r *hostReq) {
 			if r.collect {
 				h.st.RAMHits++
 			}
+			if r.trSeq != 0 {
+				h.mark(r.trSeq, obs.KindRAMHit, r.key)
+			}
 			h.ramDev.Read2(finishRead, r)
 		} else {
 			if r.collect {
@@ -606,6 +659,9 @@ func (h *Host) readUnified(r *hostReq) {
 				h.st.RAMMisses++
 				h.st.FlashHits++
 			}
+			if r.trSeq != 0 {
+				h.mark(r.trSeq, obs.KindFlashHit, r.key)
+			}
 			h.flashIO.Read2(r.key, finishRead, r)
 		}
 		return
@@ -614,17 +670,20 @@ func (h *Host) readUnified(r *hostReq) {
 		h.st.RAMMisses++
 		h.st.FlashMisses++
 	}
-	h.fetchFromFiler(r.key, cont{finishRead, r})
+	if r.trSeq != 0 {
+		h.mark(r.trSeq, obs.KindMiss, r.key)
+	}
+	h.fetchFromFiler(r.key, cont{finishRead, r}, r.trSeq)
 }
 
 func (h *Host) writeUnified(r *hostReq) {
 	if h.uni.Capacity() == 0 {
 		key := r.key
-		h.writeBlockToFiler(key, demandLane, cont{finishWrite, r})
+		h.writeBlockToFiler(key, demandLane, cont{finishWrite, r}, r.trSeq)
 		return
 	}
 	if e := h.uni.Get(r.key); e != nil {
-		h.commitUnifiedWrite(e, cont{finishWrite, r})
+		h.commitUnifiedWrite(e, cont{finishWrite, r}, r.trSeq)
 		return
 	}
 	h.makeRoomUnified(cont{writeUnifiedRoom, r})
@@ -641,13 +700,13 @@ func writeUnifiedRoom(a any) {
 		}
 		e = h.uni.Insert(r.key)
 	}
-	h.commitUnifiedWrite(e, cont{finishWrite, r})
+	h.commitUnifiedWrite(e, cont{finishWrite, r}, r.trSeq)
 }
 
 // commitUnifiedWrite pays the medium's write cost and applies the policy
 // of the tier the block happens to live in: the paper's unified cache
 // exposes flash write latency for the ~8/9 of blocks in flash buffers.
-func (h *Host) commitUnifiedWrite(e *cache.Entry, c cont) {
+func (h *Host) commitUnifiedWrite(e *cache.Entry, c cont, trSeq uint64) {
 	e.DirtyEpoch++
 	h.uni.MarkDirty(e)
 	r := h.getReq()
@@ -655,6 +714,7 @@ func (h *Host) commitUnifiedWrite(e *cache.Entry, c cont) {
 	r.e = e
 	r.gen = e.Gen()
 	r.c = c
+	r.trSeq = trSeq
 	if e.Medium() == cache.RAM {
 		r.t = tierRAM // marks which policy applies after the write
 		h.ramDev.Write2(commitUnifiedWritten, r)
@@ -667,21 +727,24 @@ func (h *Host) commitUnifiedWrite(e *cache.Entry, c cont) {
 func commitUnifiedWritten(a any) {
 	r := a.(*hostReq)
 	h := r.h
-	key, e, gen, c := r.key, r.e, r.gen, r.c
+	key, e, gen, c, trSeq := r.key, r.e, r.gen, r.c, r.trSeq
 	policy := h.cfg.RAMPolicy
 	if r.t == tierFlash {
 		policy = h.cfg.FlashPolicy
 	}
 	h.putReq(r)
-	h.applyPolicy(policy, moveToFiler, tierUnified, key, e, gen, c)
+	h.applyPolicy(policy, moveToFiler, tierUnified, key, e, gen, c, trSeq)
 }
 
 // --- demand fetch ---
 
 // fetchFromFiler fetches key from the filer, de-duplicating concurrent
 // requests for the same block, installs it in the appropriate cache, and
-// wakes all waiters.
-func (h *Host) fetchFromFiler(key cache.Key, c cont) {
+// wakes all waiters. trSeq is the requesting chain's trace sequence (0 =
+// untraced): the initiator's sequence labels the wire and filer-service
+// spans; a sampled request that joins another's in-flight fetch records a
+// dedup marker instead.
+func (h *Host) fetchFromFiler(key cache.Key, c cont, trSeq uint64) {
 	if h.cfg.DisableFetchDedup {
 		if h.collect {
 			h.st.FilerFetches++
@@ -689,11 +752,18 @@ func (h *Host) fetchFromFiler(key cache.Key, c cont) {
 		r := h.getReq()
 		r.key = key
 		r.c = c
+		if trSeq != 0 {
+			r.trSeq = trSeq
+			r.tMark = h.eng.Now()
+		}
 		h.noteUpSend()
 		h.seg.Send2(netsim.ToFiler, 0, fetchSent, r)
 		return
 	}
 	if waiters, inflight := h.pending[key]; inflight {
+		if trSeq != 0 {
+			h.mark(trSeq, obs.KindDedup, key)
+		}
 		h.pending[key] = append(waiters, c)
 		return
 	}
@@ -704,6 +774,10 @@ func (h *Host) fetchFromFiler(key cache.Key, c cont) {
 	r := h.getReq()
 	r.key = key
 	r.dedup = true
+	if trSeq != 0 {
+		r.trSeq = trSeq
+		r.tMark = h.eng.Now()
+	}
 	h.noteUpSend()
 	h.seg.Send2(netsim.ToFiler, 0, fetchSent, r)
 }
@@ -721,18 +795,31 @@ func (h *Host) newWaiters(c cont) []cont {
 
 func fetchSent(a any) {
 	r := a.(*hostReq)
-	r.h.noteUpArrival()
-	r.h.fsrv.Read2(uint64(r.key), fetchServed, r)
+	h := r.h
+	h.noteUpArrival()
+	if r.trSeq != 0 {
+		h.span(r.trSeq, obs.KindNetUp, r.key, r.tMark)
+		r.tMark = h.eng.Now()
+	}
+	h.fsrv.Read2(uint64(r.key), fetchServed, r)
 }
 
 func fetchServed(a any) {
 	r := a.(*hostReq)
-	r.h.seg.Send2(netsim.FromFiler, trace.BlockSize, fetchArrived, r)
+	h := r.h
+	if r.trSeq != 0 {
+		h.span(r.trSeq, obs.KindFiler, r.key, r.tMark)
+		r.tMark = h.eng.Now()
+	}
+	h.seg.Send2(netsim.FromFiler, trace.BlockSize, fetchArrived, r)
 }
 
 func fetchArrived(a any) {
 	r := a.(*hostReq)
 	h := r.h
+	if r.trSeq != 0 {
+		h.span(r.trSeq, obs.KindNetDown, r.key, r.tMark)
+	}
 	if r.dedup {
 		h.installAfterFetch(r.key, cont{fetchWake, r})
 		return
@@ -889,7 +976,7 @@ func (h *Host) makeRoomRAM(c cont) {
 	r.e = v
 	r.gen = v.Gen()
 	r.c = c
-	h.move(h.ramMove(), r.key, demandLane, cont{ramEvictWritten, r})
+	h.move(h.ramMove(), r.key, demandLane, cont{ramEvictWritten, r}, 0)
 }
 
 func retryRoomRAM(a any) {
@@ -945,7 +1032,7 @@ func (h *Host) makeRoomFlash(c cont) {
 	r.e = v
 	r.gen = v.Gen()
 	r.c = c
-	h.writeBlockToFiler(r.key, demandLane, cont{flashEvictWritten, r})
+	h.writeBlockToFiler(r.key, demandLane, cont{flashEvictWritten, r}, 0)
 }
 
 func retryRoomFlash(a any) {
@@ -999,7 +1086,7 @@ func (h *Host) makeRoomUnified(c cont) {
 	r.e = v
 	r.gen = v.Gen()
 	r.c = c
-	h.writeBlockToFiler(r.key, demandLane, cont{unifiedEvictWritten, r})
+	h.writeBlockToFiler(r.key, demandLane, cont{unifiedEvictWritten, r}, 0)
 }
 
 func retryRoomUnified(a any) {

@@ -37,7 +37,7 @@ func (h *Host) FlushBlock(key uint64, done func()) {
 	k := cache.Key(key)
 	if h.uni != nil {
 		if e := h.uni.Peek(k); e != nil && e.Dirty {
-			h.propagate(moveToFiler, tierUnified, e.Key(), e, e.Gen(), demandLane, funcCont(done))
+			h.propagate(moveToFiler, tierUnified, e.Key(), e, e.Gen(), demandLane, funcCont(done), 0)
 			return
 		}
 		h.eng.Schedule(0, done)
@@ -46,11 +46,11 @@ func (h *Host) FlushBlock(key uint64, done func()) {
 	if e := h.ram.Peek(k); e != nil && e.Dirty {
 		// The freshest copy lives in RAM; the protocol needs it at the
 		// filer, so it bypasses the flash tier.
-		h.propagate(moveToFiler, tierRAM, e.Key(), e, e.Gen(), demandLane, funcCont(done))
+		h.propagate(moveToFiler, tierRAM, e.Key(), e, e.Gen(), demandLane, funcCont(done), 0)
 		return
 	}
 	if e := h.flash.Peek(k); e != nil && e.Dirty {
-		h.propagate(moveToFiler, tierFlash, e.Key(), e, e.Gen(), demandLane, funcCont(done))
+		h.propagate(moveToFiler, tierFlash, e.Key(), e, e.Gen(), demandLane, funcCont(done), 0)
 		return
 	}
 	h.eng.Schedule(0, done)

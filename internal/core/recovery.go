@@ -71,7 +71,7 @@ func (h *Host) Recover(done func()) (dirtyFlushed int) {
 		h.flashIO.Read(cache.Key(^uint64(i)), join.Done)
 	}
 	for _, e := range dirty {
-		h.propagate(moveToFiler, tierFlash, e.Key(), e, e.Gen(), bgLane, funcCont(join.Done))
+		h.propagate(moveToFiler, tierFlash, e.Key(), e, e.Gen(), bgLane, funcCont(join.Done), 0)
 	}
 	return dirtyFlushed
 }

@@ -82,6 +82,12 @@ type hostReq struct {
 	collect bool
 	dedup   bool
 
+	// Observability (internal/obs): the sampled request's trace sequence
+	// (0 = untraced, disabling every stage's recording with one integer
+	// compare) and the simulated entry time of the stage in flight.
+	trSeq uint64
+	tMark sim.Time
+
 	next *hostReq // free-list link
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/cache"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -43,15 +44,18 @@ func (h *Host) ramMove() moveKind {
 }
 
 // move routes one dirty block down the chosen path on the given lane and
-// runs c when the data is durable there.
-func (h *Host) move(mv moveKind, key cache.Key, ln lane, c cont) {
+// runs c when the data is durable there. trSeq attributes the move's
+// stages to a sampled request's trace (0 = untraced: evictions, syncer
+// flushes and delayed timers pass 0 — their work belongs to no single
+// request).
+func (h *Host) move(mv moveKind, key cache.Key, ln lane, c cont, trSeq uint64) {
 	switch mv {
 	case moveToFlash:
-		h.writeBlockToFlash(key, ln, c)
+		h.writeBlockToFlash(key, ln, c, trSeq)
 	case moveLookaside:
-		h.writeLookaside(key, ln, c)
+		h.writeLookaside(key, ln, c, trSeq)
 	default:
-		h.writeBlockToFiler(key, ln, c)
+		h.writeBlockToFiler(key, ln, c, trSeq)
 	}
 }
 
@@ -98,12 +102,14 @@ func (h *Host) tierMarkClean(t tier, e *cache.Entry) {
 // (key, e, gen) identify the written entry as of the caller's last validity
 // point; the entry may since have been evicted (and possibly recycled), so
 // downstream stages re-verify before mutating it.
-func (h *Host) applyPolicy(p Policy, mv moveKind, t tier, key cache.Key, e *cache.Entry, gen uint64, c cont) {
+func (h *Host) applyPolicy(p Policy, mv moveKind, t tier, key cache.Key, e *cache.Entry, gen uint64, c cont, trSeq uint64) {
 	switch p.Kind {
 	case WriteThroughSync:
-		h.propagate(mv, t, key, e, gen, demandLane, c)
+		h.propagate(mv, t, key, e, gen, demandLane, c, trSeq)
 	case WriteThroughAsync:
-		h.propagate(mv, t, key, e, gen, bgLane, cont{})
+		// The async writeback still belongs to the triggering request's
+		// trace: its spans show the background work the write spawned.
+		h.propagate(mv, t, key, e, gen, bgLane, cont{}, trSeq)
 		c.run()
 	case Delayed:
 		h.scheduleDelayed(p.Period, mv, t, key, e, gen)
@@ -136,7 +142,7 @@ func delayedFire(a any) {
 		!e.Dirty || e.DirtyEpoch != epoch || e.WritebackInFlight || e.Pinned {
 		return
 	}
-	h.propagate(mv, t, key, e, gen, bgLane, cont{})
+	h.propagate(mv, t, key, e, gen, bgLane, cont{}, 0)
 }
 
 // propagate writes e's current version to the next tier; on completion the
@@ -145,7 +151,7 @@ func delayedFire(a any) {
 // — mirroring the closure-based code, which kept writing even for entries
 // evicted mid-chain — but entry mutation happens only while (key, e, gen)
 // still name the resident entry.
-func (h *Host) propagate(mv moveKind, t tier, key cache.Key, e *cache.Entry, gen uint64, ln lane, c cont) {
+func (h *Host) propagate(mv moveKind, t tier, key cache.Key, e *cache.Entry, gen uint64, ln lane, c cont, trSeq uint64) {
 	epoch := e.DirtyEpoch
 	if h.tierPeek(t, key) == e && e.Gen() == gen {
 		e.WritebackInFlight = true
@@ -157,7 +163,7 @@ func (h *Host) propagate(mv moveKind, t tier, key cache.Key, e *cache.Entry, gen
 	r.epoch = epoch
 	r.t = t
 	r.c = c
-	h.move(mv, key, ln, cont{propagated, r})
+	h.move(mv, key, ln, cont{propagated, r}, trSeq)
 }
 
 func propagated(a any) {
@@ -178,11 +184,11 @@ func propagated(a any) {
 // architecture: the filer is written first, then the flash copy is
 // refreshed — "the flash is updated after the file server and never
 // contains dirty data."
-func (h *Host) writeLookaside(key cache.Key, ln lane, c cont) {
+func (h *Host) writeLookaside(key cache.Key, ln lane, c cont, trSeq uint64) {
 	r := h.getReq()
 	r.key = key
 	r.c = c
-	h.writeBlockToFiler(key, ln, cont{lookasideFilerWritten, r})
+	h.writeBlockToFiler(key, ln, cont{lookasideFilerWritten, r}, trSeq)
 }
 
 func lookasideFilerWritten(a any) {
@@ -198,10 +204,10 @@ func lookasideFilerWritten(a any) {
 // the block becomes resident and dirty in flash, the flash device write is
 // paid, and the flash tier's own writeback policy is applied to the new
 // dirty flash data. c runs when the block is durable in flash.
-func (h *Host) writeBlockToFlash(key cache.Key, ln lane, c cont) {
+func (h *Host) writeBlockToFlash(key cache.Key, ln lane, c cont, trSeq uint64) {
 	if h.flash.Capacity() == 0 {
 		// No flash tier: RAM's next tier is the filer.
-		h.writeBlockToFiler(key, ln, c)
+		h.writeBlockToFiler(key, ln, c, trSeq)
 		return
 	}
 	if h.collect {
@@ -211,6 +217,7 @@ func (h *Host) writeBlockToFlash(key cache.Key, ln lane, c cont) {
 	r.key = key
 	r.ln = ln
 	r.c = c
+	r.trSeq = trSeq
 	h.ensureFlashEntry(key, flashWBEntry, r)
 }
 
@@ -218,31 +225,37 @@ func flashWBEntry(a any, e *cache.Entry) {
 	r := a.(*hostReq)
 	h := r.h
 	if e == nil {
-		key, ln, c := r.key, r.ln, r.c
+		key, ln, c, trSeq := r.key, r.ln, r.c, r.trSeq
 		h.putReq(r)
-		h.writeBlockToFiler(key, ln, c)
+		h.writeBlockToFiler(key, ln, c, trSeq)
 		return
 	}
 	e.DirtyEpoch++
 	h.flash.MarkDirty(e)
 	r.e = e
 	r.gen = e.Gen()
+	if r.trSeq != 0 {
+		r.tMark = h.eng.Now()
+	}
 	h.flashIO.Write2(r.key, flashWBWritten, r)
 }
 
 func flashWBWritten(a any) {
 	r := a.(*hostReq)
 	h := r.h
-	key, ln, c, e, gen := r.key, r.ln, r.c, r.e, r.gen
+	if r.trSeq != 0 {
+		h.span(r.trSeq, obs.KindWBFlash, r.key, r.tMark)
+	}
+	key, ln, c, e, gen, trSeq := r.key, r.ln, r.c, r.e, r.gen, r.trSeq
 	h.putReq(r)
 	// The data is durable in flash; now the flash tier's policy decides
 	// when it reaches the filer. A synchronous flash policy inside a
 	// demand chain keeps blocking the requester on the demand lane.
 	switch h.cfg.FlashPolicy.Kind {
 	case WriteThroughSync:
-		h.propagate(moveToFiler, tierFlash, key, e, gen, ln, c)
+		h.propagate(moveToFiler, tierFlash, key, e, gen, ln, c, trSeq)
 	case WriteThroughAsync:
-		h.propagate(moveToFiler, tierFlash, key, e, gen, bgLane, cont{})
+		h.propagate(moveToFiler, tierFlash, key, e, gen, bgLane, cont{}, trSeq)
 		c.run()
 	default:
 		c.run()
@@ -282,7 +295,7 @@ func installCleanCopyRoom(a any) {
 // writeBlockToFiler writes one block to the filer over the chosen lane:
 // a data packet out, the filer's buffered write, and an acknowledgement
 // packet back.
-func (h *Host) writeBlockToFiler(key cache.Key, ln lane, c cont) {
+func (h *Host) writeBlockToFiler(key cache.Key, ln lane, c cont, trSeq uint64) {
 	if h.collect {
 		h.st.FilerWritebacks++
 	}
@@ -290,6 +303,10 @@ func (h *Host) writeBlockToFiler(key cache.Key, ln lane, c cont) {
 	r.key = key
 	r.ln = ln
 	r.c = c
+	if trSeq != 0 {
+		r.trSeq = trSeq
+		r.tMark = h.eng.Now()
+	}
 	h.noteUpSend()
 	h.lane(ln).Send2(netsim.ToFiler, trace.BlockSize, filerWriteSent, r)
 }
@@ -304,16 +321,39 @@ func (h *Host) lane(ln lane) *netsim.Segment {
 
 func filerWriteSent(a any) {
 	r := a.(*hostReq)
-	r.h.noteUpArrival()
-	r.h.fsrv.Write2(uint64(r.key), filerWriteServed, r)
+	h := r.h
+	h.noteUpArrival()
+	if r.trSeq != 0 {
+		h.span(r.trSeq, obs.KindWBNetUp, r.key, r.tMark)
+		r.tMark = h.eng.Now()
+	}
+	h.fsrv.Write2(uint64(r.key), filerWriteServed, r)
 }
 
 func filerWriteServed(a any) {
 	r := a.(*hostReq)
 	h := r.h
+	if r.trSeq != 0 {
+		// Traced chains keep the record through the return packet so its
+		// arrival can be recorded; either way exactly one event is
+		// scheduled, so event counts and times stay identical.
+		h.span(r.trSeq, obs.KindWBFiler, r.key, r.tMark)
+		r.tMark = h.eng.Now()
+		h.lane(r.ln).Send2(netsim.FromFiler, 0, filerWriteArrived, r)
+		return
+	}
 	ln, c := r.ln, r.c
 	h.putReq(r)
 	h.lane(ln).Send2(netsim.FromFiler, 0, c.fn, c.arg)
+}
+
+func filerWriteArrived(a any) {
+	r := a.(*hostReq)
+	h := r.h
+	h.span(r.trSeq, obs.KindWBNetDown, r.key, r.tMark)
+	c := r.c
+	h.putReq(r)
+	c.run()
 }
 
 // --- periodic syncers ---
@@ -363,7 +403,7 @@ func (h *Host) flushRAM(limit int) {
 			}
 			continue
 		}
-		h.propagate(mv, tierRAM, e.Key(), e, e.Gen(), bgLane, cont{})
+		h.propagate(mv, tierRAM, e.Key(), e, e.Gen(), bgLane, cont{}, 0)
 		flushed++
 	}
 }
@@ -382,7 +422,7 @@ func (h *Host) flushFlash(limit int) {
 			}
 			continue
 		}
-		h.propagate(moveToFiler, tierFlash, e.Key(), e, e.Gen(), bgLane, cont{})
+		h.propagate(moveToFiler, tierFlash, e.Key(), e, e.Gen(), bgLane, cont{}, 0)
 		flushed++
 	}
 }
@@ -404,7 +444,7 @@ func (h *Host) flushUnified(m cache.Medium, limit int) {
 			}
 			continue
 		}
-		h.propagate(moveToFiler, tierUnified, e.Key(), e, e.Gen(), bgLane, cont{})
+		h.propagate(moveToFiler, tierUnified, e.Key(), e, e.Gen(), bgLane, cont{}, 0)
 		flushed++
 	}
 }

@@ -55,6 +55,10 @@ func ExtFleet(o Options) (*Report, error) {
 	partFig := stats.NewFigure(
 		"Extension: hottest filer backend load vs fleet size (filer partitioning)",
 		"hosts", "peak barrier queue (messages)")
+	wallFig := stats.NewFigure(
+		"Extension: wall-clock barrier-wait share vs shard count "+
+			"(cluster self-profile; real time — varies with the machine, unlike every other chart)",
+		"engine shards", "share of shard wall time (%)")
 	traffic := trafficFig.AddSeries("filer reads/s")
 	lat := latFig.AddSeries("read latency")
 	ramHit := hitFig.AddSeries("RAM hit rate")
@@ -64,6 +68,8 @@ func ExtFleet(o Options) (*Report, error) {
 	latOverhead := protoFig.AddSeries("read latency overhead (%)")
 	p1Peak := partFig.AddSeries("partitions=1 backend")
 	pNPeak := partFig.AddSeries(fmt.Sprintf("partitions=%d hottest backend", fleetPartitions))
+	barrierShare := wallFig.AddSeries("barrier wait")
+	execImb := wallFig.AddSeries("shard imbalance")
 
 	var table strings.Builder
 	fmt.Fprintf(&table, "%-8s %12s %12s %10s %10s %12s %14s\n",
@@ -76,6 +82,9 @@ func ExtFleet(o Options) (*Report, error) {
 		"hosts", "p1 peak queue", "p1 mean queue",
 		fmt.Sprintf("p%d hot peak", fleetPartitions),
 		fmt.Sprintf("p%d hot mean", fleetPartitions), "relief")
+	var wallTable strings.Builder
+	fmt.Fprintf(&wallTable, "%-8s %8s %10s %12s %8s %10s %10s %10s\n",
+		"shards", "epochs", "exec ms", "barrier ms", "share", "merge ms", "filer1 ms", "filer2 ms")
 
 	// Always run on the cluster executor — its results are identical for
 	// every shard count, so the report does not depend on the machine's
@@ -199,6 +208,40 @@ func ExtFleet(o Options) (*Report, error) {
 					hot.MaxBarrierQueue, hot.MeanBarrierQueue, relief)
 			})
 	}
+	// Wall-clock breakdown sweep: one mid-size population re-run at
+	// growing shard counts with the cluster's self-profiler on. The
+	// simulated results stay bit-identical (shard-count invariance); what
+	// moves is where real time goes — the barrier-wait share is the
+	// fraction of shard capacity the conservative handshake idles, the
+	// number the overlapped-execution work exists to drive down. Unlike
+	// every other chart this one measures the machine it runs on.
+	wallHosts := hostCounts[1]
+	wallShards := []int{2, 4, 8}
+	if o.Quick {
+		wallShards = []int{2, 4}
+	}
+	for _, shards := range wallShards {
+		shards := shards
+		cfg := fleetPoint(wallHosts)
+		cfg.Shards = shards
+		cfg.WallProfile = true
+		s.add(fmt.Sprintf("ext-fleet hosts=%d shards=%d wall-profile", wallHosts, shards), cfg,
+			func(res *flashsim.Result) {
+				wp := res.WallProfile
+				if wp == nil {
+					return
+				}
+				x := float64(shards)
+				barrierShare.Add(x, 100*wp.BarrierShare())
+				execImb.Add(x, 100*wp.Imbalance())
+				fmt.Fprintf(&wallTable, "%-8d %8d %10.1f %12.1f %7.1f%% %10.1f %10.1f %10.1f\n",
+					shards, wp.Epochs,
+					float64(wp.ExecTotalNanos())/1e6, float64(wp.BarrierWaitNanos)/1e6,
+					100*wp.BarrierShare(),
+					float64(wp.MergeNanos)/1e6,
+					float64(wp.FilerPhase1Nanos)/1e6, float64(wp.FilerPhase2Nanos)/1e6)
+			})
+	}
 	if err := s.run(); err != nil {
 		return nil, err
 	}
@@ -206,9 +249,10 @@ func ExtFleet(o Options) (*Report, error) {
 		Name: "ext-fleet",
 		Description: "Fleet-scale population sweep on the sharded cluster executor, " +
 			"instant invalidation vs the callback consistency protocol, " +
-			"plus the filer partition sweep " +
+			"the filer partition sweep, and the cluster's wall-clock " +
+			"barrier-wait profile " +
 			"(extension; the paper stops at eight hosts and counts invalidations only)",
-		Figures: []*stats.Figure{trafficFig, latFig, hitFig, protoFig, partFig},
-		Tables:  []string{table.String(), protoTable.String(), partTable.String()},
+		Figures: []*stats.Figure{trafficFig, latFig, hitFig, protoFig, partFig, wallFig},
+		Tables:  []string{table.String(), protoTable.String(), partTable.String(), wallTable.String()},
 	}, nil
 }

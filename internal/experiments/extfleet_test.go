@@ -10,10 +10,10 @@ func TestExtFleetShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Figures) != 5 {
-		t.Fatalf("want traffic, latency, hit-rate, protocol and partition figures, got %d", len(rep.Figures))
+	if len(rep.Figures) != 6 {
+		t.Fatalf("want traffic, latency, hit-rate, protocol, partition and wall-clock figures, got %d", len(rep.Figures))
 	}
-	if len(rep.Tables) < 3 || !strings.Contains(rep.Tables[0], "hosts") {
+	if len(rep.Tables) < 4 || !strings.Contains(rep.Tables[0], "hosts") {
 		t.Fatal("fleet table missing")
 	}
 	if !strings.Contains(rep.Tables[1], "msgs/write") {
@@ -21,6 +21,9 @@ func TestExtFleetShape(t *testing.T) {
 	}
 	if !strings.Contains(rep.Tables[2], "relief") {
 		t.Fatal("partition table missing")
+	}
+	if !strings.Contains(rep.Tables[3], "barrier ms") {
+		t.Fatal("wall-clock table missing")
 	}
 
 	traffic := findSeries(t, rep.Figures[0], "filer reads/s")
@@ -83,6 +86,19 @@ func TestExtFleetShape(t *testing.T) {
 		if pN.Points[i].Y >= p1.Points[i].Y {
 			t.Errorf("partitioning did not relieve the hottest backend at %v hosts: %v -> %v",
 				p1.Points[i].X, p1.Points[i].Y, pN.Points[i].Y)
+		}
+	}
+
+	// The wall-clock self-profile: a point per swept shard count. The
+	// share is a real-time measurement — structurally zero when the
+	// cluster runs inline on one core — so only its range is checked.
+	share := findSeries(t, rep.Figures[5], "barrier wait")
+	if n := len(share.Points); n != 2 {
+		t.Fatalf("want 2 quick-mode wall-profile points, got %d", n)
+	}
+	for _, p := range share.Points {
+		if p.Y < 0 || p.Y > 100 {
+			t.Fatalf("barrier-wait share %v%% out of range at %v shards", p.Y, p.X)
 		}
 	}
 }

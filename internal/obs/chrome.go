@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/sim"
+)
+
+// This file renders a span set as Chrome trace-event JSON — the format
+// chrome://tracing and https://ui.perfetto.dev load directly — and
+// validates files claiming to be one (tools/tracecheck and the trace
+// export tests share the validator).
+//
+// The export maps a span's issuing host to the trace "process" (pid) and
+// its per-host request sequence to the "thread" (tid), so all stages of
+// one sampled request stack on one track. Events are complete spans
+// (ph "X") with microsecond timestamps in simulated time; process_name
+// metadata events label the hosts. The writer emits spans in the
+// deterministic Tracer.Spans order, so the file bytes are identical for
+// every shard and partition count.
+
+// ChromeOptions tunes the export.
+type ChromeOptions struct {
+	// Namer, when non-nil, may refine a span's event name; returning ""
+	// keeps the default stage name. The flashsim layer uses it to label
+	// filer service spans with the tier their duration identifies
+	// (fast / slow / object), which the host-side recorder cannot see.
+	Namer func(Span) string
+}
+
+// WriteChromeTrace renders spans as a Chrome trace-event JSON object.
+func WriteChromeTrace(w io.Writer, spans []Span, opts ChromeOptions) error {
+	b := make([]byte, 0, 64*len(spans)+64)
+	b = append(b, `{"traceEvents":[`...)
+	first := true
+	lastHost := int32(-1)
+	for _, s := range spans {
+		// Spans arrive sorted; a host's first span triggers its label.
+		if s.Host != lastHost {
+			lastHost = s.Host
+			if !first {
+				b = append(b, ',')
+			}
+			first = false
+			b = append(b, `{"name":"process_name","ph":"M","pid":`...)
+			b = strconv.AppendInt(b, int64(s.Host), 10)
+			b = append(b, `,"tid":0,"args":{"name":"host `...)
+			b = strconv.AppendInt(b, int64(s.Host), 10)
+			b = append(b, `"}}`...)
+		}
+		if !first {
+			b = append(b, ',')
+		}
+		first = false
+		name := s.Kind.String()
+		if opts.Namer != nil {
+			if n := opts.Namer(s); n != "" {
+				name = n
+			}
+		}
+		b = append(b, `{"name":"`...)
+		b = append(b, name...)
+		b = append(b, `","cat":"req","ph":"X","ts":`...)
+		b = appendMicros(b, s.Start)
+		b = append(b, `,"dur":`...)
+		b = appendMicros(b, s.End-s.Start)
+		b = append(b, `,"pid":`...)
+		b = strconv.AppendInt(b, int64(s.Host), 10)
+		b = append(b, `,"tid":`...)
+		b = strconv.AppendUint(b, s.Seq, 10)
+		b = append(b, `,"args":{"key":`...)
+		b = strconv.AppendUint(b, s.Key, 10)
+		b = append(b, `,"seq":`...)
+		b = strconv.AppendUint(b, s.Seq, 10)
+		b = append(b, `}}`...)
+	}
+	b = append(b, `],"displayTimeUnit":"ms"}`...)
+	b = append(b, '\n')
+	_, err := w.Write(b)
+	return err
+}
+
+// appendMicros renders a simulated time as decimal microseconds with
+// nanosecond precision (the trace-event ts/dur unit is microseconds).
+func appendMicros(b []byte, t sim.Time) []byte {
+	b = strconv.AppendInt(b, int64(t)/1000, 10)
+	if frac := int64(t) % 1000; frac != 0 {
+		b = append(b, '.')
+		b = append(b, '0'+byte(frac/100), '0'+byte(frac/10%10), '0'+byte(frac%10))
+	}
+	return b
+}
+
+// chromeFile is the subset of the trace-event format the validator
+// checks.
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+type chromeEvent struct {
+	Name string   `json:"name"`
+	Ph   string   `json:"ph"`
+	Ts   *float64 `json:"ts"`
+	Dur  *float64 `json:"dur"`
+	Pid  *int64   `json:"pid"`
+	Tid  *int64   `json:"tid"`
+}
+
+// ValidateChromeTrace parses r as Chrome trace-event JSON and checks the
+// structural invariants Perfetto relies on: a traceEvents array whose
+// events all carry a name, a known phase, and pid/tid; complete (ph "X")
+// events additionally need a non-negative ts and dur. It returns the
+// number of complete span events.
+func ValidateChromeTrace(r io.Reader) (int, error) {
+	dec := json.NewDecoder(r)
+	var f chromeFile
+	if err := dec.Decode(&f); err != nil {
+		return 0, fmt.Errorf("trace is not valid JSON: %w", err)
+	}
+	if f.TraceEvents == nil {
+		return 0, fmt.Errorf("trace has no traceEvents array")
+	}
+	spans := 0
+	for i, ev := range f.TraceEvents {
+		if ev.Name == "" {
+			return 0, fmt.Errorf("event %d: missing name", i)
+		}
+		if ev.Pid == nil || ev.Tid == nil {
+			return 0, fmt.Errorf("event %d (%s): missing pid/tid", i, ev.Name)
+		}
+		switch ev.Ph {
+		case "M": // metadata
+		case "X":
+			if ev.Ts == nil || *ev.Ts < 0 {
+				return 0, fmt.Errorf("event %d (%s): complete event needs ts >= 0", i, ev.Name)
+			}
+			if ev.Dur == nil || *ev.Dur < 0 {
+				return 0, fmt.Errorf("event %d (%s): complete event needs dur >= 0", i, ev.Name)
+			}
+			spans++
+		default:
+			return 0, fmt.Errorf("event %d (%s): unexpected phase %q", i, ev.Name, ev.Ph)
+		}
+	}
+	return spans, nil
+}

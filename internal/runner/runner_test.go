@@ -29,6 +29,17 @@ func testGrid(t *testing.T) *Grid {
 	return g
 }
 
+// scrubRuntime zeroes each result's wall-clock footprint, which
+// legitimately differs run to run, so cross-parallelism comparisons
+// see only the deterministic surface.
+func scrubRuntime(rs []*flashsim.Result) {
+	for _, r := range rs {
+		if r != nil {
+			r.WallClockSeconds, r.PeakHeapBytes = 0, 0
+		}
+	}
+}
+
 // The tentpole contract: a grid run at -parallel 1 and at -parallel 8
 // produces identical Result structs, point for point.
 func TestRunDeterministicAcrossParallelism(t *testing.T) {
@@ -41,6 +52,8 @@ func TestRunDeterministicAcrossParallelism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	scrubRuntime(seq)
+	scrubRuntime(par)
 	if len(seq) != g.Len() || len(par) != g.Len() {
 		t.Fatalf("got %d and %d results for %d points", len(seq), len(par), g.Len())
 	}
@@ -139,6 +152,8 @@ func TestRunTracePoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	scrubRuntime(seq)
+	scrubRuntime(par)
 	for i := range seq {
 		if seq[i].BlocksIssued != nops {
 			t.Errorf("point %d issued %d blocks, want %d", i, seq[i].BlocksIssued, nops)

@@ -143,6 +143,31 @@ func (h *Histogram) Quantile(q float64) sim.Time {
 	return h.accum.Max()
 }
 
+// HistogramBucket is one exported histogram bucket: the bucket's lower
+// bound in nanoseconds and its sample count.
+type HistogramBucket struct {
+	LowNanos sim.Time `json:"low_ns"`
+	Count    uint64   `json:"count"`
+}
+
+// Buckets returns the non-empty buckets in ascending order; bucket lower
+// bounds follow the 10-per-decade log grid Quantile interpolates on.
+// Machine-readable exports serialize this instead of the raw array so a
+// sparse histogram stays small.
+func (h *Histogram) Buckets() []HistogramBucket {
+	var out []HistogramBucket
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		out = append(out, HistogramBucket{
+			LowNanos: sim.Time(math.Pow(10, float64(i)/10)),
+			Count:    c,
+		})
+	}
+	return out
+}
+
 // Counter is a named monotonic counter map with stable iteration order.
 type Counter struct {
 	names  []string

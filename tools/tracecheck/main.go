@@ -1,0 +1,51 @@
+// Command tracecheck validates Chrome trace-event JSON files as written
+// by flashsim -trace-out: each file must parse, every event must carry
+// the fields Perfetto relies on (name, phase, pid/tid; ts and dur on
+// complete events), and — unless -allow-empty — hold at least one span.
+// CI runs it over the tracing smoke job's artifact so a malformed export
+// cannot ship.
+//
+//	go run ./tools/tracecheck trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/flashsim"
+)
+
+func main() {
+	allowEmpty := flag.Bool("allow-empty", false, "accept traces with zero spans")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-allow-empty] <trace.json>...")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+			bad++
+			continue
+		}
+		spans, err := flashsim.ValidateChromeTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			bad++
+			continue
+		}
+		if spans == 0 && !*allowEmpty {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: no spans (sampled nothing?)\n", path)
+			bad++
+			continue
+		}
+		fmt.Printf("%s: %d spans ok\n", path, spans)
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+}
