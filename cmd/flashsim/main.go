@@ -89,6 +89,9 @@ func main() {
 	ftlBacked := flag.Bool("ftl", false, "route flash traffic through the FTL device simulator")
 	prefetch := flag.Float64("prefetch", 0.90, "filer fast-read (prefetch success) rate")
 	filerPartitions := flag.Int("filer-partitions", 0, "filer backend partitions: blocks are hash-routed over this many independent backends, results identical at every count (0 = 1)")
+	filerReplicas := flag.Int("filer-replicas", 0, "filer replicas per partition: reads go to the fastest live replica, writes complete at the quorum-th ack, results identical at every count (0 = 1)")
+	filerQuorum := flag.Int("filer-quorum", 0, "filer write quorum: acks a write waits for (0 = majority, replicas/2+1)")
+	filerSlowReplica := flag.Float64("filer-slow-replica", 0, "scale the last replica of every filer partition group's latencies by this factor (the one-slow-backend scenario; requires -filer-replicas >= 2)")
 	objectTier := flag.Bool("object-tier", false, "enable the object tier behind the filer's block tier (S3-behind-EBS)")
 	objectRead := flag.Float64("object-read", 0, "object-tier read latency in microseconds (0 = timing model default)")
 	objectWrite := flag.Float64("object-write", 0, "object-tier write latency in microseconds (0 = timing model default)")
@@ -105,7 +108,7 @@ func main() {
 	epochstatsJSON := flag.String("epochstats-json", "", "write the -epochstats data as JSON to this file (- for stdout)")
 	traceSample := flag.Float64("trace-sample", 0, "fraction of requests to trace through their pipeline stages (0 disables; the sampled set is deterministic and shard-invariant)")
 	traceOut := flag.String("trace-out", "", "write sampled request-lifecycle spans as Chrome trace-event JSON to this file (- for stdout; load in ui.perfetto.dev); implies -trace-sample 0.01 when that is unset")
-	reportJSON := flag.String("report-json", "", "write a machine-readable run report (schema flashsim-report/1) to this file (- for stdout)")
+	reportJSON := flag.String("report-json", "", "write a machine-readable run report (schema flashsim-report/2) to this file (- for stdout)")
 	wallProfile := flag.Bool("wall-profile", false, "profile where wall-clock time goes inside a sharded run (barrier wait, exchange merge, filer service); reported by -epochstats and the report's wall_clock section")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -149,6 +152,9 @@ func main() {
 	die(err)
 	base.Timing.FilerFastReadRate = *prefetch
 	base.FilerPartitions = *filerPartitions
+	base.FilerReplicas = *filerReplicas
+	base.FilerWriteQuorum = *filerQuorum
+	base.FilerSlowReplica = *filerSlowReplica
 	base.ObjectTier = *objectTier
 	base.ObjectWriteThrough = *objectWriteThrough
 	base.ObjectReadPromote = *objectReadPromote
@@ -339,6 +345,21 @@ func printEpochStats(enabled bool, epochs, msgs uint64, simSeconds float64,
 		fmt.Printf("filer partition %d: %d serviced (%d fast, %d slow, %d object, %d writes)  max queue %d  mean queue %.2f\n",
 			p, st.Serviced(), st.FastReads, st.SlowReads, st.ObjectReads, st.Writes,
 			st.MaxBarrierQueue, st.MeanBarrierQueue)
+		if st.DegradedReads > 0 || st.DegradedWrites > 0 {
+			fmt.Printf("filer partition %d: degraded service: %d reads, %d writes\n",
+				p, st.DegradedReads, st.DegradedWrites)
+		}
+		if len(st.Replicas) > 1 {
+			for r, rs := range st.Replicas {
+				state := "live"
+				if !rs.Live {
+					state = "down"
+				}
+				fmt.Printf("  replica %d.%d [%s]: %d fast, %d slow, %d object, %d write acks, %d resyncs (%d blocks)\n",
+					p, r, state, rs.FastReads, rs.SlowReads, rs.ObjectReads, rs.Writes,
+					rs.Resyncs, rs.ResyncBlocks)
+			}
+		}
 	}
 	if wp != nil {
 		fmt.Print(wp.Summary())

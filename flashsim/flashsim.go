@@ -243,6 +243,29 @@ type Config struct {
 	// rejected.
 	FilerPartitions int
 
+	// FilerReplicas replicates each filer partition over that many
+	// independent copies (a replica group): reads are served by the
+	// fastest live replica — picked deterministically from the same RNG
+	// draw that decides the fast/slow outcome — and writes complete at
+	// the FilerWriteQuorum-th ack. With homogeneous replica timing,
+	// results are bit-identical for every replica count; the knob buys
+	// redundancy (filer-crash/filer-recover scenario events) and the
+	// one-slow-backend study (FilerSlowReplica), not different numbers.
+	// 0 selects one replica, the classic single backend.
+	FilerReplicas int
+
+	// FilerWriteQuorum is the ack count a filer write waits for; 0
+	// selects the majority quorum FilerReplicas/2+1. Must be within
+	// [1, FilerReplicas] when set.
+	FilerWriteQuorum int
+
+	// FilerSlowReplica, when > 1, scales the last replica of every
+	// partition group's service latencies by this factor — the
+	// one-slow-backend tail-latency scenario. Reads route around the slow
+	// replica; write-all quorums (FilerWriteQuorum = FilerReplicas) are
+	// dragged by it. Requires FilerReplicas >= 2; 0 means homogeneous.
+	FilerSlowReplica float64
+
 	// ObjectTier layers an object store (S3-behind-EBS) behind the
 	// filer's block tier: reads that miss the prefetch cache and whose
 	// block is not block-tier resident pay Timing.ObjectRead instead of
@@ -373,6 +396,9 @@ func (c *Config) Validate() error {
 	if c.FilerPartitions < 0 {
 		return fmt.Errorf("flashsim: negative filer partition count")
 	}
+	if c.FilerReplicas < 0 {
+		return fmt.Errorf("flashsim: negative filer replica count")
+	}
 	if f := c.TraceSample; math.IsNaN(f) || f < 0 || f > 1 {
 		return fmt.Errorf("flashsim: trace sample rate %v out of [0,1]", f)
 	}
@@ -400,11 +426,14 @@ func (c *Config) Validate() error {
 // 0-means-default), and the object tier is attached only when enabled.
 func filerConfig(cfg Config) filer.Config {
 	fc := filer.Config{
-		Partitions:   cfg.FilerPartitions,
-		FastRead:     cfg.Timing.FilerFastRead,
-		SlowRead:     cfg.Timing.FilerSlowRead,
-		Write:        cfg.Timing.FilerWrite,
-		PrefetchRate: cfg.Timing.FilerFastReadRate,
+		Partitions:        cfg.FilerPartitions,
+		Replicas:          cfg.FilerReplicas,
+		WriteQuorum:       cfg.FilerWriteQuorum,
+		SlowReplicaFactor: cfg.FilerSlowReplica,
+		FastRead:          cfg.Timing.FilerFastRead,
+		SlowRead:          cfg.Timing.FilerSlowRead,
+		Write:             cfg.Timing.FilerWrite,
+		PrefetchRate:      cfg.Timing.FilerFastReadRate,
 	}
 	if fc.Partitions == 0 {
 		fc.Partitions = 1

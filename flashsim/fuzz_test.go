@@ -1,0 +1,58 @@
+package flashsim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// fuzzSeedReport produces a current-schema report from a real (tiny) run
+// so the fuzzer starts from a structurally complete document.
+func fuzzSeedReport(f *testing.F) []byte {
+	f.Helper()
+	cfg := ScaledConfig(1024)
+	cfg.FilerPartitions = 2
+	cfg.FilerReplicas = 2
+	cfg.ObjectTier = true
+	res, err := Run(cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := NewReport(cfg, res).WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadReport throws arbitrary bytes at the report reader. It must
+// never panic, must reject anything that is not a known schema, and any
+// report it accepts must survive a write/re-read round trip unchanged —
+// downstream tooling (CI's jq checks, the run-report diffing workflow)
+// depends on the serialized form being stable.
+func FuzzReadReport(f *testing.F) {
+	f.Add(fuzzSeedReport(f))
+	// A minimal previous-generation document: /1 predates the replica
+	// fields, and the reader must keep accepting it.
+	f.Add([]byte(`{"schema":"flashsim-report/1","config":{"hosts":1},"counters":{"blocks_issued":1}}`))
+	f.Add([]byte(`{"schema":"flashsim-report/9"}`))
+	f.Add([]byte(`{"schema":"flashsim-report/2","filer_partitions":[{"fast_reads":3,"replicas":[{"fast_reads":3,"live":true}]}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := ReadReport(data)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatalf("accepted report failed to serialize: %v", err)
+		}
+		back, err := ReadReport(buf.Bytes())
+		if err != nil {
+			t.Fatalf("serialized form of an accepted report was rejected: %v\n%s", err, buf.Bytes())
+		}
+		if !reflect.DeepEqual(rep, back) {
+			t.Fatalf("round trip changed the report:\nfirst  %+v\nsecond %+v", rep, back)
+		}
+	})
+}

@@ -200,6 +200,71 @@ func TestReportRoundTrip(t *testing.T) {
 	}
 }
 
+// TestReadReportSchemas locks the reader's version policy: it accepts the
+// current flashsim-report/2 (including the per-replica rows) and the
+// previous flashsim-report/1 (which predates them), and rejects anything
+// else — unknown schemas and unknown fields alike.
+func TestReadReportSchemas(t *testing.T) {
+	cfg := ScaledConfig(1024)
+	cfg.FilerPartitions = 2
+	cfg.FilerReplicas = 2
+	cfg.FilerSlowReplica = 4
+	cfg.ObjectTier = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := NewReport(cfg, res).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReadReport(buf.Bytes())
+	if err != nil {
+		t.Fatalf("current-schema report rejected: %v", err)
+	}
+	if rep.Schema != ReportSchema || rep.Config.FilerReplicas != 2 {
+		t.Errorf("schema %q, filer_replicas %d", rep.Schema, rep.Config.FilerReplicas)
+	}
+	if len(rep.FilerPartitions) != 2 || len(rep.FilerPartitions[0].Replicas) != 2 {
+		t.Fatalf("replica rows missing: %+v", rep.FilerPartitions)
+	}
+	for i, p := range rep.FilerPartitions {
+		var reads uint64
+		for j, r := range p.Replicas {
+			reads += r.FastReads + r.SlowReads + r.ObjectReads
+			if !r.Live {
+				t.Errorf("partition %d replica %d reported down after a healthy run", i, j)
+			}
+		}
+		if reads != p.FastReads+p.SlowReads+p.ObjectReads {
+			t.Errorf("partition %d replica reads sum to %d, partition served %d",
+				i, reads, p.FastReads+p.SlowReads+p.ObjectReads)
+		}
+	}
+
+	v1 := []byte(`{"schema":"flashsim-report/1","config":{"hosts":4,"filer_partitions":2},"counters":{"ops_completed":12},"filer_partitions":[{"fast_reads":6},{"fast_reads":6}]}`)
+	old, err := ReadReport(v1)
+	if err != nil {
+		t.Fatalf("previous-schema report rejected: %v", err)
+	}
+	if old.Schema != ReportSchemaV1 || old.Counters["ops_completed"] != 12 {
+		t.Errorf("v1 report misread: %+v", old)
+	}
+	if len(old.FilerPartitions) != 2 || len(old.FilerPartitions[0].Replicas) != 0 {
+		t.Errorf("v1 partitions misread: %+v", old.FilerPartitions)
+	}
+
+	if _, err := ReadReport([]byte(`{"schema":"flashsim-report/9"}`)); err == nil {
+		t.Error("unknown schema accepted")
+	}
+	if _, err := ReadReport([]byte(`{"schema":"flashsim-report/2","bogus":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := ReadReport([]byte(`not json`)); err == nil {
+		t.Error("malformed input accepted")
+	}
+}
+
 func TestEpochStatsReport(t *testing.T) {
 	rep := NewEpochStatsReport(100, 400, 1.0, nil, nil)
 	if rep.MeanEpochMicros != 10000 || rep.MessagesPerBarrier != 4 {

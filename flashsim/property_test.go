@@ -1,0 +1,174 @@
+package flashsim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Property-test harness: the hand-picked golden matrices pin a handful of
+// configurations forever, but the invariance contract claims much more —
+// ANY valid configuration is bit-identical across shard, partition and
+// replica counts. This harness draws ~20 random configurations from the
+// valid ranges (geometry, workload mix, filer timing, object tier) off a
+// seeded generator and sweeps each across shards {1,2,4} x partitions
+// {1,2,4} x replicas {1,2,3} on the cluster, plus partitions x replicas
+// on the sequential path (the two executors have deliberately different
+// semantics, so they are each self-invariant rather than cross-equal —
+// see docs/ARCHITECTURE.md).
+
+// propertyConfigs is how many random configurations the harness draws.
+const propertyConfigs = 20
+
+// randomConfig derives one valid configuration from the generator. Every
+// knob it touches is drawn from its documented valid range, so Validate
+// must accept the result — a rejection is a bug in one or the other.
+func randomConfig(r *rng.RNG) Config {
+	cfg := ScaledConfig(8192)
+	cfg.Hosts = 1 + int(r.Uint64()%4)
+	cfg.ThreadsPerHost = 1 + int(r.Uint64()%4)
+	cfg.Workload.WorkingSetBlocks = 256 + int64(r.Uint64()%1792)
+	cfg.Workload.WriteFraction = r.Float64()
+	cfg.Workload.WorkingSetFraction = 0.5 + 0.5*r.Float64()
+	cfg.Workload.SharedWorkingSet = r.Bool(0.5)
+	cfg.Workload.Seed = 1 + r.Uint64()%1000
+	cfg.Seed = 1 + r.Uint64()%1000
+	cfg.RAMBlocks = 64 + int(r.Uint64()%448)
+	cfg.FlashBlocks = 256 + int(r.Uint64()%3840)
+
+	// Filer timing: jitter the block-tier latencies within an order of
+	// magnitude; the prefetch rate lands on the interior and both
+	// degenerate endpoints (the single-replica path legitimately skips
+	// draws there — exactly the edge the replica path must reproduce).
+	cfg.Timing.FilerFastRead = sim.Time(float64(cfg.Timing.FilerFastRead) * (0.5 + 2*r.Float64()))
+	cfg.Timing.FilerSlowRead = sim.Time(float64(cfg.Timing.FilerSlowRead) * (0.5 + 2*r.Float64()))
+	cfg.Timing.FilerWrite = sim.Time(float64(cfg.Timing.FilerWrite) * (0.5 + 2*r.Float64()))
+	switch r.Uint64() % 8 {
+	case 0:
+		cfg.Timing.FilerFastReadRate = 0
+	case 1:
+		cfg.Timing.FilerFastReadRate = 1
+	default:
+		cfg.Timing.FilerFastReadRate = r.Float64()
+	}
+
+	if r.Bool(0.5) {
+		cfg.ObjectTier = true
+		cfg.ObjectWriteThrough = r.Bool(0.5)
+		cfg.ObjectReadPromote = r.Bool(0.5)
+		// The object read must not undercut the block-tier slow read.
+		cfg.Timing.ObjectRead = sim.Time(float64(cfg.Timing.FilerSlowRead) * (1 + 4*r.Float64()))
+		cfg.Timing.ObjectWrite = sim.Time(float64(cfg.Timing.FilerWrite) * (1 + 4*r.Float64()))
+	}
+	return cfg
+}
+
+// describe summarizes the drawn knobs for failure messages.
+func describe(cfg Config) string {
+	return fmt.Sprintf("hosts=%d threads=%d ws=%d wf=%.3f shared=%v ram=%d flash=%d rate=%.3f object=%v seed=%d/%d",
+		cfg.Hosts, cfg.ThreadsPerHost, cfg.Workload.WorkingSetBlocks,
+		cfg.Workload.WriteFraction, cfg.Workload.SharedWorkingSet,
+		cfg.RAMBlocks, cfg.FlashBlocks, cfg.Timing.FilerFastReadRate,
+		cfg.ObjectTier, cfg.Workload.Seed, cfg.Seed)
+}
+
+// resultHash is the scrubbed golden-surface hash of a run.
+func resultHash(res *Result) string {
+	sum := sha256.Sum256([]byte(scrubRuntime(res).String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// TestPropertyClusterMatrixInvariance sweeps each random configuration
+// across the full cluster matrix: every (shards x partitions x replicas)
+// cell must produce the same scrubbed result, both by golden-surface hash
+// and by deep equality of everything outside the per-partition split.
+func TestPropertyClusterMatrixInvariance(t *testing.T) {
+	gen := rng.New(20250807)
+	for i := 0; i < propertyConfigs; i++ {
+		base := randomConfig(gen)
+		t.Run(fmt.Sprintf("config%02d", i), func(t *testing.T) {
+			if err := base.Validate(); err != nil {
+				t.Fatalf("generated config invalid (%s): %v", describe(base), err)
+			}
+			var ref *Result
+			var refHash string
+			for _, shards := range []int{1, 2, 4} {
+				for _, parts := range []int{1, 2, 4} {
+					for _, reps := range []int{1, 2, 3} {
+						cfg := base
+						cfg.Shards = shards
+						cfg.FilerPartitions = parts
+						cfg.FilerReplicas = reps
+						got, err := Run(cfg)
+						if err != nil {
+							t.Fatalf("Run(shards=%d parts=%d reps=%d, %s): %v",
+								shards, parts, reps, describe(base), err)
+						}
+						if ref == nil {
+							ref = scrubRuntime(got)
+							refHash = resultHash(got)
+							if got.BlocksIssued == 0 {
+								t.Fatalf("run did no work (%s)", describe(base))
+							}
+							continue
+						}
+						if h := resultHash(got); h != refHash {
+							t.Fatalf("shards=%d parts=%d reps=%d hash diverged (%s):\nref %s\ngot %s",
+								shards, parts, reps, describe(base), refHash, h)
+						}
+						if !reflect.DeepEqual(stripPartitions(ref), stripPartitions(got)) {
+							t.Fatalf("shards=%d parts=%d reps=%d result diverged (%s)",
+								shards, parts, reps, describe(base))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPropertySequentialMatrixInvariance is the sequential executor's half
+// of the contract: at Shards=0 the partition and replica counts must not
+// change results either (the classic engine draws from the same shared
+// stream at arrival time).
+func TestPropertySequentialMatrixInvariance(t *testing.T) {
+	gen := rng.New(777001)
+	for i := 0; i < propertyConfigs; i++ {
+		base := randomConfig(gen)
+		// Shards=0 with multiple hosts auto-selects the cluster; pin one
+		// host so the sweep genuinely exercises the sequential engine.
+		base.Hosts = 1
+		t.Run(fmt.Sprintf("config%02d", i), func(t *testing.T) {
+			var ref *Result
+			var refHash string
+			for _, parts := range []int{1, 2, 4} {
+				for _, reps := range []int{1, 2, 3} {
+					cfg := base
+					cfg.FilerPartitions = parts
+					cfg.FilerReplicas = reps
+					got, err := Run(cfg)
+					if err != nil {
+						t.Fatalf("Run(parts=%d reps=%d, %s): %v", parts, reps, describe(base), err)
+					}
+					if ref == nil {
+						ref = scrubRuntime(got)
+						refHash = resultHash(got)
+						continue
+					}
+					if h := resultHash(got); h != refHash {
+						t.Fatalf("parts=%d reps=%d hash diverged (%s):\nref %s\ngot %s",
+							parts, reps, describe(base), refHash, h)
+					}
+					if !reflect.DeepEqual(stripPartitions(ref), stripPartitions(got)) {
+						t.Fatalf("parts=%d reps=%d result diverged (%s)", parts, reps, describe(base))
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,7 +1,9 @@
 package flashsim
 
 import (
+	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 
 	"repro/internal/stats"
@@ -15,8 +17,14 @@ import (
 // fields and counter keys within a schema version.
 
 // ReportSchema identifies the report format; it changes only on
-// breaking (field-removing or meaning-changing) revisions.
-const ReportSchema = "flashsim-report/1"
+// breaking (field-removing or meaning-changing) revisions. Version 2
+// added the filer replica layer: per-partition degraded counters, the
+// per-replica stats split, and the replica knobs in the config summary.
+// ReadReport accepts both versions.
+const (
+	ReportSchema   = "flashsim-report/2"
+	ReportSchemaV1 = "flashsim-report/1"
+)
 
 // HistogramBucket is one exported latency-histogram bucket: the
 // bucket's lower bound in simulated nanoseconds and its sample count
@@ -37,6 +45,9 @@ type ReportConfig struct {
 	FlashReplacement string  `json:"flash_replacement"`
 	Shards           int     `json:"shards"`
 	FilerPartitions  int     `json:"filer_partitions"`
+	FilerReplicas    int     `json:"filer_replicas,omitempty"`
+	FilerWriteQuorum int     `json:"filer_write_quorum,omitempty"`
+	FilerSlowReplica float64 `json:"filer_slow_replica,omitempty"`
 	ObjectTier       bool    `json:"object_tier"`
 	WorkingSetBlocks int64   `json:"working_set_blocks"`
 	WriteFraction    float64 `json:"write_fraction"`
@@ -47,14 +58,33 @@ type ReportConfig struct {
 }
 
 // ReportPartition is one filer backend partition's load in a report.
+// The degraded counters and the replica split are schema-version-2
+// fields; version-1 reports decode with them empty.
 type ReportPartition struct {
 	FastReads        uint64  `json:"fast_reads"`
 	SlowReads        uint64  `json:"slow_reads"`
 	ObjectReads      uint64  `json:"object_reads"`
 	Writes           uint64  `json:"writes"`
 	ObjectWrites     uint64  `json:"object_writes"`
+	DegradedReads    uint64  `json:"degraded_reads,omitempty"`
+	DegradedWrites   uint64  `json:"degraded_writes,omitempty"`
 	MaxBarrierQueue  int     `json:"max_barrier_queue"`
 	MeanBarrierQueue float64 `json:"mean_barrier_queue"`
+
+	Replicas []ReportReplica `json:"replicas,omitempty"`
+}
+
+// ReportReplica is one replica's serviced/degraded/resync accounting
+// inside its partition group (schema version 2; omitted for
+// single-replica groups, whose partition row carries everything).
+type ReportReplica struct {
+	FastReads    uint64 `json:"fast_reads"`
+	SlowReads    uint64 `json:"slow_reads"`
+	ObjectReads  uint64 `json:"object_reads"`
+	Writes       uint64 `json:"writes"`
+	Resyncs      uint64 `json:"resyncs,omitempty"`
+	ResyncBlocks uint64 `json:"resync_blocks,omitempty"`
+	Live         bool   `json:"live"`
 }
 
 // ReportWallClock is the wall-clock self-profile in a report
@@ -131,6 +161,9 @@ func NewReport(cfg Config, res *Result) *Report {
 			FlashReplacement: cfg.FlashReplacement.String(),
 			Shards:           cfg.Shards,
 			FilerPartitions:  cfg.FilerPartitions,
+			FilerReplicas:    cfg.FilerReplicas,
+			FilerWriteQuorum: cfg.FilerWriteQuorum,
+			FilerSlowReplica: cfg.FilerSlowReplica,
 			ObjectTier:       cfg.ObjectTier,
 			WorkingSetBlocks: cfg.Workload.WorkingSetBlocks,
 			WriteFraction:    cfg.Workload.WriteFraction,
@@ -204,8 +237,25 @@ func reportPartitions(parts []FilerPartitionStats) []ReportPartition {
 			ObjectReads:      p.ObjectReads,
 			Writes:           p.Writes,
 			ObjectWrites:     p.ObjectWrites,
+			DegradedReads:    p.DegradedReads,
+			DegradedWrites:   p.DegradedWrites,
 			MaxBarrierQueue:  p.MaxBarrierQueue,
 			MeanBarrierQueue: p.MeanBarrierQueue,
+		}
+		if len(p.Replicas) > 1 {
+			reps := make([]ReportReplica, len(p.Replicas))
+			for j, r := range p.Replicas {
+				reps[j] = ReportReplica{
+					FastReads:    r.FastReads,
+					SlowReads:    r.SlowReads,
+					ObjectReads:  r.ObjectReads,
+					Writes:       r.Writes,
+					Resyncs:      r.Resyncs,
+					ResyncBlocks: r.ResyncBlocks,
+					Live:         r.Live,
+				}
+			}
+			out[i].Replicas = reps
 		}
 	}
 	return out
@@ -260,6 +310,26 @@ func NewEpochStatsReport(epochs, msgs uint64, simSeconds float64,
 		rep.MessagesPerBarrier = float64(msgs) / float64(epochs)
 	}
 	return rep
+}
+
+// ReadReport decodes a run report, accepting every schema version this
+// build knows (flashsim-report/1 and /2): version 1 reports simply
+// decode with the replica-layer fields empty. Unknown versions and
+// unknown fields are rejected, so a consumer never silently misreads a
+// future format.
+func ReadReport(data []byte) (*Report, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var rep Report
+	if err := dec.Decode(&rep); err != nil {
+		return nil, fmt.Errorf("flashsim: report: %w", err)
+	}
+	switch rep.Schema {
+	case ReportSchema, ReportSchemaV1:
+	default:
+		return nil, fmt.Errorf("flashsim: unknown report schema %q", rep.Schema)
+	}
+	return &rep, nil
 }
 
 // WriteJSON renders the report as indented JSON.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/filer"
 	"repro/internal/runner/pool"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -99,6 +100,14 @@ type EventResult struct {
 	// counts resident blocks discarded.
 	Flushed int
 	Dropped int
+
+	// Filer-event fields (filer-crash / filer-recover): the target
+	// replica, and for recoveries the re-sync volume in blocks plus its
+	// source ("group" or "object").
+	Partition    int
+	Replica      int
+	Resynced     int
+	ResyncSource string
 }
 
 // ScenarioResult is everything a scenario run measured: per-phase results,
@@ -159,8 +168,17 @@ func (r *ScenarioResult) String() string {
 			p.FilerWritebacks, p.DirtyBlocksEnd)
 	}
 	for _, e := range r.Events {
-		fmt.Fprintf(&b, "event: phase %d %s host %d (%.6f s, %d flushed, %d dropped)\n",
-			e.Phase, e.Kind, e.Host, e.Seconds, e.Flushed, e.Dropped)
+		switch e.Kind {
+		case string(scenario.EventFilerCrash):
+			fmt.Fprintf(&b, "event: phase %d %s partition %d replica %d\n",
+				e.Phase, e.Kind, e.Partition, e.Replica)
+		case string(scenario.EventFilerRecover):
+			fmt.Fprintf(&b, "event: phase %d %s partition %d replica %d (%d blocks from %s)\n",
+				e.Phase, e.Kind, e.Partition, e.Replica, e.Resynced, e.ResyncSource)
+		default:
+			fmt.Fprintf(&b, "event: phase %d %s host %d (%.6f s, %d flushed, %d dropped)\n",
+				e.Phase, e.Kind, e.Host, e.Seconds, e.Flushed, e.Dropped)
+		}
 	}
 	if r.Telemetry != nil {
 		fmt.Fprintf(&b, "telemetry: %d samples x %d columns\n",
@@ -389,6 +407,15 @@ func applyScenarioFiler(cfg Config, sc *Scenario) (Config, error) {
 	if f.Partitions > 0 {
 		cfg.FilerPartitions = f.Partitions
 	}
+	if f.Replicas > 0 {
+		cfg.FilerReplicas = f.Replicas
+	}
+	if f.WriteQuorum > 0 {
+		cfg.FilerWriteQuorum = f.WriteQuorum
+	}
+	if f.SlowReplicaFactor > 0 {
+		cfg.FilerSlowReplica = f.SlowReplicaFactor
+	}
 	if f.ObjectTier {
 		cfg.ObjectTier = true
 		if f.ObjectReadMicros > 0 {
@@ -401,10 +428,40 @@ func applyScenarioFiler(cfg Config, sc *Scenario) (Config, error) {
 		cfg.ObjectWriteThrough = *f.WriteThrough
 		cfg.ObjectReadPromote = *f.ReadPromote
 	}
-	if err := filerConfig(cfg).Validate(); err != nil {
+	fc := filerConfig(cfg)
+	if err := fc.Validate(); err != nil {
 		return cfg, fmt.Errorf("flashsim: scenario %s: %w", sc.Name, err)
 	}
+	if err := checkFilerEvents(sc, fc); err != nil {
+		return cfg, err
+	}
 	return cfg, nil
+}
+
+// checkFilerEvents verifies every filer-crash/filer-recover event against
+// the effective filer layout, so a typo'd partition or replica index fails
+// before the run instead of mid-scenario.
+func checkFilerEvents(sc *Scenario, fc filer.Config) error {
+	reps := fc.Replicas
+	if reps == 0 {
+		reps = 1
+	}
+	for pi := range sc.Phases {
+		for _, ev := range sc.Phases[pi].Events {
+			if ev.Kind != scenario.EventFilerCrash && ev.Kind != scenario.EventFilerRecover {
+				continue
+			}
+			if ev.Partition >= fc.Partitions {
+				return fmt.Errorf("flashsim: scenario %s phase %s: %s targets filer partition %d but the run has %d",
+					sc.Name, sc.Phases[pi].Name, ev.Kind, ev.Partition, fc.Partitions)
+			}
+			if ev.Replica >= reps {
+				return fmt.Errorf("flashsim: scenario %s phase %s: %s targets filer replica %d but groups have %d",
+					sc.Name, sc.Phases[pi].Name, ev.Kind, ev.Replica, reps)
+			}
+		}
+	}
+	return nil
 }
 
 // scenarioGenerator builds the effectively-unbounded trace generator of a
@@ -541,6 +598,18 @@ func executeEvent(s *simulation, cfg Config, phase int, ev ScenarioEvent) (Event
 		if err := s.drv.SetAttached(ev.Host, true); err != nil {
 			return er, err
 		}
+	case scenario.EventFilerCrash:
+		er.Partition, er.Replica = ev.Partition, ev.Replica
+		if err := s.fsrv.CrashReplica(ev.Partition, ev.Replica); err != nil {
+			return er, err
+		}
+	case scenario.EventFilerRecover:
+		er.Partition, er.Replica = ev.Partition, ev.Replica
+		blocks, source, err := s.fsrv.RecoverReplica(ev.Partition, ev.Replica)
+		if err != nil {
+			return er, err
+		}
+		er.Resynced, er.ResyncSource = blocks, source
 	default:
 		return er, fmt.Errorf("unknown event kind %q", ev.Kind)
 	}

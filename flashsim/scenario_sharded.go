@@ -359,6 +359,18 @@ func (r *shardedScenarioRun) executeEvent(phase int, ev ScenarioEvent) (EventRes
 		r.setAttached(ev.Host, false)
 	case scenario.EventJoin:
 		r.setAttached(ev.Host, true)
+	case scenario.EventFilerCrash:
+		er.Partition, er.Replica = ev.Partition, ev.Replica
+		if err := cl.Filer().CrashReplica(ev.Partition, ev.Replica); err != nil {
+			return er, err
+		}
+	case scenario.EventFilerRecover:
+		er.Partition, er.Replica = ev.Partition, ev.Replica
+		blocks, source, err := cl.Filer().RecoverReplica(ev.Partition, ev.Replica)
+		if err != nil {
+			return er, err
+		}
+		er.Resynced, er.ResyncSource = blocks, source
 	default:
 		return er, fmt.Errorf("unknown event kind %q", ev.Kind)
 	}

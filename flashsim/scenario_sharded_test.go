@@ -64,6 +64,7 @@ var shardedScenarioGoldens = map[string]string{
 	"burst":          "cfa79d1af82d0c774db4f8b2ca53ecb67181cc17901f3df667a15c48e6eb0988",
 	"churn":          "41e4ebd57998ddf011d09115adb022e97ff8d47ea235fc6f84e49b5b368c921b",
 	"crash-recovery": "09c60097eb8bd2df408d4950ec52e8ab38dacc56527d6ff33cb98d1e82289814",
+	"filer-crash":    "4319c1a088b60ca9b2677838fdd413ba098a05cd2d76293e79e43f703da0e89b",
 	"warmup":         "9af4b45a985ab0ff7b7eb0474d8cf67fd1b2c879f79cb45623c5dbda620bfbd3",
 	"ws-shift":       "8e0e72a77ad48644b80ad2307fbdf52e405172ea139fe82d354e63ac10ab5bef",
 }

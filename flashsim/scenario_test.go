@@ -48,6 +48,7 @@ var scenarioGoldens = map[string]string{
 	"burst":          "64fec5e43ebc7aed0eea9611df15c8a019f8690aa74725c07fc969ee992caa5d",
 	"churn":          "a591dab681048387e3a80d34cea2a4f6eb673e8a56c67e8b2cee178990b9782e",
 	"crash-recovery": "8b47df58f43557f9fc0614425a9e94686f8a732f13e96a1e3139c20bfe98291f",
+	"filer-crash":    "cbf40a8c2624f74f4ee73f4a39f81473d07c38b06e023a35c0c011417dabb823",
 	"warmup":         "bf278f4ccc4379061d051fb356994e1b725f47a65992b56800fbe9005dea8ed6",
 	"ws-shift":       "2244fe0dad65414eb9875a189e04e62aca4a21c9f95556dec68fdb647a3a06ce",
 }

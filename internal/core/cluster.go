@@ -74,7 +74,8 @@ type filerMsg struct {
 	seq   uint64 // per-host issue counter; breaks same-instant ties
 	part  int32  // filer backend partition the key routes to
 	write bool
-	fast  bool // reads: the pre-drawn fast/slow outcome (service phase 1)
+	fast  bool  // reads: the pre-drawn fast/slow outcome (service phase 1)
+	rep   int32 // reads: the pre-drawn serving replica (service phase 1)
 	key   uint64
 	fn    func(any)
 	arg   any
@@ -805,7 +806,7 @@ func (c *Cluster) serviceFiler() {
 	for i := range c.msgBatch {
 		m := &c.msgBatch[i]
 		if !m.write {
-			m.fast = c.fsrv.DrawRead()
+			m.fast, m.rep = c.fsrv.DrawReadAt(int(m.part))
 		}
 		c.partIdx[m.part] = append(c.partIdx[m.part], int32(i))
 	}
@@ -855,7 +856,7 @@ func (c *Cluster) servicePartition(p int) {
 		if m.write {
 			lat = c.fsrv.ServeWrite(p, m.key)
 		} else {
-			lat = c.fsrv.ServeRead(p, m.key, m.fast)
+			lat = c.fsrv.ServeRead(p, m.rep, m.key, m.fast)
 		}
 		sh := c.hostShard[m.host]
 		at := m.at + lat

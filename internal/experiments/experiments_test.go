@@ -37,8 +37,8 @@ func pointAt(t *testing.T, s *stats.Series, x float64) float64 {
 
 func TestNamesAndLookup(t *testing.T) {
 	names := Names()
-	if len(names) != 22 {
-		t.Fatalf("want 22 experiments (table1, 12 figures, 8 extensions, validate), got %d: %v", len(names), names)
+	if len(names) != 23 {
+		t.Fatalf("want 23 experiments (table1, 12 figures, 9 extensions, validate), got %d: %v", len(names), names)
 	}
 	for _, n := range names {
 		if _, ok := Lookup(n); !ok {

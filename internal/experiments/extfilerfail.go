@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/flashsim"
+	"repro/internal/stats"
+)
+
+func init() {
+	registry["ext-filerfail"] = ExtFilerFail
+}
+
+// filerFailReplicas is the replica group size the quorum sweep runs at.
+const filerFailReplicas = 3
+
+// ExtFilerFail is the filer-availability extension: the paper treats the
+// filer as a single always-up backend (§2), so client-cache effectiveness
+// under a degraded or struggling filer is outside its evaluation. With
+// replicated filer partitions the simulator can ask the two classic
+// questions of replicated storage:
+//
+// First, the straggler question. One replica per group runs slower by a
+// sweep factor, and the write quorum decides whether anyone notices:
+// write-all makes every writeback wait for the straggler — under dirty
+// eviction pressure the pinned victims back up into the client read path
+// and the write tail grows with the factor — while a majority quorum
+// hides it completely (reads route around the slow copy on their own in
+// both layouts, which is itself visible: the slow replica's serviced-read
+// counter stays at zero).
+//
+// Second, the availability question. The filer-crash scenario kills one
+// replica for a third of the run and then recovers it; sweeping the group
+// size shows the three regimes — a 1-replica group falls back to the
+// object tier (orders of magnitude slower, but still up), a 2-replica
+// group serves reads at full speed but acks writes below quorum, and a
+// 3-replica group rides through the crash with quorum intact. The
+// recovery re-sync source and volume come from the scenario event log.
+//
+// Every point runs on the sharded cluster executor; results are
+// bit-identical for every shard count.
+func ExtFilerFail(o Options) (*Report, error) {
+	factors := []float64{1, 4, 16, 64}
+	traceBlocks := int64(16384)
+	if o.Quick {
+		factors = []float64{1, 64}
+		traceBlocks = 8192
+	}
+
+	// Tiny caches under a write-heavy shared working set: every insert
+	// evicts, and dirty victims stay pinned until their writeback acks —
+	// the pressure that couples filer write latency back into the
+	// client's foreground path.
+	strugglePoint := func(factor float64, writeAll bool) flashsim.Config {
+		cfg := baseline(o)
+		cfg.Hosts = 4
+		cfg.ThreadsPerHost = 4
+		cfg.Shards = 2
+		cfg.FilerPartitions = 2
+		cfg.FilerReplicas = filerFailReplicas
+		cfg.FilerSlowReplica = factor
+		if writeAll {
+			cfg.FilerWriteQuorum = filerFailReplicas
+		}
+		cfg.RAMBlocks = 32
+		cfg.FlashBlocks = 64
+		// Fixed geometry and writeback cadence: this sweep is about the
+		// group's write path, so it must not move with Options.Scale
+		// (baseline scales the periodic-flush policy with the sizes).
+		cfg.RAMPolicy = flashsim.ScalePolicy(flashsim.PolicyP1, 128)
+		cfg.Workload.WorkingSetBlocks = 4096
+		cfg.Workload.WriteFraction = 0.7
+		cfg.Workload.SharedWorkingSet = true
+		cfg.Workload.TotalBlocks = traceBlocks
+		return cfg
+	}
+
+	tailFig := stats.NewFigure(
+		"Extension: write tail vs slow-replica factor (one straggler per group, 3 replicas)",
+		"slow-replica latency factor", "write p99 (us)")
+	tailMajority := tailFig.AddSeries("majority quorum (W=2)")
+	tailWriteAll := tailFig.AddSeries("write-all quorum (W=3)")
+	readFig := stats.NewFigure(
+		"Extension: foreground read latency vs slow-replica factor (writeback backpressure)",
+		"slow-replica latency factor", "read latency (us)")
+	readMajority := readFig.AddSeries("majority quorum (W=2)")
+	readWriteAll := readFig.AddSeries("write-all quorum (W=3)")
+
+	var tailTable strings.Builder
+	fmt.Fprintf(&tailTable, "%-8s %8s %14s %14s %14s %14s %12s\n",
+		"factor", "quorum", "write p99 (us)", "write (us)", "read (us)", "sync evicts", "slow reads")
+	s := newSweep(o, "ext-filerfail")
+	for _, factor := range factors {
+		for _, writeAll := range []bool{false, true} {
+			factor, writeAll := factor, writeAll
+			label := "majority"
+			if writeAll {
+				label = "write-all"
+			}
+			s.add(fmt.Sprintf("ext-filerfail factor=%g quorum=%s", factor, label),
+				strugglePoint(factor, writeAll),
+				func(res *flashsim.Result) {
+					// The straggler must be idle on the read side: the
+					// replica picker routes around it regardless of quorum.
+					var slowReads uint64
+					for _, st := range res.FilerPartitions {
+						rep := st.Replicas[len(st.Replicas)-1]
+						slowReads += rep.FastReads + rep.SlowReads + rep.ObjectReads
+					}
+					if writeAll {
+						tailWriteAll.Add(factor, res.WriteP99Micros)
+						readWriteAll.Add(factor, res.ReadLatencyMicros)
+					} else {
+						tailMajority.Add(factor, res.WriteP99Micros)
+						readMajority.Add(factor, res.ReadLatencyMicros)
+					}
+					fmt.Fprintf(&tailTable, "%-8g %8s %14.1f %14.2f %14.1f %14d %12d\n",
+						factor, label, res.WriteP99Micros, res.WriteLatencyMicros,
+						res.ReadLatencyMicros, res.Hosts.SyncEvictions, slowReads)
+				})
+		}
+	}
+	if err := s.run(); err != nil {
+		return nil, err
+	}
+
+	// Availability sweep: the filer-crash scenario (one replica down for
+	// the middle third, then recovered) at group sizes 1..3. The builtin
+	// crashes replica 1; a single-replica group only has replica 0, and
+	// crashing it is only survivable with the object tier (which the
+	// builtin enables).
+	var cfgs []flashsim.Config
+	var scs []*flashsim.Scenario
+	replicaCounts := []int{1, 2, 3}
+	for _, reps := range replicaCounts {
+		sc, err := flashsim.BuiltinScenario("filer-crash")
+		if err != nil {
+			return nil, err
+		}
+		sc.Filer.Replicas = reps
+		if reps == 1 {
+			for pi := range sc.Phases {
+				for ei := range sc.Phases[pi].Events {
+					sc.Phases[pi].Events[ei].Replica = 0
+				}
+			}
+		}
+		cfg := baseline(o)
+		cfg.Hosts = 4
+		cfg.ThreadsPerHost = 2
+		cfg.Shards = 2
+		cfgs = append(cfgs, cfg)
+		scs = append(scs, sc)
+	}
+	results, err := flashsim.RunScenarioBatch(cfgs, scs, o.Parallel)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: ext-filerfail: %w", err)
+	}
+
+	availFig := stats.NewFigure(
+		"Extension: read latency through a replica crash vs group size (filer-crash scenario)",
+		"replicas per partition group", "phase read latency (us)")
+	steadySeries := availFig.AddSeries("steady phase")
+	degradedSeries := availFig.AddSeries("degraded phase (one replica down)")
+	recoveredSeries := availFig.AddSeries("recovered phase")
+
+	var availTable strings.Builder
+	fmt.Fprintf(&availTable, "%-9s %12s %14s %14s %14s %14s %14s %8s\n",
+		"replicas", "steady (us)", "degraded (us)", "recovered (us)",
+		"degr. reads", "degr. writes", "resync blocks", "source")
+	for i, reps := range replicaCounts {
+		res := results[i]
+		var degrReads, degrWrites uint64
+		for _, st := range res.FilerPartitions {
+			degrReads += st.DegradedReads
+			degrWrites += st.DegradedWrites
+		}
+		recover := res.Events[1]
+		x := float64(reps)
+		steadySeries.Add(x, res.Phases[0].ReadLatencyMicros)
+		degradedSeries.Add(x, res.Phases[1].ReadLatencyMicros)
+		recoveredSeries.Add(x, res.Phases[2].ReadLatencyMicros)
+		o.logf("  ext-filerfail replicas=%d degraded-phase read %.1fus (%d degraded reads, %d degraded writes, resync %d from %s)",
+			reps, res.Phases[1].ReadLatencyMicros, degrReads, degrWrites,
+			recover.Resynced, recover.ResyncSource)
+		fmt.Fprintf(&availTable, "%-9d %12.1f %14.1f %14.1f %14d %14d %14d %8s\n",
+			reps, res.Phases[0].ReadLatencyMicros, res.Phases[1].ReadLatencyMicros,
+			res.Phases[2].ReadLatencyMicros, degrReads, degrWrites,
+			recover.Resynced, recover.ResyncSource)
+	}
+
+	return &Report{
+		Name: "ext-filerfail",
+		Description: "Filer replica straggler and crash sweeps: write-all vs majority " +
+			"quorum under one slow replica, and the filer-crash scenario at " +
+			"group sizes 1-3 (extension; the paper's filer is a single " +
+			"always-up backend)",
+		Figures: []*stats.Figure{tailFig, readFig, availFig},
+		Tables:  []string{tailTable.String(), availTable.String()},
+	}, nil
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtFilerFailShape(t *testing.T) {
+	rep, err := ExtFilerFail(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Figures) != 3 {
+		t.Fatalf("want tail, read and availability figures, got %d", len(rep.Figures))
+	}
+	if len(rep.Tables) != 2 {
+		t.Fatalf("want straggler and availability tables, got %d", len(rep.Tables))
+	}
+
+	// The straggler story: at factor 1 the quorums agree; at the largest
+	// factor the write-all tail must sit clearly above majority's, while
+	// the majority curve stays flat — the quorum hides the slow replica.
+	tailMaj := findSeries(t, rep.Figures[0], "majority quorum (W=2)")
+	tailAll := findSeries(t, rep.Figures[0], "write-all quorum (W=3)")
+	last := len(tailAll.Points) - 1
+	if tailAll.Points[last].Y <= tailMaj.Points[last].Y {
+		t.Errorf("write-all tail (%.1fus) not above majority (%.1fus) at factor %g",
+			tailAll.Points[last].Y, tailMaj.Points[last].Y, tailAll.Points[last].X)
+	}
+	if tailMaj.Points[0].Y != tailMaj.Points[last].Y {
+		t.Errorf("majority-quorum tail moved with the slow factor: %v", tailMaj.Points)
+	}
+	if tailAll.Points[0].Y != tailMaj.Points[0].Y {
+		t.Errorf("quorums disagree with no straggler: %.1f vs %.1f",
+			tailAll.Points[0].Y, tailMaj.Points[0].Y)
+	}
+
+	// The straggler serves no reads in any cell where it is actually slow
+	// (at factor 1 the group is homogeneous and reads spread over it too).
+	if !strings.Contains(rep.Tables[0], "slow reads") {
+		t.Fatalf("straggler table missing slow-read column:\n%s", rep.Tables[0])
+	}
+	for _, line := range strings.Split(strings.TrimSpace(rep.Tables[0]), "\n")[1:] {
+		fields := strings.Fields(line)
+		if fields[0] != "1" && fields[len(fields)-1] != "0" {
+			t.Errorf("slow replica served reads: %s", line)
+		}
+	}
+
+	// The availability story: a 1-replica group survives the crash on the
+	// object tier — its degraded phase must be far slower than a 2- or
+	// 3-replica group's, which keep serving from the surviving copies.
+	degraded := findSeries(t, rep.Figures[2], "degraded phase (one replica down)")
+	if len(degraded.Points) != 3 {
+		t.Fatalf("degraded series has %d points, want 3", len(degraded.Points))
+	}
+	if degraded.Points[0].Y <= 2*degraded.Points[1].Y {
+		t.Errorf("object-tier fallback (%.1fus) not clearly slower than a surviving replica (%.1fus)",
+			degraded.Points[0].Y, degraded.Points[1].Y)
+	}
+	if !strings.Contains(rep.Tables[1], "object") || !strings.Contains(rep.Tables[1], "group") {
+		t.Errorf("availability table missing re-sync sources:\n%s", rep.Tables[1])
+	}
+}

@@ -20,6 +20,7 @@ func TestReportsIdenticalAcrossParallelism(t *testing.T) {
 		{"fig8", Fig8},
 		{"ext-recovery", ExtRecovery},
 		{"ext-scenario", ExtScenario},
+		{"ext-filerfail", ExtFilerFail},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			seqOpts := quickOpts()

@@ -20,6 +20,31 @@
 // the wall-clock shape of sharded runs, whose coordinator services the
 // partitions' tier bookkeeping independently (see core/cluster.go).
 //
+// # Replica groups
+//
+// Each partition is a replica group of Config.Replicas independent copies
+// (R = 1 is the classic single backend). A read is served by the fastest
+// live replica for its drawn fast/slow outcome — ties broken by spare bits
+// of the same RNG draw that decided the outcome, so the whole decision
+// costs exactly one draw and results stay bit-identical for every replica
+// count. A write is acknowledged by every live replica but completes at
+// the quorum-th ack (Config.WriteQuorum, default R/2+1): with homogeneous
+// replica timing the quorum-th ack equals the single-backend write
+// latency, which is what keeps R a pure redundancy knob. Heterogeneity is
+// opt-in: Config.SlowReplicaFactor scales the last replica of every group
+// — the one-slow-backend tail-latency scenario — and reads simply route
+// around it while write-all quorums (W = R) are dragged by it.
+//
+// A replica can crash (CrashReplica) and recover (RecoverReplica) between
+// epochs: a crashed replica stops serving, reads route to the survivors,
+// and writes degrade to the surviving quorum. When every replica of a
+// group is down the object tier — if configured — serves as the
+// durability backstop at object-tier latency; crashing the last live
+// replica without one is an error. Recovery re-syncs the replica from its
+// group (or from the object tier when it comes back alone) and is
+// accounting-only: the group shares one residency map, so a resynced
+// replica is current by construction.
+//
 // # Object tier
 //
 // Behind the block tier an optional object tier (Config.Object) models an
@@ -41,6 +66,10 @@ import (
 	"repro/internal/sim"
 )
 
+// MaxReplicas bounds a partition's replica group size; quorum fan-out is
+// O(R) on the write path, so the bound keeps the hot loop small.
+const MaxReplicas = 8
+
 // ObjectTier configures the optional object store behind the block tier.
 type ObjectTier struct {
 	// Read is the object-store read (GET) latency paid by a block-tier
@@ -56,11 +85,26 @@ type ObjectTier struct {
 	ReadPromote bool
 }
 
-// Config describes a (possibly partitioned, possibly tiered) filer.
+// Config describes a (possibly partitioned, possibly replicated, possibly
+// tiered) filer.
 type Config struct {
 	// Partitions is the number of independent backends the namespace is
 	// hashed over; it must be at least 1.
 	Partitions int
+
+	// Replicas is the number of copies in each partition's replica group
+	// (1..MaxReplicas); 0 selects 1, the classic single backend.
+	Replicas int
+
+	// WriteQuorum is the ack count a write waits for (1..Replicas); 0
+	// selects the majority quorum Replicas/2+1.
+	WriteQuorum int
+
+	// SlowReplicaFactor, when > 1, scales the last replica of every
+	// group's service latencies by this factor — the one-slow-backend
+	// tail-latency scenario. It requires Replicas >= 2 (a sole replica
+	// cannot be "the slow one of its group"); 0 and 1 mean homogeneous.
+	SlowReplicaFactor float64
 
 	// FastRead, SlowRead and Write are the block-tier service latencies;
 	// PrefetchRate is the fraction of reads served fast.
@@ -73,10 +117,46 @@ type Config struct {
 	Object *ObjectTier
 }
 
+// replicas returns the effective replica count (0 means 1).
+func (c Config) replicas() int {
+	if c.Replicas == 0 {
+		return 1
+	}
+	return c.Replicas
+}
+
+// writeQuorum returns the effective write quorum (0 means majority).
+func (c Config) writeQuorum() int {
+	if c.WriteQuorum == 0 {
+		return c.replicas()/2 + 1
+	}
+	return c.WriteQuorum
+}
+
+// slowFactor returns the effective slow-replica scale (0 means 1).
+func (c Config) slowFactor() float64 {
+	if c.SlowReplicaFactor == 0 {
+		return 1
+	}
+	return c.SlowReplicaFactor
+}
+
 // Validate reports configuration errors.
 func (c Config) Validate() error {
 	if c.Partitions < 1 {
 		return fmt.Errorf("filer: partitions %d < 1", c.Partitions)
+	}
+	if c.Replicas < 0 || c.replicas() > MaxReplicas {
+		return fmt.Errorf("filer: replicas %d out of [1,%d]", c.Replicas, MaxReplicas)
+	}
+	if c.WriteQuorum < 0 || c.writeQuorum() > c.replicas() {
+		return fmt.Errorf("filer: write quorum %d out of [1,%d]", c.writeQuorum(), c.replicas())
+	}
+	if f := c.SlowReplicaFactor; math.IsNaN(f) || math.IsInf(f, 0) || (f != 0 && f < 1) {
+		return fmt.Errorf("filer: slow replica factor %v below 1", f)
+	}
+	if c.slowFactor() > 1 && c.replicas() < 2 {
+		return fmt.Errorf("filer: slow replica factor %v needs at least 2 replicas", c.SlowReplicaFactor)
 	}
 	if c.FastRead < 0 || c.SlowRead < 0 || c.Write < 0 {
 		return fmt.Errorf("filer: negative latency")
@@ -95,6 +175,28 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// ReplicaStats is one replica's accounting inside its partition group.
+// Reads are attributed to the one replica that served them; writes count
+// on every replica that acknowledged (all live ones), so replica write
+// counters sum to at least the partition's request count — they are
+// replication traffic, not request traffic.
+type ReplicaStats struct {
+	FastReads   uint64
+	SlowReads   uint64
+	ObjectReads uint64
+	Writes      uint64
+
+	// Resyncs counts recoveries of this replica; ResyncBlocks is the
+	// total block volume those resyncs copied (the group's residency at
+	// recovery time, when tracked).
+	Resyncs      uint64
+	ResyncBlocks uint64
+
+	// Live reports whether the replica was serving when the stats were
+	// taken.
+	Live bool
+}
+
 // PartitionStats is one backend partition's load accounting. The service
 // counters are properties of the global service order, so they are
 // identical for every shard count; the barrier queue gauges exist only on
@@ -106,6 +208,16 @@ type PartitionStats struct {
 	ObjectReads  uint64
 	Writes       uint64
 	ObjectWrites uint64
+
+	// DegradedReads counts reads served while the group was below full
+	// strength (routed around a crashed replica, or object-served with
+	// the whole group down); DegradedWrites counts writes acknowledged by
+	// fewer live replicas than the configured quorum.
+	DegradedReads  uint64
+	DegradedWrites uint64
+
+	// Replicas is the per-replica split, in replica order.
+	Replicas []ReplicaStats
 
 	// MaxBarrierQueue is the most requests this partition absorbed at one
 	// epoch barrier; MeanBarrierQueue averages over barriers that carried
@@ -119,18 +231,41 @@ func (p PartitionStats) Serviced() uint64 {
 	return p.FastReads + p.SlowReads + p.ObjectReads + p.Writes
 }
 
-// partition is one backend's private state.
-type partition struct {
+// replica is one copy's private state inside a partition group.
+type replica struct {
+	fastLat  sim.Time
+	slowLat  sim.Time
+	writeLat sim.Time
+	live     bool
+
 	fastReads    uint64
 	slowReads    uint64
 	objectReads  uint64
 	writes       uint64
-	objectWrites uint64
+	resyncs      uint64
+	resyncBlocks uint64
+}
 
-	// resident tracks block-tier residency for the object tier: a block
-	// written (or read-promoted) lives in the block tier until forever —
-	// the filer box does not model its own evictions. Nil without the
-	// object tier.
+// partition is one backend's private state: the request-level counters
+// (unchanged by replication — a request is counted once however many
+// replicas ack it) plus the replica group.
+type partition struct {
+	fastReads      uint64
+	slowReads      uint64
+	objectReads    uint64
+	writes         uint64
+	objectWrites   uint64
+	degradedReads  uint64
+	degradedWrites uint64
+
+	// reps is the replica group; live counts the serving members.
+	reps []replica
+	live int
+
+	// resident tracks block-tier residency for the object tier. The group
+	// shares one map: replication copies blocks, it does not re-partition
+	// them, and recovery re-syncs a replica to exactly this set. Nil
+	// without the object tier.
 	resident map[uint64]struct{}
 
 	// Barrier queue gauges (sharded runs; see ObserveBarrierQueue).
@@ -139,12 +274,15 @@ type partition struct {
 	queueObs uint64
 }
 
-// Filer is the shared file server: a partitioned, optionally tiered
-// backend set with one shared fast/slow draw stream.
+// Filer is the shared file server: a partitioned, replicated, optionally
+// tiered backend set with one shared fast/slow draw stream.
 type Filer struct {
 	eng *sim.Engine
 	rnd *rng.RNG
 	cfg Config
+
+	nreps  int
+	quorum int
 
 	parts []partition
 }
@@ -152,7 +290,7 @@ type Filer struct {
 // New returns a single-partition, block-tier-only filer with the given
 // service latencies and prefetch (fast-read) success rate in [0, 1] — the
 // paper's classic model. It panics on invalid parameters; use
-// NewPartitioned for error returns and the partition/tier knobs.
+// NewPartitioned for error returns and the partition/replica/tier knobs.
 func New(eng *sim.Engine, rnd *rng.RNG, fastRead, slowRead, write sim.Time, prefetchRate float64) *Filer {
 	f, err := NewPartitioned(eng, rnd, Config{
 		Partitions:   1,
@@ -172,10 +310,36 @@ func NewPartitioned(eng *sim.Engine, rnd *rng.RNG, cfg Config) (*Filer, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	f := &Filer{eng: eng, rnd: rnd, cfg: cfg, parts: make([]partition, cfg.Partitions)}
-	if cfg.Object != nil {
-		for i := range f.parts {
-			f.parts[i].resident = make(map[uint64]struct{})
+	f := &Filer{
+		eng:    eng,
+		rnd:    rnd,
+		cfg:    cfg,
+		nreps:  cfg.replicas(),
+		quorum: cfg.writeQuorum(),
+		parts:  make([]partition, cfg.Partitions),
+	}
+	for i := range f.parts {
+		p := &f.parts[i]
+		if cfg.Object != nil {
+			p.resident = make(map[uint64]struct{})
+		}
+		p.reps = make([]replica, f.nreps)
+		p.live = f.nreps
+		for r := range p.reps {
+			rep := &p.reps[r]
+			rep.live = true
+			rep.fastLat = cfg.FastRead
+			rep.slowLat = cfg.SlowRead
+			rep.writeLat = cfg.Write
+			if r == f.nreps-1 && cfg.slowFactor() > 1 {
+				// The group's one slow backend: every latency scaled by
+				// the factor (a pure function of the configuration, so
+				// identical on every run and executor).
+				s := cfg.slowFactor()
+				rep.fastLat = sim.Time(math.Round(float64(cfg.FastRead) * s))
+				rep.slowLat = sim.Time(math.Round(float64(cfg.SlowRead) * s))
+				rep.writeLat = sim.Time(math.Round(float64(cfg.Write) * s))
+			}
 		}
 	}
 	return f, nil
@@ -183,6 +347,15 @@ func NewPartitioned(eng *sim.Engine, rnd *rng.RNG, cfg Config) (*Filer, error) {
 
 // Partitions returns the number of backend partitions.
 func (f *Filer) Partitions() int { return len(f.parts) }
+
+// Replicas returns the replica group size of every partition.
+func (f *Filer) Replicas() int { return f.nreps }
+
+// WriteQuorum returns the configured write quorum.
+func (f *Filer) WriteQuorum() int { return f.quorum }
+
+// LiveReplicas returns how many of a partition's replicas are serving.
+func (f *Filer) LiveReplicas(part int) int { return f.parts[part].live }
 
 // Route maps a block key to its one backend partition: a SplitMix64-style
 // finalizer over the key, reduced mod the partition count. The hash is a
@@ -199,25 +372,105 @@ func (f *Filer) Route(key uint64) int {
 	return int(z % uint64(len(f.parts)))
 }
 
-// DrawRead consumes one fast/slow outcome from the shared draw stream.
-// The stream is shared across partitions deliberately: sharded runs draw
-// in globally sorted arrival order, so outcomes depend only on that order
-// — never on the partition count or the shard count.
-func (f *Filer) DrawRead() bool { return f.rnd.Bool(f.cfg.PrefetchRate) }
+// DrawReadAt consumes one read decision from the shared draw stream: the
+// fast/slow outcome plus the serving replica of the key's partition. The
+// stream is shared across partitions deliberately: sharded runs draw in
+// globally sorted arrival order, so outcomes depend only on that order —
+// never on the partition, replica or shard count.
+//
+// The replica-count invariance hinges on the draw accounting. With one
+// replica the classic rng.Bool path runs unchanged (zero draws at rate 0
+// or 1, one otherwise). With R >= 2 every read consumes exactly one
+// 64-bit draw: the top 53 bits decide fast/slow exactly as rng.Bool's
+// Float64 comparison would, and the 11 bits Float64 discards break ties
+// among the fastest live replicas. Outcome sequences are therefore
+// identical at every replica count whenever the rate is in (0,1), and at
+// the degenerate rates the outcome is a constant, so results match there
+// too. The returned replica is -1 when the whole group is down (the
+// object tier serves; see ServeRead).
+func (f *Filer) DrawReadAt(part int) (fast bool, rep int32) {
+	if f.nreps == 1 {
+		fast = f.rnd.Bool(f.cfg.PrefetchRate)
+		if !f.parts[part].reps[0].live {
+			return fast, -1
+		}
+		return fast, 0
+	}
+	u := f.rnd.Uint64()
+	switch rate := f.cfg.PrefetchRate; {
+	case rate <= 0:
+		fast = false
+	case rate >= 1:
+		fast = true
+	default:
+		fast = float64(u>>11)/(1<<53) < rate
+	}
+	return fast, f.pickReplica(part, fast, u&0x7ff)
+}
 
-// ServeRead services one read on a partition with a pre-drawn fast/slow
-// outcome and returns its latency. It touches only that partition's
-// counters and residency, so distinct partitions may be serviced
-// concurrently once their draws are taken.
-func (f *Filer) ServeRead(part int, key uint64, fast bool) sim.Time {
+// pickReplica returns the serving replica for a read with the given
+// outcome: the live replica with the smallest latency for that outcome,
+// ties broken by the draw's spare bits so a homogeneous group spreads its
+// reads. -1 when no replica is live.
+func (f *Filer) pickReplica(part int, fast bool, tie uint64) int32 {
 	p := &f.parts[part]
+	if p.live == 0 {
+		return -1
+	}
+	var cand [MaxReplicas]int32
+	n := 0
+	best := sim.Time(math.MaxInt64)
+	for i := range p.reps {
+		r := &p.reps[i]
+		if !r.live {
+			continue
+		}
+		lat := r.slowLat
+		if fast {
+			lat = r.fastLat
+		}
+		if lat < best {
+			best = lat
+			n = 0
+		}
+		if lat == best {
+			cand[n] = int32(i)
+			n++
+		}
+	}
+	return cand[tie%uint64(n)]
+}
+
+// ServeRead services one read on a partition with a pre-drawn outcome and
+// serving replica (DrawReadAt) and returns its latency. It touches only
+// that partition's counters and residency, so distinct partitions may be
+// serviced concurrently once their draws are taken.
+func (f *Filer) ServeRead(part int, rep int32, key uint64, fast bool) sim.Time {
+	p := &f.parts[part]
+	if rep < 0 {
+		// Whole group down: the object tier is the durability backstop
+		// (CrashReplica guarantees it exists before allowing this state).
+		o := f.cfg.Object
+		p.objectReads++
+		p.degradedReads++
+		if o.ReadPromote {
+			p.resident[key] = struct{}{}
+		}
+		return o.Read
+	}
+	r := &p.reps[rep]
+	if p.live < f.nreps {
+		p.degradedReads++
+	}
 	if fast {
 		p.fastReads++
-		return f.cfg.FastRead
+		r.fastReads++
+		return r.fastLat
 	}
 	if o := f.cfg.Object; o != nil {
 		if _, ok := p.resident[key]; !ok {
 			p.objectReads++
+			r.objectReads++
 			if o.ReadPromote {
 				p.resident[key] = struct{}{}
 			}
@@ -225,12 +478,15 @@ func (f *Filer) ServeRead(part int, key uint64, fast bool) sim.Time {
 		}
 	}
 	p.slowReads++
-	return f.cfg.SlowRead
+	r.slowReads++
+	return r.slowLat
 }
 
-// ServeWrite services one (always fast, buffered) write on a partition and
-// returns its latency. The write lands in the block tier — the block
-// becomes resident — and WriteThrough accounts a background object copy.
+// ServeWrite services one (always fast, buffered) write on a partition
+// and returns its latency: every live replica acknowledges, and the write
+// completes at the quorum-th ack — the quorum-th smallest live write
+// latency. The write lands in the block tier — the block becomes resident
+// — and WriteThrough accounts a background object copy.
 func (f *Filer) ServeWrite(part int, key uint64) sim.Time {
 	p := &f.parts[part]
 	p.writes++
@@ -240,38 +496,104 @@ func (f *Filer) ServeWrite(part int, key uint64) sim.Time {
 			p.objectWrites++
 		}
 	}
-	return f.cfg.Write
-}
-
-// Read services a one-block read; done runs after the fast or slow (or
-// object-tier) latency.
-func (f *Filer) Read(key uint64, done func()) {
-	lat := f.ServeRead(f.Route(key), key, f.DrawRead())
-	if done != nil {
-		f.eng.Schedule(lat, done)
+	if p.live == 0 {
+		// Group down: the object tier absorbs the write directly. The
+		// latency never undercuts the block-tier write so the sharded
+		// lookahead floor stays valid through an outage.
+		p.degradedWrites++
+		lat := f.cfg.Object.Write
+		if lat < f.cfg.Write {
+			lat = f.cfg.Write
+		}
+		return lat
 	}
-}
-
-// Read2 is the allocation-free form of Read: fn is a static func(any) run
-// with arg after the service latency. Unlike Read(key, nil), a nil fn
-// still schedules a (shared, no-op) completion event.
-func (f *Filer) Read2(key uint64, fn func(any), arg any) {
-	f.eng.Schedule2(f.ServeRead(f.Route(key), key, f.DrawRead()), fn, arg)
-}
-
-// Write services a one-block write; writes hit the filer's nonvolatile
-// buffer and are always fast.
-func (f *Filer) Write(key uint64, done func()) {
-	lat := f.ServeWrite(f.Route(key), key)
-	if done != nil {
-		f.eng.Schedule(lat, done)
+	if f.nreps == 1 {
+		p.reps[0].writes++
+		return p.reps[0].writeLat
 	}
+	// Insertion-sort the live replicas' write latencies (R <= MaxReplicas,
+	// so the sort is a handful of compares) and complete at the quorum-th.
+	var acks [MaxReplicas]sim.Time
+	n := 0
+	for i := range p.reps {
+		r := &p.reps[i]
+		if !r.live {
+			continue
+		}
+		r.writes++
+		lat := r.writeLat
+		j := n
+		for j > 0 && acks[j-1] > lat {
+			acks[j] = acks[j-1]
+			j--
+		}
+		acks[j] = lat
+		n++
+	}
+	w := f.quorum
+	if w > n {
+		// Degraded: fewer survivors than the quorum; complete at the
+		// last surviving ack.
+		p.degradedWrites++
+		w = n
+	}
+	return acks[w-1]
 }
 
-// Write2 is the allocation-free form of Write. Unlike Write(key, nil), a
-// nil fn still schedules a (shared, no-op) completion event.
-func (f *Filer) Write2(key uint64, fn func(any), arg any) {
-	f.eng.Schedule2(f.ServeWrite(f.Route(key), key), fn, arg)
+// CrashReplica takes one replica of a partition group out of service:
+// reads route to the survivors and writes degrade to the surviving
+// quorum. Crashing the last live replica is allowed only with the object
+// tier configured (the durability backstop); without one it is an error,
+// as is crashing an already-down replica. Call it only with the
+// simulation quiesced (scenario events run between epochs).
+func (f *Filer) CrashReplica(part, rep int) error {
+	if part < 0 || part >= len(f.parts) {
+		return fmt.Errorf("filer: partition %d out of [0,%d)", part, len(f.parts))
+	}
+	p := &f.parts[part]
+	if rep < 0 || rep >= f.nreps {
+		return fmt.Errorf("filer: replica %d out of [0,%d)", rep, f.nreps)
+	}
+	r := &p.reps[rep]
+	if !r.live {
+		return fmt.Errorf("filer: partition %d replica %d already down", part, rep)
+	}
+	if p.live == 1 && f.cfg.Object == nil {
+		return fmt.Errorf("filer: cannot crash the last live replica of partition %d without an object tier", part)
+	}
+	r.live = false
+	p.live--
+	return nil
+}
+
+// RecoverReplica brings a crashed replica back into service, re-syncing
+// it from its group — or from the object tier when it returns alone. The
+// resync is accounting-only (the group shares one residency map, so the
+// recovered replica is current by construction): the returned block count
+// is the residency volume the resync copied (0 when residency is not
+// tracked) and source names where it came from ("group" or "object").
+func (f *Filer) RecoverReplica(part, rep int) (blocks int, source string, err error) {
+	if part < 0 || part >= len(f.parts) {
+		return 0, "", fmt.Errorf("filer: partition %d out of [0,%d)", part, len(f.parts))
+	}
+	p := &f.parts[part]
+	if rep < 0 || rep >= f.nreps {
+		return 0, "", fmt.Errorf("filer: replica %d out of [0,%d)", rep, f.nreps)
+	}
+	r := &p.reps[rep]
+	if r.live {
+		return 0, "", fmt.Errorf("filer: partition %d replica %d not down", part, rep)
+	}
+	source = "group"
+	if p.live == 0 {
+		source = "object"
+	}
+	blocks = len(p.resident)
+	r.live = true
+	p.live++
+	r.resyncs++
+	r.resyncBlocks += uint64(blocks)
+	return blocks, source, nil
 }
 
 // ObserveBarrierQueue records that a partition absorbed depth requests at
@@ -294,7 +616,8 @@ func (f *Filer) ObserveBarrierQueue(part, depth int) {
 func (f *Filer) PrefetchRate() float64 { return f.cfg.PrefetchRate }
 
 // FastReads, SlowReads, ObjectReads, Writes and ObjectWrites report
-// service counts summed over partitions.
+// service counts summed over partitions. Writes counts requests, not
+// replica acks (see ReplicaStats).
 func (f *Filer) FastReads() uint64 { return f.sum(func(p *partition) uint64 { return p.fastReads }) }
 func (f *Filer) SlowReads() uint64 { return f.sum(func(p *partition) uint64 { return p.slowReads }) }
 func (f *Filer) ObjectReads() uint64 {
@@ -305,6 +628,15 @@ func (f *Filer) ObjectWrites() uint64 {
 	return f.sum(func(p *partition) uint64 { return p.objectWrites })
 }
 
+// DegradedReads and DegradedWrites report the below-strength service
+// counts summed over partitions (see PartitionStats).
+func (f *Filer) DegradedReads() uint64 {
+	return f.sum(func(p *partition) uint64 { return p.degradedReads })
+}
+func (f *Filer) DegradedWrites() uint64 {
+	return f.sum(func(p *partition) uint64 { return p.degradedWrites })
+}
+
 func (f *Filer) sum(get func(*partition) uint64) uint64 {
 	var n uint64
 	for i := range f.parts {
@@ -313,7 +645,8 @@ func (f *Filer) sum(get func(*partition) uint64) uint64 {
 	return n
 }
 
-// PartitionStats returns one partition's load accounting.
+// PartitionStats returns one partition's load accounting, the per-replica
+// split included.
 func (f *Filer) PartitionStats(part int) PartitionStats {
 	p := &f.parts[part]
 	st := PartitionStats{
@@ -322,10 +655,25 @@ func (f *Filer) PartitionStats(part int) PartitionStats {
 		ObjectReads:     p.objectReads,
 		Writes:          p.writes,
 		ObjectWrites:    p.objectWrites,
+		DegradedReads:   p.degradedReads,
+		DegradedWrites:  p.degradedWrites,
 		MaxBarrierQueue: p.maxQueue,
 	}
 	if p.queueObs > 0 {
 		st.MeanBarrierQueue = float64(p.queueSum) / float64(p.queueObs)
+	}
+	st.Replicas = make([]ReplicaStats, len(p.reps))
+	for i := range p.reps {
+		r := &p.reps[i]
+		st.Replicas[i] = ReplicaStats{
+			FastReads:    r.fastReads,
+			SlowReads:    r.slowReads,
+			ObjectReads:  r.objectReads,
+			Writes:       r.writes,
+			Resyncs:      r.resyncs,
+			ResyncBlocks: r.resyncBlocks,
+			Live:         r.live,
+		}
 	}
 	return st
 }
@@ -337,13 +685,46 @@ func (f *Filer) MeanReadLatency() sim.Time {
 	return sim.Time(math.Round(mean))
 }
 
+// Read services a one-block read; done runs after the fast or slow (or
+// object-tier) latency.
+func (f *Filer) Read(key uint64, done func()) {
+	lat := f.TakeReadLatency(key)
+	if done != nil {
+		f.eng.Schedule(lat, done)
+	}
+}
+
+// Read2 is the allocation-free form of Read: fn is a static func(any) run
+// with arg after the service latency. Unlike Read(key, nil), a nil fn
+// still schedules a (shared, no-op) completion event.
+func (f *Filer) Read2(key uint64, fn func(any), arg any) {
+	f.eng.Schedule2(f.TakeReadLatency(key), fn, arg)
+}
+
+// Write services a one-block write; writes hit the filer's nonvolatile
+// buffer and are always fast.
+func (f *Filer) Write(key uint64, done func()) {
+	lat := f.TakeWriteLatency(key)
+	if done != nil {
+		f.eng.Schedule(lat, done)
+	}
+}
+
+// Write2 is the allocation-free form of Write. Unlike Write(key, nil), a
+// nil fn still schedules a (shared, no-op) completion event.
+func (f *Filer) Write2(key uint64, fn func(any), arg any) {
+	f.eng.Schedule2(f.TakeWriteLatency(key), fn, arg)
+}
+
 // TakeReadLatency draws one read's service time without scheduling the
-// completion — routing, draw and tier bookkeeping in one call. Sharded
-// runs service the filer at the epoch barrier in globally sorted arrival
-// order; the coordinator's two-phase form (DrawRead then ServeRead) is
-// equivalent to calling this per message in that order.
+// completion — routing, draw, replica pick and tier bookkeeping in one
+// call. Sharded runs service the filer at the epoch barrier in globally
+// sorted arrival order; the coordinator's two-phase form (DrawReadAt then
+// ServeRead) is equivalent to calling this per message in that order.
 func (f *Filer) TakeReadLatency(key uint64) sim.Time {
-	return f.ServeRead(f.Route(key), key, f.DrawRead())
+	part := f.Route(key)
+	fast, rep := f.DrawReadAt(part)
+	return f.ServeRead(part, rep, key, fast)
 }
 
 // TakeWriteLatency is TakeReadLatency's write-side twin.
@@ -353,9 +734,12 @@ func (f *Filer) TakeWriteLatency(key uint64) sim.Time {
 
 // MinServiceLatency returns the smallest latency the filer can ever add to
 // a request. Sharded runs fold it into the epoch-barrier lookahead bound.
-// The object tier cannot lower it: object reads are validated to be no
-// faster than the block tier's slow read, and object writes happen in the
-// background of the (already counted) buffered write.
+// Replication cannot lower it (the slow-replica factor only scales up, a
+// quorum ack is never earlier than the fastest single ack, and degraded
+// object-tier service is clamped to the block-tier floor), and neither
+// can the object tier (object reads are validated to be no faster than
+// the block tier's slow read; background write-through copies are never a
+// client latency).
 func (f *Filer) MinServiceLatency() sim.Time {
 	min := f.cfg.FastRead
 	if f.cfg.SlowRead < min {
@@ -368,10 +752,12 @@ func (f *Filer) MinServiceLatency() sim.Time {
 }
 
 // PartitionFloors returns each partition's minimum service latency, the
-// per-(shard,partition)-edge lookahead floors of a sharded run. The model's
-// partitions share one latency configuration, so every floor equals
-// MinServiceLatency today; the per-partition shape is what the cluster's
-// edge lookahead consumes (core/lookahead.go).
+// per-(shard,partition)-edge lookahead floors of a sharded run. Every
+// floor is the min over the group's replicas, which equals
+// MinServiceLatency (the slow-replica factor only scales latencies up);
+// crashing a replica can only raise a group's true minimum, so the floors
+// stay conservative through any crash/recover sequence without the
+// barrier schedule ever depending on liveness.
 func (f *Filer) PartitionFloors() []sim.Time {
 	floors := make([]sim.Time, len(f.parts))
 	for i := range floors {

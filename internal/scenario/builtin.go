@@ -22,6 +22,7 @@ var builtins = map[string]func() *Scenario{
 	"ws-shift":       WSShift,
 	"crash-recovery": CrashRecovery,
 	"churn":          Churn,
+	"filer-crash":    FilerCrash,
 }
 
 // BuiltinNames returns the built-in scenario names, sorted.
@@ -101,6 +102,30 @@ func CrashRecovery() *Scenario {
 			{Name: "warm", WSMultiple: 2},
 			{Name: "recovery", WSMultiple: 2,
 				Events: []Event{{Kind: EventCrash, Host: 0}}},
+		},
+	}
+}
+
+// FilerCrash exercises the filer tier's availability story: two backend
+// partitions, each a two-replica group over the object tier. After
+// warmup, partition 0 loses replica 1 — reads route to the survivor and
+// writes degrade to the surviving quorum — then the replica recovers,
+// re-synced from its group, and service returns to full strength.
+func FilerCrash() *Scenario {
+	return &Scenario{
+		Name:        "filer-crash",
+		Description: "filer replica crash and recovery; degraded quorum service between",
+		Filer: &FilerSpec{
+			Partitions: 2,
+			Replicas:   2,
+			ObjectTier: true,
+		},
+		Phases: []Phase{
+			{Name: "steady", WSMultiple: 2},
+			{Name: "degraded", WSMultiple: 1,
+				Events: []Event{{Kind: EventFilerCrash, Partition: 0, Replica: 1}}},
+			{Name: "recovered", WSMultiple: 1,
+				Events: []Event{{Kind: EventFilerRecover, Partition: 0, Replica: 1}}},
 		},
 	}
 }

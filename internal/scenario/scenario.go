@@ -41,17 +41,29 @@ const (
 	EventLeave EventKind = "leave"
 	// EventJoin re-attaches a previously departed host, cold.
 	EventJoin EventKind = "join"
+	// EventFilerCrash takes one replica of a filer partition group out of
+	// service: reads route to the survivors, writes degrade to the
+	// surviving quorum, and the object tier backstops a fully-down group.
+	EventFilerCrash EventKind = "filer-crash"
+	// EventFilerRecover brings a crashed filer replica back, re-synced
+	// from its group (or from the object tier when it returns alone).
+	EventFilerRecover EventKind = "filer-recover"
 )
 
 // Event is one scripted fault, executed at the start of its phase, in
 // declaration order, with the simulation quiesced.
 type Event struct {
 	Kind EventKind `json:"kind"`
-	// Host is the target host index.
+	// Host is the target host index (host events only).
 	Host int `json:"host"`
 	// Fraction is the flush drop fraction (flush events only); 0 is
 	// normalized to 1 (full flush) by Validate.
 	Fraction float64 `json:"fraction,omitempty"`
+	// Partition and Replica target a filer replica (filer-crash and
+	// filer-recover events only). The runner checks them against the
+	// effective filer layout.
+	Partition int `json:"partition,omitempty"`
+	Replica   int `json:"replica,omitempty"`
 }
 
 // Phase is one leg of a scenario: overrides and events applied at its
@@ -92,6 +104,19 @@ type FilerSpec struct {
 	// simulator configuration (whose own 0 means one partition).
 	Partitions int `json:"partitions,omitempty"`
 
+	// Replicas is the replica group size per partition; 0 inherits the
+	// simulator configuration (whose own 0 means one replica).
+	Replicas int `json:"replicas,omitempty"`
+
+	// WriteQuorum is the write ack count; 0 inherits the configuration
+	// (whose own 0 means the majority quorum Replicas/2+1).
+	WriteQuorum int `json:"write_quorum,omitempty"`
+
+	// SlowReplicaFactor scales every group's last replica's latencies —
+	// the one-slow-backend tail-latency scenario; 0 inherits the
+	// configuration, 1 means homogeneous.
+	SlowReplicaFactor float64 `json:"slow_replica_factor,omitempty"`
+
 	// ObjectTier enables the S3-behind-EBS object tier behind the block
 	// tier.
 	ObjectTier bool `json:"object_tier,omitempty"`
@@ -113,6 +138,18 @@ type FilerSpec struct {
 func (f *FilerSpec) validate() error {
 	if f.Partitions < 0 {
 		return fmt.Errorf("filer partitions %d negative", f.Partitions)
+	}
+	if f.Replicas < 0 {
+		return fmt.Errorf("filer replicas %d negative", f.Replicas)
+	}
+	if f.WriteQuorum < 0 {
+		return fmt.Errorf("filer write quorum %d negative", f.WriteQuorum)
+	}
+	if f.WriteQuorum > 0 && f.Replicas > 0 && f.WriteQuorum > f.Replicas {
+		return fmt.Errorf("filer write quorum %d exceeds replicas %d", f.WriteQuorum, f.Replicas)
+	}
+	if s := f.SlowReplicaFactor; math.IsNaN(s) || math.IsInf(s, 0) || (s != 0 && s < 1) {
+		return fmt.Errorf("filer slow replica factor %v below 1", s)
 	}
 	for _, v := range []float64{f.ObjectReadMicros, f.ObjectWriteMicros} {
 		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
@@ -240,8 +277,25 @@ func (e *Event) validate() error {
 		if e.Fraction == 0 {
 			e.Fraction = 1
 		}
+	case EventFilerCrash, EventFilerRecover:
+		if e.Fraction != 0 {
+			return fmt.Errorf("%s event takes no fraction", e.Kind)
+		}
+		if e.Host != 0 {
+			return fmt.Errorf("%s event targets a filer replica, not a host", e.Kind)
+		}
+		if e.Partition < 0 || e.Partition >= 1<<16 {
+			return fmt.Errorf("filer partition %d out of range", e.Partition)
+		}
+		if e.Replica < 0 || e.Replica >= 1<<16 {
+			return fmt.Errorf("filer replica %d out of range", e.Replica)
+		}
+		return nil
 	default:
 		return fmt.Errorf("unknown event kind %q", e.Kind)
+	}
+	if e.Partition != 0 || e.Replica != 0 {
+		return fmt.Errorf("%s event takes no filer partition/replica", e.Kind)
 	}
 	if e.Host < 0 || e.Host >= 1<<16 {
 		return fmt.Errorf("host %d out of range", e.Host)
@@ -318,6 +372,14 @@ func Parse(data []byte) (*Scenario, error) {
 	}
 	if err := s.Validate(); err != nil {
 		return nil, err
+	}
+	// Canonicalize: an explicit "events": [] decodes to an empty non-nil
+	// slice, which omitempty would then drop on re-serialization. Fold it
+	// to nil so parse → JSON → parse is a fixed point.
+	for i := range s.Phases {
+		if len(s.Phases[i].Events) == 0 {
+			s.Phases[i].Events = nil
+		}
 	}
 	return &s, nil
 }

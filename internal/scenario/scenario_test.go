@@ -201,7 +201,7 @@ func TestLoad(t *testing.T) {
 
 func TestBuiltinsValidateAndAreFresh(t *testing.T) {
 	names := BuiltinNames()
-	want := []string{"burst", "churn", "crash-recovery", "warmup", "ws-shift"}
+	want := []string{"burst", "churn", "crash-recovery", "filer-crash", "warmup", "ws-shift"}
 	if !reflect.DeepEqual(names, want) {
 		t.Fatalf("builtins = %v, want %v", names, want)
 	}
