@@ -1,0 +1,19 @@
+# flashsimd — simulation-as-a-service daemon (docs/SERVICE.md).
+#
+#   docker build -t flashsimd .
+#   docker run --rm -p 8080:8080 flashsimd
+#   curl -s localhost:8080/v1/runs -d '{"builtin":"crash-recovery","config":{"persistent":true}}'
+
+FROM golang:1.22-alpine AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -ldflags="-s -w" -o /out/flashsimd ./cmd/flashsimd
+
+FROM alpine:3.20
+RUN adduser -D -u 10001 flashsim
+USER flashsim
+COPY --from=build /out/flashsimd /usr/local/bin/flashsimd
+EXPOSE 8080
+ENTRYPOINT ["/usr/local/bin/flashsimd"]
+CMD ["-listen", ":8080"]

@@ -135,6 +135,11 @@ type Report struct {
 
 	FilerPartitions []ReportPartition `json:"filer_partitions"`
 
+	// Scenario carries the phase/event breakdown of a scripted run
+	// (NewScenarioReport); steady-state reports omit it. Added within
+	// schema version 2 — consumers tolerate its absence.
+	Scenario *ReportScenario `json:"scenario,omitempty"`
+
 	WallClock *ReportWallClock `json:"wall_clock,omitempty"`
 
 	// Runtime footprint (nondeterministic; see Result).
@@ -146,32 +151,38 @@ type Report struct {
 	TraceSpans int `json:"trace_spans"`
 }
 
+// reportConfig builds the configuration summary shared by the
+// steady-state and scenario report constructors.
+func reportConfig(cfg Config) ReportConfig {
+	return ReportConfig{
+		Hosts:            cfg.Hosts,
+		ThreadsPerHost:   cfg.ThreadsPerHost,
+		RAMBlocks:        cfg.RAMBlocks,
+		FlashBlocks:      cfg.FlashBlocks,
+		Arch:             cfg.Arch.String(),
+		RAMPolicy:        cfg.RAMPolicy.String(),
+		FlashPolicy:      cfg.FlashPolicy.String(),
+		FlashReplacement: cfg.FlashReplacement.String(),
+		Shards:           cfg.Shards,
+		FilerPartitions:  cfg.FilerPartitions,
+		FilerReplicas:    cfg.FilerReplicas,
+		FilerWriteQuorum: cfg.FilerWriteQuorum,
+		FilerSlowReplica: cfg.FilerSlowReplica,
+		ObjectTier:       cfg.ObjectTier,
+		WorkingSetBlocks: cfg.Workload.WorkingSetBlocks,
+		WriteFraction:    cfg.Workload.WriteFraction,
+		SharedWorkingSet: cfg.Workload.SharedWorkingSet,
+		WorkloadSeed:     cfg.Workload.Seed,
+		Seed:             cfg.Seed,
+		TraceSample:      cfg.TraceSample,
+	}
+}
+
 // NewReport assembles a run's report from its configuration and result.
 func NewReport(cfg Config, res *Result) *Report {
 	rep := &Report{
-		Schema: ReportSchema,
-		Config: ReportConfig{
-			Hosts:            cfg.Hosts,
-			ThreadsPerHost:   cfg.ThreadsPerHost,
-			RAMBlocks:        cfg.RAMBlocks,
-			FlashBlocks:      cfg.FlashBlocks,
-			Arch:             cfg.Arch.String(),
-			RAMPolicy:        cfg.RAMPolicy.String(),
-			FlashPolicy:      cfg.FlashPolicy.String(),
-			FlashReplacement: cfg.FlashReplacement.String(),
-			Shards:           cfg.Shards,
-			FilerPartitions:  cfg.FilerPartitions,
-			FilerReplicas:    cfg.FilerReplicas,
-			FilerWriteQuorum: cfg.FilerWriteQuorum,
-			FilerSlowReplica: cfg.FilerSlowReplica,
-			ObjectTier:       cfg.ObjectTier,
-			WorkingSetBlocks: cfg.Workload.WorkingSetBlocks,
-			WriteFraction:    cfg.Workload.WriteFraction,
-			SharedWorkingSet: cfg.Workload.SharedWorkingSet,
-			WorkloadSeed:     cfg.Workload.Seed,
-			Seed:             cfg.Seed,
-			TraceSample:      cfg.TraceSample,
-		},
+		Schema:             ReportSchema,
+		Config:             reportConfig(cfg),
 		ReadLatencyMicros:  res.ReadLatencyMicros,
 		WriteLatencyMicros: res.WriteLatencyMicros,
 		ReadP50Micros:      res.ReadP50Micros,
@@ -280,6 +291,131 @@ func reportWallClock(wp *WallProfile) *ReportWallClock {
 		Imbalance:        wp.Imbalance(),
 		BarrierShare:     wp.BarrierShare(),
 	}
+}
+
+// ReportScenario is the scenario section of a scripted run's report: the
+// scenario name, the per-phase measurements, the executed fault events
+// and the telemetry shape (the series itself exports separately as
+// CSV/NDJSON).
+type ReportScenario struct {
+	Name             string        `json:"name"`
+	Phases           []ReportPhase `json:"phases"`
+	Events           []ReportEvent `json:"events,omitempty"`
+	TelemetrySamples int           `json:"telemetry_samples"`
+}
+
+// ReportPhase is one phase's aggregate measurements in a report.
+type ReportPhase struct {
+	Name               string  `json:"name"`
+	StartSeconds       float64 `json:"start_s"`
+	EndSeconds         float64 `json:"end_s"`
+	BlocksIssued       uint64  `json:"blocks_issued"`
+	ReadLatencyMicros  float64 `json:"read_latency_us"`
+	WriteLatencyMicros float64 `json:"write_latency_us"`
+	RAMHitRate         float64 `json:"ram_hit_rate"`
+	FlashHitRate       float64 `json:"flash_hit_rate"`
+	FilerFetches       uint64  `json:"filer_fetches"`
+	FilerWritebacks    uint64  `json:"filer_writebacks"`
+	SyncEvictions      uint64  `json:"sync_evictions"`
+	DirtyBlocksEnd     uint64  `json:"dirty_blocks_end"`
+}
+
+// ReportEvent is one executed fault event in a report. Injected marks
+// events delivered to a live run through the daemon rather than scripted.
+type ReportEvent struct {
+	Phase        int     `json:"phase"`
+	Kind         string  `json:"kind"`
+	Host         int     `json:"host"`
+	Seconds      float64 `json:"seconds,omitempty"`
+	Flushed      int     `json:"flushed,omitempty"`
+	Dropped      int     `json:"dropped,omitempty"`
+	Partition    int     `json:"partition,omitempty"`
+	Replica      int     `json:"replica,omitempty"`
+	Resynced     int     `json:"resynced,omitempty"`
+	ResyncSource string  `json:"resync_source,omitempty"`
+	Injected     bool    `json:"injected,omitempty"`
+}
+
+// NewReportPhase converts one phase result to its report shape.
+func NewReportPhase(p PhaseResult) ReportPhase {
+	return ReportPhase{
+		Name:               p.Name,
+		StartSeconds:       p.StartSeconds,
+		EndSeconds:         p.EndSeconds,
+		BlocksIssued:       p.BlocksIssued,
+		ReadLatencyMicros:  p.ReadLatencyMicros,
+		WriteLatencyMicros: p.WriteLatencyMicros,
+		RAMHitRate:         p.RAMHitRate,
+		FlashHitRate:       p.FlashHitRate,
+		FilerFetches:       p.FilerFetches,
+		FilerWritebacks:    p.FilerWritebacks,
+		SyncEvictions:      p.SyncEvictions,
+		DirtyBlocksEnd:     p.DirtyBlocksEnd,
+	}
+}
+
+// NewReportEvent converts one event result to its report shape.
+func NewReportEvent(e EventResult) ReportEvent {
+	return ReportEvent{
+		Phase:        e.Phase,
+		Kind:         e.Kind,
+		Host:         e.Host,
+		Seconds:      e.Seconds,
+		Flushed:      e.Flushed,
+		Dropped:      e.Dropped,
+		Partition:    e.Partition,
+		Replica:      e.Replica,
+		Resynced:     e.Resynced,
+		ResyncSource: e.ResyncSource,
+		Injected:     e.Injected,
+	}
+}
+
+// NewScenarioReport assembles a scripted run's report: the same schema as
+// NewReport with the scenario section filled in and the headline metrics
+// taken from the scenario's whole-run aggregates. Fields a scenario run
+// does not measure (percentiles, histograms, flash busy fraction) stay
+// zero.
+func NewScenarioReport(cfg Config, res *ScenarioResult) *Report {
+	rep := &Report{
+		Schema:             ReportSchema,
+		Config:             reportConfig(cfg),
+		ReadLatencyMicros:  res.ReadLatencyMicros,
+		WriteLatencyMicros: res.WriteLatencyMicros,
+		RAMHitRate:         res.RAMHitRate,
+		FlashHitRate:       res.FlashHitRate,
+		SimulatedSeconds:   res.SimulatedSeconds,
+		Counters: map[string]uint64{
+			"blocks_issued":       res.BlocksIssued,
+			"events":              res.EngineEvents,
+			"epochs":              res.Epochs,
+			"barrier_messages":    res.BarrierMessages,
+			"filer_fetches":       res.FilerFetches,
+			"filer_writebacks":    res.FilerWritebacks,
+			"sync_evictions":      res.SyncEvictions,
+			"dirty_blocks_end":    res.DirtyBlocksEnd,
+			"filer_object_reads":  res.FilerObjectReads,
+			"filer_object_writes": res.FilerObjectWrites,
+			"scenario_events":     uint64(len(res.Events)),
+		},
+		WallClockSeconds: res.WallClockSeconds,
+		PeakHeapBytes:    res.PeakHeapBytes,
+		TraceSpans:       len(res.Trace),
+	}
+	sc := &ReportScenario{Name: res.Scenario}
+	for _, p := range res.Phases {
+		sc.Phases = append(sc.Phases, NewReportPhase(p))
+	}
+	for _, e := range res.Events {
+		sc.Events = append(sc.Events, NewReportEvent(e))
+	}
+	if res.Telemetry != nil {
+		sc.TelemetrySamples = res.Telemetry.Len()
+	}
+	rep.Scenario = sc
+	rep.FilerPartitions = reportPartitions(res.FilerPartitions)
+	rep.WallClock = reportWallClock(res.WallProfile)
+	return rep
 }
 
 // EpochStatsReport is the machine-readable form of cmd/flashsim's

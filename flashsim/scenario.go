@@ -61,6 +61,13 @@ var telemetryColumns = []string{
 	ColBlocks, ColInflight, ColDirty,
 }
 
+// TelemetryColumns returns the telemetry column names of a scenario run in
+// series order — the columns of ScenarioResult.Telemetry and of every
+// sample row a streaming run delivers (see RunScenarioStream).
+func TelemetryColumns() []string {
+	return append([]string(nil), telemetryColumns...)
+}
+
 // PhaseResult carries one phase's aggregate measurements: deltas of the
 // host statistics between the phase's start (after its events) and end.
 type PhaseResult struct {
@@ -108,6 +115,12 @@ type EventResult struct {
 	Replica      int
 	Resynced     int
 	ResyncSource string
+
+	// Injected marks an event delivered to a live run through a
+	// RunController rather than scripted in the scenario. Injected events
+	// execute at the next epoch barrier, so their placement depends on
+	// wall-clock arrival; scripted runs never set this.
+	Injected bool
 }
 
 // ScenarioResult is everything a scenario run measured: per-phase results,
@@ -124,6 +137,19 @@ type ScenarioResult struct {
 	BlocksIssued     uint64
 	SimulatedSeconds float64
 	EngineEvents     uint64
+
+	// Whole-run aggregates over every host, measured at the end of the
+	// run (phases carry the per-leg deltas). Shard-count invariant;
+	// excluded from String() — the golden-hash surface predates them —
+	// but carried into the scenario run report (NewScenarioReport).
+	ReadLatencyMicros  float64
+	WriteLatencyMicros float64
+	RAMHitRate         float64
+	FlashHitRate       float64
+	FilerFetches       uint64
+	FilerWritebacks    uint64
+	SyncEvictions      uint64
+	DirtyBlocksEnd     uint64
 
 	// Barrier-schedule statistics (sharded runs only; zero otherwise).
 	// Shard-count invariant, and deliberately excluded from String():
@@ -285,35 +311,16 @@ func rate(hits, misses uint64) float64 {
 // differences from the sequential path).
 func RunScenario(cfg Config, sc *Scenario) (*ScenarioResult, error) {
 	wallStart := time.Now()
-	if err := cfg.Validate(); err != nil {
+	cfg, sc, period, err := prepareScenario(cfg, sc)
+	if err != nil {
 		return nil, err
-	}
-	sc = sc.Clone()
-	if err := sc.Validate(); err != nil {
-		return nil, err
-	}
-	if maxHost := sc.MaxHost(); maxHost >= cfg.Hosts {
-		return nil, fmt.Errorf("flashsim: scenario %s targets host %d but config has %d hosts",
-			sc.Name, maxHost, cfg.Hosts)
-	}
-	if sc.HasChurn() && cfg.Hosts < 2 {
-		return nil, fmt.Errorf("flashsim: scenario %s has host churn; need at least 2 hosts", sc.Name)
-	}
-	period := sim.Time(sc.SampleEveryMillis * float64(sim.Millisecond))
-	if period <= 0 {
-		return nil, fmt.Errorf("flashsim: scenario %s sampling period %vms rounds to zero",
-			sc.Name, sc.SampleEveryMillis)
-	}
-	cfg, ferr := applyScenarioFiler(cfg, sc)
-	if ferr != nil {
-		return nil, ferr
 	}
 
 	if cfg.Shards >= 1 {
 		// The sharded executor: the scenario's phases, events and
 		// telemetry all synchronize at the cluster's epoch barrier, with
 		// results bit-identical for every shard count.
-		res, err := runScenarioSharded(cfg, sc, period)
+		res, err := runScenarioSharded(cfg, sc, period, ScenarioHooks{}, nil)
 		if err == nil {
 			res.WallClockSeconds, res.PeakHeapBytes = runtimeFootprint(wallStart)
 		}
@@ -387,6 +394,9 @@ func RunScenario(cfg Config, sc *Scenario) (*ScenarioResult, error) {
 	res.BlocksIssued = s.drv.BlocksIssued()
 	res.SimulatedSeconds = s.eng.Now().Seconds()
 	res.EngineEvents = s.eng.Processed()
+	var fin aggSnap
+	snapshot(s, &fin)
+	fillScenarioTotals(res, &fin)
 	fillScenarioFilerStats(res, s.fsrv)
 	if tr != nil {
 		res.Trace = tr.Spans()
@@ -395,44 +405,130 @@ func RunScenario(cfg Config, sc *Scenario) (*ScenarioResult, error) {
 	return res, nil
 }
 
-// applyScenarioFiler folds the scenario's filer specification into the
-// configuration before either executor builds its filer, then re-validates
-// the resulting filer layout (the scenario may pair an object-tier latency
-// with a config whose block tier undercuts it).
-func applyScenarioFiler(cfg Config, sc *Scenario) (Config, error) {
-	f := sc.Filer
+// prepareScenario runs the shared prelude of every scenario entry point:
+// configuration and scenario validation, the host/churn cross-checks, the
+// sampling-period resolution, and the fold of the scenario's filer spec
+// into the configuration. The scenario is cloned, so normalization never
+// mutates the caller's copy.
+func prepareScenario(cfg Config, sc *Scenario) (Config, *Scenario, sim.Time, error) {
+	if err := cfg.Validate(); err != nil {
+		return cfg, nil, 0, err
+	}
+	sc = sc.Clone()
+	if err := sc.Validate(); err != nil {
+		return cfg, nil, 0, err
+	}
+	if maxHost := sc.MaxHost(); maxHost >= cfg.Hosts {
+		return cfg, nil, 0, fmt.Errorf("flashsim: scenario %s targets host %d but config has %d hosts",
+			sc.Name, maxHost, cfg.Hosts)
+	}
+	if sc.HasChurn() && cfg.Hosts < 2 {
+		return cfg, nil, 0, fmt.Errorf("flashsim: scenario %s has host churn; need at least 2 hosts", sc.Name)
+	}
+	period := sim.Time(sc.SampleEveryMillis * float64(sim.Millisecond))
+	if period <= 0 {
+		return cfg, nil, 0, fmt.Errorf("flashsim: scenario %s sampling period %vms rounds to zero",
+			sc.Name, sc.SampleEveryMillis)
+	}
+	cfg, err := applyScenarioFiler(cfg, sc)
+	if err != nil {
+		return cfg, nil, 0, err
+	}
+	return cfg, sc, period, nil
+}
+
+// CheckScenario validates a (configuration, scenario) pair without running
+// it — every admission check RunScenario would apply — and returns the
+// effective configuration with the scenario's filer spec folded in. It is
+// the fail-fast gate for services that accept runs and execute them later.
+func CheckScenario(cfg Config, sc *Scenario) (Config, error) {
+	cfg, _, _, err := prepareScenario(cfg, sc)
+	return cfg, err
+}
+
+// FilerLayout reports the effective filer geometry of a configuration:
+// the partition count and the replica-group size, both normalized to at
+// least 1. Live-injected filer events are bounds-checked against it.
+func FilerLayout(cfg Config) (partitions, replicas int) {
+	fc := filerConfig(cfg)
+	partitions, replicas = fc.Partitions, fc.Replicas
+	if replicas == 0 {
+		replicas = 1
+	}
+	return partitions, replicas
+}
+
+// fillScenarioTotals sets the whole-run aggregate fields from the final
+// host snapshot.
+func fillScenarioTotals(res *ScenarioResult, fin *aggSnap) {
+	res.ReadLatencyMicros = meanMicros(fin.readSum, fin.readCount)
+	res.WriteLatencyMicros = meanMicros(fin.writeSum, fin.writeCount)
+	res.RAMHitRate = rate(fin.ramHits, fin.ramMisses)
+	res.FlashHitRate = rate(fin.flashHits, fin.flashMisses)
+	res.FilerFetches = fin.filerFetches
+	res.FilerWritebacks = fin.filerWritebacks
+	res.SyncEvictions = fin.syncEvictions
+	res.DirtyBlocksEnd = fin.dirty
+}
+
+// ApplyFilerSpec folds a scenario-style filer specification into the
+// configuration — partition/replica layout, quorum, slow-replica factor
+// and the object tier — then re-validates the resulting filer layout (a
+// spec may pair an object-tier latency with a config whose block tier
+// undercuts it). A nil spec returns the configuration unchanged. It is
+// the shared fold behind scenario runs and the daemon's config filer
+// block.
+func ApplyFilerSpec(cfg Config, f *ScenarioFilerSpec) (Config, error) {
 	if f == nil {
 		return cfg, nil
 	}
-	if f.Partitions > 0 {
-		cfg.FilerPartitions = f.Partitions
+	// Validate a shallow copy: it normalizes the absent object-tier
+	// policy fields to non-nil pointers without mutating the caller's.
+	spec := *f
+	if err := spec.Validate(); err != nil {
+		return cfg, err
 	}
-	if f.Replicas > 0 {
-		cfg.FilerReplicas = f.Replicas
+	if spec.Partitions > 0 {
+		cfg.FilerPartitions = spec.Partitions
 	}
-	if f.WriteQuorum > 0 {
-		cfg.FilerWriteQuorum = f.WriteQuorum
+	if spec.Replicas > 0 {
+		cfg.FilerReplicas = spec.Replicas
 	}
-	if f.SlowReplicaFactor > 0 {
-		cfg.FilerSlowReplica = f.SlowReplicaFactor
+	if spec.WriteQuorum > 0 {
+		cfg.FilerWriteQuorum = spec.WriteQuorum
 	}
-	if f.ObjectTier {
+	if spec.SlowReplicaFactor > 0 {
+		cfg.FilerSlowReplica = spec.SlowReplicaFactor
+	}
+	if spec.ObjectTier {
 		cfg.ObjectTier = true
-		if f.ObjectReadMicros > 0 {
-			cfg.Timing.ObjectRead = sim.Time(f.ObjectReadMicros * float64(sim.Microsecond))
+		if spec.ObjectReadMicros > 0 {
+			cfg.Timing.ObjectRead = sim.Time(spec.ObjectReadMicros * float64(sim.Microsecond))
 		}
-		if f.ObjectWriteMicros > 0 {
-			cfg.Timing.ObjectWrite = sim.Time(f.ObjectWriteMicros * float64(sim.Microsecond))
+		if spec.ObjectWriteMicros > 0 {
+			cfg.Timing.ObjectWrite = sim.Time(spec.ObjectWriteMicros * float64(sim.Microsecond))
 		}
-		// Validate normalized absent policy fields to non-nil.
-		cfg.ObjectWriteThrough = *f.WriteThrough
-		cfg.ObjectReadPromote = *f.ReadPromote
+		cfg.ObjectWriteThrough = *spec.WriteThrough
+		cfg.ObjectReadPromote = *spec.ReadPromote
 	}
-	fc := filerConfig(cfg)
-	if err := fc.Validate(); err != nil {
+	if err := filerConfig(cfg).Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+// applyScenarioFiler folds the scenario's filer specification into the
+// configuration before either executor builds its filer, and checks the
+// scenario's filer events against the resulting layout.
+func applyScenarioFiler(cfg Config, sc *Scenario) (Config, error) {
+	if sc.Filer == nil {
+		return cfg, nil
+	}
+	cfg, err := ApplyFilerSpec(cfg, sc.Filer)
+	if err != nil {
 		return cfg, fmt.Errorf("flashsim: scenario %s: %w", sc.Name, err)
 	}
-	if err := checkFilerEvents(sc, fc); err != nil {
+	if err := checkFilerEvents(sc, filerConfig(cfg)); err != nil {
 		return cfg, err
 	}
 	return cfg, nil

@@ -71,10 +71,19 @@ type shardedScenarioRun struct {
 	row      []float64
 	prev     aggSnap
 	cur      aggSnap
+
+	// Live-run surfaces (zero-valued on batch runs; see stream.go).
+	hooks    ScenarioHooks
+	ctl      *RunController
+	res      *ScenarioResult
+	curPhase int
+	inEvent  bool // an event's own drain is advancing the cluster
 }
 
 // runScenarioSharded executes a validated, cloned scenario on the cluster.
-func runScenarioSharded(cfg Config, sc *Scenario, period sim.Time) (*ScenarioResult, error) {
+// hooks and ctl are the streaming surfaces (stream.go); batch runs pass
+// zero values and take exactly the batch path.
+func runScenarioSharded(cfg Config, sc *Scenario, period sim.Time, hooks ScenarioHooks, ctl *RunController) (*ScenarioResult, error) {
 	gen, err := scenarioGenerator(cfg)
 	if err != nil {
 		return nil, err
@@ -102,6 +111,7 @@ func runScenarioSharded(cfg Config, sc *Scenario, period sim.Time) (*ScenarioRes
 		return nil, err
 	}
 
+	res := &ScenarioResult{Scenario: sc.Name}
 	r := &shardedScenarioRun{
 		cfg:      cfg,
 		sc:       sc,
@@ -114,6 +124,9 @@ func runScenarioSharded(cfg Config, sc *Scenario, period sim.Time) (*ScenarioRes
 		nextTick: period,
 		ts:       stats.NewTimeSeries("scenario "+sc.Name, telemetryColumns...),
 		row:      make([]float64, len(telemetryColumns)),
+		hooks:    hooks,
+		ctl:      ctl,
+		res:      res,
 	}
 	for i := range r.attached {
 		r.attached[i] = true
@@ -124,10 +137,10 @@ func runScenarioSharded(cfg Config, sc *Scenario, period sim.Time) (*ScenarioRes
 	defer cl.Close()
 	cl.StartDrivers() // zero warmup: collection is on from the first block
 
-	res := &ScenarioResult{Scenario: sc.Name}
 	var phaseStart, phaseEnd aggSnap
 	for pi := range sc.Phases {
 		ph := &sc.Phases[pi]
+		r.curPhase = pi
 		if err := applyOverrides(gen, ph); err != nil {
 			return nil, fmt.Errorf("flashsim: scenario %s phase %s: %w", sc.Name, ph.Name, err)
 		}
@@ -137,6 +150,9 @@ func runScenarioSharded(cfg Config, sc *Scenario, period sim.Time) (*ScenarioRes
 				return nil, fmt.Errorf("flashsim: scenario %s phase %s: %w", sc.Name, ph.Name, err)
 			}
 			res.Events = append(res.Events, er)
+			if r.hooks.Event != nil {
+				r.hooks.Event(er)
+			}
 		}
 		start := cl.Now()
 		r.snapshot(&phaseStart)
@@ -146,10 +162,16 @@ func runScenarioSharded(cfg Config, sc *Scenario, period sim.Time) (*ScenarioRes
 			}
 		} else {
 			deadline := start + sim.Time(ph.Seconds*float64(sim.Second))
-			r.runTimedPhase(deadline)
+			if err := r.runTimedPhase(deadline); err != nil {
+				return nil, fmt.Errorf("flashsim: scenario %s phase %s: %w", sc.Name, ph.Name, err)
+			}
 		}
 		r.snapshot(&phaseEnd)
-		res.Phases = append(res.Phases, phaseResult(ph.Name, start, cl.Now(), &phaseStart, &phaseEnd))
+		pr := phaseResult(ph.Name, start, cl.Now(), &phaseStart, &phaseEnd)
+		res.Phases = append(res.Phases, pr)
+		if r.hooks.Phase != nil {
+			r.hooks.Phase(pr)
+		}
 	}
 
 	// Wind down, mirroring the sequential order: sampling stops, the
@@ -166,6 +188,9 @@ func runScenarioSharded(cfg Config, sc *Scenario, period sim.Time) (*ScenarioRes
 	res.EngineEvents = cl.Events()
 	res.Epochs = cl.Epochs()
 	res.BarrierMessages = cl.BarrierMessages()
+	var fin aggSnap
+	r.snapshot(&fin)
+	fillScenarioTotals(res, &fin)
 	fillScenarioFilerStats(res, cl.Filer())
 	if tr != nil {
 		res.Trace = tr.Spans()
@@ -221,6 +246,9 @@ func (r *shardedScenarioRun) sample(at sim.Time) {
 	r.row[6] = float64(cur.dirty)
 	r.prev = r.cur
 	r.ts.Append(at.Seconds(), r.row)
+	if r.hooks.Sample != nil {
+		r.hooks.Sample(at.Seconds(), r.row)
+	}
 }
 
 // feed draws at least blocks trace blocks from the shared generator (the
@@ -248,18 +276,26 @@ func (r *shardedScenarioRun) feed(blocks int64) {
 }
 
 // driveToIdle advances the cluster until it is quiescent, sampling at
-// every telemetry tick on the way.
-func (r *shardedScenarioRun) driveToIdle() {
+// every telemetry tick on the way and servicing the run controller at
+// every barrier. The only error source is the controller: a batch run
+// never fails here.
+func (r *shardedScenarioRun) driveToIdle() error {
 	for !r.cl.Advance(r.nextTick) {
 		r.sample(r.nextTick)
 		r.nextTick += r.period
+		if err := r.checkpoint(); err != nil {
+			return err
+		}
 	}
+	return r.checkpoint()
 }
 
 // runBlockPhase feeds the phase's whole block budget and drains it.
 func (r *shardedScenarioRun) runBlockPhase(blocks int64) error {
 	r.feed(blocks)
-	r.driveToIdle()
+	if err := r.driveToIdle(); err != nil {
+		return err
+	}
 	for i, d := range r.cl.Drivers() {
 		if !d.Done() {
 			return fmt.Errorf("host %d driver stalled with phase trace outstanding", i)
@@ -270,7 +306,7 @@ func (r *shardedScenarioRun) runBlockPhase(blocks int64) error {
 
 // runTimedPhase feeds barrier-timed chunks until the deadline, then cuts
 // consumption (discarding undispatched feed) and drains.
-func (r *shardedScenarioRun) runTimedPhase(deadline sim.Time) {
+func (r *shardedScenarioRun) runTimedPhase(deadline sim.Time) error {
 	chunk := feedChunkBlocks(r.cfg)
 	for {
 		if buffered := r.fed - r.consumed(); buffered < chunk/2 {
@@ -284,6 +320,9 @@ func (r *shardedScenarioRun) runTimedPhase(deadline sim.Time) {
 			// Quiescent before the deadline: the feeds ran dry mid-epoch.
 			// Top up and continue; simulated time does not advance while
 			// the cluster is idle.
+			if err := r.checkpoint(); err != nil {
+				return err
+			}
 			if r.cl.Now() >= deadline {
 				break
 			}
@@ -292,6 +331,9 @@ func (r *shardedScenarioRun) runTimedPhase(deadline sim.Time) {
 		if pause == r.nextTick {
 			r.sample(r.nextTick)
 			r.nextTick += r.period
+		}
+		if err := r.checkpoint(); err != nil {
+			return err
 		}
 		if pause >= deadline {
 			break
@@ -302,13 +344,17 @@ func (r *shardedScenarioRun) runTimedPhase(deadline sim.Time) {
 	for _, q := range r.feeds {
 		r.fed -= q.DropPending()
 	}
-	r.driveToIdle()
+	return r.driveToIdle()
 }
 
 // executeEvent runs one scripted fault with every shard quiescent (phase
 // boundary). Recovery scans and flush writebacks drain through the epoch
 // barrier before the phase begins.
 func (r *shardedScenarioRun) executeEvent(phase int, ev ScenarioEvent) (EventResult, error) {
+	// The event's own drains advance the cluster; mask the controller
+	// checkpoint so injections never execute inside another event.
+	r.inEvent = true
+	defer func() { r.inEvent = false }()
 	cl := r.cl
 	h := cl.Hosts()[ev.Host]
 	er := EventResult{Phase: phase, Kind: string(ev.Kind), Host: ev.Host}
@@ -323,7 +369,9 @@ func (r *shardedScenarioRun) executeEvent(phase int, ev ScenarioEvent) (EventRes
 			// paper declined to simulate (§7.8).
 			done := false
 			er.Flushed = h.Recover(func() { done = true })
-			r.driveToIdle()
+			if err := r.driveToIdle(); err != nil {
+				return er, err
+			}
 			if !done {
 				return er, fmt.Errorf("crash recovery did not complete")
 			}
@@ -333,7 +381,9 @@ func (r *shardedScenarioRun) executeEvent(phase int, ev ScenarioEvent) (EventRes
 		before := h.ResidentBlocks()
 		done := false
 		er.Flushed = h.Flush(ev.Fraction, func() { done = true })
-		r.driveToIdle()
+		if err := r.driveToIdle(); err != nil {
+			return er, err
+		}
 		if !done {
 			return er, fmt.Errorf("flush did not complete")
 		}
@@ -351,7 +401,9 @@ func (r *shardedScenarioRun) executeEvent(phase int, ev ScenarioEvent) (EventRes
 		before := h.ResidentBlocks()
 		done := false
 		er.Flushed = h.Flush(1, func() { done = true })
-		r.driveToIdle()
+		if err := r.driveToIdle(); err != nil {
+			return er, err
+		}
 		if !done {
 			return er, fmt.Errorf("leave flush did not complete")
 		}

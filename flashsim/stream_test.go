@@ -1,0 +1,280 @@
+package flashsim
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/stats"
+)
+
+// streamConfig is a small two-host configuration for streaming tests.
+func streamConfig() Config {
+	cfg := ScaledConfig(4096)
+	cfg.Hosts = 2
+	cfg.PersistentFlash = true
+	cfg.Shards = 1
+	return cfg
+}
+
+// streamScenario is a short two-phase scenario with one scripted flush.
+func streamScenario() *Scenario {
+	return &Scenario{
+		Name: "stream-test",
+		Phases: []ScenarioPhase{
+			{Name: "warm", Blocks: 4000},
+			{Name: "steady", Blocks: 4000,
+				Events: []ScenarioEvent{{Kind: scenario.EventFlush, Host: 1, Fraction: 0.5}}},
+		},
+	}
+}
+
+// TestStreamMatchesBatch locks the core streaming contract: a streaming
+// run with hooks attached but no controller activity produces a result
+// bit-identical to the batch RunScenario at the same shard count, and the
+// hook-observed sample/phase/event sequences match the result exactly.
+func TestStreamMatchesBatch(t *testing.T) {
+	cfg := streamConfig()
+	sc := streamScenario()
+
+	batch, err := RunScenario(cfg, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		times  []float64
+		rows   [][]float64
+		phases []PhaseResult
+		events []EventResult
+	)
+	hooks := ScenarioHooks{
+		Sample: func(sec float64, row []float64) {
+			times = append(times, sec)
+			rows = append(rows, append([]float64(nil), row...))
+		},
+		Phase: func(p PhaseResult) { phases = append(phases, p) },
+		Event: func(e EventResult) { events = append(events, e) },
+	}
+	live, err := RunScenarioStream(cfg, sc, hooks, NewRunController(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(scrubScenarioRuntime(batch), scrubScenarioRuntime(live)) {
+		t.Errorf("streamed result diverged from batch:\nbatch: %s\nlive:  %s", batch, live)
+	}
+	if len(times) != live.Telemetry.Len() {
+		t.Fatalf("sample hook fired %d times, series has %d rows", len(times), live.Telemetry.Len())
+	}
+	for i := range times {
+		if times[i] != live.Telemetry.Time(i) || !reflect.DeepEqual(rows[i], live.Telemetry.Row(i)) {
+			t.Fatalf("sample %d: hook saw (%v, %v), series has (%v, %v)",
+				i, times[i], rows[i], live.Telemetry.Time(i), live.Telemetry.Row(i))
+		}
+	}
+	if !reflect.DeepEqual(phases, live.Phases) {
+		t.Errorf("phase hook sequence %+v != result phases %+v", phases, live.Phases)
+	}
+	if !reflect.DeepEqual(events, live.Events) {
+		t.Errorf("event hook sequence %+v != result events %+v", events, live.Events)
+	}
+}
+
+// TestStreamSampleEncodesLikeBatchExport locks the over-the-wire framing:
+// encoding each hook-delivered row with stats.AppendRowNDJSON reproduces
+// the batch telemetry NDJSON export byte for byte.
+func TestStreamSampleEncodesLikeBatchExport(t *testing.T) {
+	cfg := streamConfig()
+	sc := streamScenario()
+	cols := TelemetryColumns()
+	var lines []byte
+	hooks := ScenarioHooks{Sample: func(sec float64, row []float64) {
+		lines = stats.AppendRowNDJSON(lines, cols, sec, row)
+		lines = append(lines, '\n')
+	}}
+	live, err := RunScenarioStream(cfg, sc, hooks, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := live.Telemetry.WriteNDJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if string(lines) != sb.String() {
+		t.Errorf("streamed NDJSON != batch export:\nstream: %q\nbatch:  %q", lines, sb.String())
+	}
+}
+
+// TestStreamCancel covers cooperative cancellation from inside a run.
+func TestStreamCancel(t *testing.T) {
+	cfg := streamConfig()
+	ctl := NewRunController(cfg)
+	n := 0
+	hooks := ScenarioHooks{Sample: func(float64, []float64) {
+		if n++; n == 2 {
+			ctl.Cancel()
+		}
+	}}
+	_, err := RunScenarioStream(cfg, streamScenario(), hooks, ctl)
+	if !errors.Is(err, ErrRunCanceled) {
+		t.Fatalf("err = %v, want ErrRunCanceled", err)
+	}
+	if !ctl.Canceled() {
+		t.Fatal("controller does not report canceled")
+	}
+	if err := ctl.Inject(ScenarioEvent{Kind: scenario.EventCrash, Host: 0}); !errors.Is(err, ErrRunCanceled) {
+		t.Fatalf("Inject after cancel = %v, want ErrRunCanceled", err)
+	}
+}
+
+// TestStreamInjectsEvents drives a live crash injection mid-run: the event
+// executes at an epoch barrier, reaches the Event hook and the final
+// result marked Injected, and the run completes normally.
+func TestStreamInjectsEvents(t *testing.T) {
+	cfg := streamConfig()
+	ctl := NewRunController(cfg)
+	injected := false
+	var hooked []EventResult
+	hooks := ScenarioHooks{
+		Sample: func(float64, []float64) {
+			if !injected {
+				injected = true
+				if err := ctl.Inject(ScenarioEvent{Kind: scenario.EventCrash, Host: 0}); err != nil {
+					t.Errorf("Inject: %v", err)
+				}
+			}
+		},
+		Event: func(e EventResult) { hooked = append(hooked, e) },
+	}
+	res, err := RunScenarioStream(cfg, streamScenario(), hooks, ctl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var crash *EventResult
+	for i := range res.Events {
+		if res.Events[i].Injected {
+			if res.Events[i].Kind != string(scenario.EventCrash) || res.Events[i].Host != 0 {
+				t.Fatalf("injected event %+v, want crash on host 0", res.Events[i])
+			}
+			crash = &res.Events[i]
+		}
+	}
+	if crash == nil {
+		t.Fatalf("no injected event in result: %+v", res.Events)
+	}
+	if crash.Dropped == 0 {
+		t.Error("injected crash dropped no blocks (host cache was empty?)")
+	}
+	found := false
+	for _, e := range hooked {
+		if e.Injected {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("event hook never saw the injection: %+v", hooked)
+	}
+}
+
+// TestRunControllerInjectValidation covers the Inject-time admission
+// checks against the run layout.
+func TestRunControllerInjectValidation(t *testing.T) {
+	cfg := streamConfig() // 2 hosts, 1 partition, 1 replica
+	ctl := NewRunController(cfg)
+	for _, tc := range []struct {
+		name string
+		ev   ScenarioEvent
+		want string
+	}{
+		{"host out of range", ScenarioEvent{Kind: scenario.EventCrash, Host: 2}, "out of range"},
+		{"unknown kind", ScenarioEvent{Kind: "reboot"}, "unknown event kind"},
+		{"partition out of range", ScenarioEvent{Kind: scenario.EventFilerCrash, Partition: 1}, "out of range"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ctl.Inject(tc.ev)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+	if err := ctl.Inject(ScenarioEvent{Kind: scenario.EventFlush, Host: 1}); err != nil {
+		t.Fatalf("valid injection rejected: %v", err)
+	}
+	if evs := ctl.takePending(); len(evs) != 1 || evs[0].Fraction != 1 {
+		t.Fatalf("pending = %+v, want one normalized flush", evs)
+	}
+}
+
+// TestCheckScenarioAndLayout covers the fail-fast admission gate and the
+// effective filer geometry helper.
+func TestCheckScenarioAndLayout(t *testing.T) {
+	cfg := streamConfig()
+	sc := streamScenario()
+	sc.Filer = &ScenarioFilerSpec{Partitions: 2, Replicas: 2}
+	eff, err := CheckScenario(cfg, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, r := FilerLayout(eff); p != 2 || r != 2 {
+		t.Fatalf("FilerLayout = (%d, %d), want (2, 2)", p, r)
+	}
+	if p, r := FilerLayout(cfg); p != 1 || r != 1 {
+		t.Fatalf("FilerLayout(base) = (%d, %d), want (1, 1)", p, r)
+	}
+
+	bad := streamScenario()
+	bad.Phases[1].Events[0].Host = 7
+	if _, err := CheckScenario(cfg, bad); err == nil || !strings.Contains(err.Error(), "host 7") {
+		t.Fatalf("CheckScenario accepted out-of-range host: %v", err)
+	}
+}
+
+// TestNewScenarioReport locks the scenario report section: schema, the
+// phase/event breakdown, the headline aggregates, and a ReadReport round
+// trip.
+func TestNewScenarioReport(t *testing.T) {
+	cfg := streamConfig()
+	sc := streamScenario()
+	res, err := RunScenario(cfg, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewScenarioReport(cfg, res)
+	if rep.Schema != ReportSchema {
+		t.Fatalf("schema %q, want %q", rep.Schema, ReportSchema)
+	}
+	s := rep.Scenario
+	if s == nil || s.Name != "stream-test" || len(s.Phases) != 2 || len(s.Events) != 1 {
+		t.Fatalf("scenario section %+v", s)
+	}
+	if s.TelemetrySamples != res.Telemetry.Len() {
+		t.Errorf("telemetry samples %d, want %d", s.TelemetrySamples, res.Telemetry.Len())
+	}
+	if s.Events[0].Kind != string(scenario.EventFlush) || s.Events[0].Injected {
+		t.Errorf("event %+v, want scripted flush", s.Events[0])
+	}
+	if rep.ReadLatencyMicros != res.ReadLatencyMicros || rep.RAMHitRate != res.RAMHitRate {
+		t.Error("headline metrics not taken from scenario totals")
+	}
+	if res.RAMHitRate == 0 || res.FilerWritebacks == 0 {
+		t.Errorf("whole-run totals empty: hit=%v wb=%d", res.RAMHitRate, res.FilerWritebacks)
+	}
+	if rep.Counters["blocks_issued"] != res.BlocksIssued || rep.Counters["scenario_events"] != 1 {
+		t.Errorf("counters %+v", rep.Counters)
+	}
+
+	var sb strings.Builder
+	if err := rep.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport([]byte(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, back) {
+		t.Fatalf("report round trip changed:\n%+v\n%+v", rep, back)
+	}
+}

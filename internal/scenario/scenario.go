@@ -135,7 +135,10 @@ type FilerSpec struct {
 	ReadPromote  *bool `json:"read_promote,omitempty"`
 }
 
-func (f *FilerSpec) validate() error {
+// Validate checks the spec and normalizes object-tier policy defaults in
+// place: with ObjectTier set, absent WriteThrough/ReadPromote fields are
+// filled in as true.
+func (f *FilerSpec) Validate() error {
 	if f.Partitions < 0 {
 		return fmt.Errorf("filer partitions %d negative", f.Partitions)
 	}
@@ -211,7 +214,7 @@ func (s *Scenario) Validate() error {
 		s.SampleEveryMillis = DefaultSampleMillis
 	}
 	if s.Filer != nil {
-		if err := s.Filer.validate(); err != nil {
+		if err := s.Filer.Validate(); err != nil {
 			return fmt.Errorf("scenario %s: %w", s.Name, err)
 		}
 	}
@@ -299,6 +302,35 @@ func (e *Event) validate() error {
 	}
 	if e.Host < 0 || e.Host >= 1<<16 {
 		return fmt.Errorf("host %d out of range", e.Host)
+	}
+	return nil
+}
+
+// CheckLive validates one event against a live run's layout — the host
+// count and the effective filer partition/replica geometry — and
+// normalizes it in place (a zero flush fraction becomes 1). It is the
+// admission check for events injected into a running cluster, where the
+// scenario-level validation has already happened and only the target
+// bounds remain to be enforced.
+func CheckLive(e *Event, hosts, partitions, replicas int) error {
+	if err := e.validate(); err != nil {
+		return err
+	}
+	switch e.Kind {
+	case EventFilerCrash, EventFilerRecover:
+		if e.Partition >= partitions {
+			return fmt.Errorf("filer partition %d out of range (run has %d)", e.Partition, partitions)
+		}
+		if e.Replica >= replicas {
+			return fmt.Errorf("filer replica %d out of range (run has %d)", e.Replica, replicas)
+		}
+	default:
+		if e.Host >= hosts {
+			return fmt.Errorf("host %d out of range (run has %d)", e.Host, hosts)
+		}
+		if (e.Kind == EventLeave || e.Kind == EventJoin) && hosts < 2 {
+			return fmt.Errorf("%s event needs a multi-host run", e.Kind)
+		}
 	}
 	return nil
 }

@@ -6,6 +6,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/scenario/scenariotest"
 )
 
 func validScenario() *Scenario {
@@ -99,81 +101,60 @@ func TestParseRejectsUnknownFields(t *testing.T) {
 }
 
 // TestParseErrorPaths locks the JSON-level failure modes an operator's
-// hand-written scenario file can hit: syntax errors, unknown fields at
-// every nesting level, type mismatches, and semantically invalid values
-// (negative or overlapping durations, bad events) that only Validate
-// catches after decoding. Every case must fail loudly with a message that
-// names the problem.
+// hand-written scenario file can hit. The corpus lives in scenariotest so
+// the HTTP daemon's request-decoder tests exercise the same documents;
+// every case must fail loudly with a message that names the problem.
 func TestParseErrorPaths(t *testing.T) {
+	for _, tc := range scenariotest.ParseErrorCases {
+		t.Run(tc.Name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.JSON))
+			if err == nil {
+				t.Fatalf("invalid scenario accepted: %s", tc.JSON)
+			}
+			if !strings.Contains(err.Error(), tc.Want) {
+				t.Fatalf("err = %v, want containing %q", err, tc.Want)
+			}
+		})
+	}
+}
+
+// TestCheckLive covers the admission check for events injected into a
+// running cluster: scenario-level validation plus layout bounds.
+func TestCheckLive(t *testing.T) {
 	for _, tc := range []struct {
 		name string
-		json string
-		want string // substring of the error
+		ev   Event
+		want string // error substring; "" means admitted
 	}{
-		{"syntax error",
-			`{"name":"x","phases":[}`,
-			"scenario"},
-		{"trailing comma",
-			`{"name":"x","phases":[{"name":"p","blocks":1},]}`,
-			"scenario"},
-		{"unknown top-level field",
-			`{"name":"x","sample_ms":50,"phases":[{"name":"p","blocks":1}]}`,
-			"sample_ms"},
-		{"unknown event field",
-			`{"name":"x","phases":[{"name":"p","blocks":1,"events":[{"kind":"flush","target":2}]}]}`,
-			"target"},
-		{"wrong type for blocks",
-			`{"name":"x","phases":[{"name":"p","blocks":"many"}]}`,
-			"scenario"},
-		{"negative blocks",
-			`{"name":"x","phases":[{"name":"p","blocks":-100}]}`,
-			"negative duration"},
-		{"negative seconds",
-			`{"name":"x","phases":[{"name":"p","seconds":-0.5}]}`,
-			"negative duration"},
-		{"negative ws multiple",
-			`{"name":"x","phases":[{"name":"p","ws_multiple":-2}]}`,
-			"negative duration"},
-		{"overlapping durations blocks+seconds",
-			`{"name":"x","phases":[{"name":"p","blocks":100,"seconds":1}]}`,
-			"multiple durations"},
-		{"overlapping durations blocks+ws",
-			`{"name":"x","phases":[{"name":"p","blocks":100,"ws_multiple":2}]}`,
-			"multiple durations"},
-		{"overlapping durations all three",
-			`{"name":"x","phases":[{"name":"p","blocks":1,"ws_multiple":1,"seconds":1}]}`,
-			"multiple durations"},
-		{"no duration at all",
-			`{"name":"x","phases":[{"name":"p"}]}`,
-			"needs a duration"},
-		{"unknown event kind",
-			`{"name":"x","phases":[{"name":"p","blocks":1,"events":[{"kind":"reboot"}]}]}`,
-			"unknown event kind"},
-		{"leave with fraction",
-			`{"name":"x","phases":[{"name":"p","blocks":1,"events":[{"kind":"leave","fraction":0.5}]}]}`,
-			"takes no fraction"},
-		{"flush fraction above one",
-			`{"name":"x","phases":[{"name":"p","blocks":1,"events":[{"kind":"flush","fraction":1.5}]}]}`,
-			"flush fraction"},
-		{"event host out of range",
-			`{"name":"x","phases":[{"name":"p","blocks":1,"events":[{"kind":"crash","host":70000}]}]}`,
-			"host"},
-		{"write fraction above one",
-			`{"name":"x","phases":[{"name":"p","blocks":1,"write_fraction":1.01}]}`,
-			"write fraction"},
-		{"negative sampling period",
-			`{"name":"x","sample_every_ms":-5,"phases":[{"name":"p","blocks":1}]}`,
-			"sampling period"},
+		{"crash in range", Event{Kind: EventCrash, Host: 3}, ""},
+		{"flush normalizes", Event{Kind: EventFlush, Host: 0}, ""},
+		{"leave multi-host", Event{Kind: EventLeave, Host: 1}, ""},
+		{"filer crash in range", Event{Kind: EventFilerCrash, Partition: 1, Replica: 1}, ""},
+		{"unknown kind", Event{Kind: "reboot"}, "unknown event kind"},
+		{"crash with fraction", Event{Kind: EventCrash, Fraction: 0.5}, "takes no fraction"},
+		{"host out of range", Event{Kind: EventCrash, Host: 4}, "out of range (run has 4)"},
+		{"partition out of range", Event{Kind: EventFilerCrash, Partition: 2}, "partition 2 out of range"},
+		{"replica out of range", Event{Kind: EventFilerRecover, Replica: 2}, "replica 2 out of range"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			_, err := Parse([]byte(tc.json))
-			if err == nil {
-				t.Fatalf("invalid scenario accepted: %s", tc.json)
+			ev := tc.ev
+			err := CheckLive(&ev, 4, 2, 2)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if ev.Kind == EventFlush && ev.Fraction != 1 {
+					t.Fatalf("flush fraction %v not normalized to 1", ev.Fraction)
+				}
+				return
 			}
-			if !strings.Contains(err.Error(), tc.want) {
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
 				t.Fatalf("err = %v, want containing %q", err, tc.want)
 			}
 		})
+	}
+	if err := CheckLive(&Event{Kind: EventJoin, Host: 0}, 1, 1, 1); err == nil {
+		t.Fatal("join admitted on a single-host run")
 	}
 }
 

@@ -1,0 +1,76 @@
+// Package scenariotest exposes the canonical corpus of malformed scenario
+// documents shared by every layer that accepts operator-written JSON: the
+// parser's own tests, the HTTP daemon's request-decoding tests, and the
+// fuzz seeds. Each case is a complete JSON document that scenario.Parse
+// must reject with an error naming the problem.
+package scenariotest
+
+// ParseErrorCase is one malformed scenario document plus the substring its
+// rejection error must contain.
+type ParseErrorCase struct {
+	Name string // test-name slug
+	JSON string // complete scenario document
+	Want string // required substring of the parse error
+}
+
+// ParseErrorCases is the canonical corpus of JSON-level failure modes an
+// operator's hand-written scenario can hit: syntax errors, unknown fields
+// at every nesting level, type mismatches, and semantically invalid values
+// (negative or overlapping durations, bad events) that only Validate
+// catches after decoding.
+var ParseErrorCases = []ParseErrorCase{
+	{"syntax error",
+		`{"name":"x","phases":[}`,
+		"scenario"},
+	{"trailing comma",
+		`{"name":"x","phases":[{"name":"p","blocks":1},]}`,
+		"scenario"},
+	{"unknown top-level field",
+		`{"name":"x","sample_ms":50,"phases":[{"name":"p","blocks":1}]}`,
+		"sample_ms"},
+	{"unknown event field",
+		`{"name":"x","phases":[{"name":"p","blocks":1,"events":[{"kind":"flush","target":2}]}]}`,
+		"target"},
+	{"wrong type for blocks",
+		`{"name":"x","phases":[{"name":"p","blocks":"many"}]}`,
+		"scenario"},
+	{"negative blocks",
+		`{"name":"x","phases":[{"name":"p","blocks":-100}]}`,
+		"negative duration"},
+	{"negative seconds",
+		`{"name":"x","phases":[{"name":"p","seconds":-0.5}]}`,
+		"negative duration"},
+	{"negative ws multiple",
+		`{"name":"x","phases":[{"name":"p","ws_multiple":-2}]}`,
+		"negative duration"},
+	{"overlapping durations blocks+seconds",
+		`{"name":"x","phases":[{"name":"p","blocks":100,"seconds":1}]}`,
+		"multiple durations"},
+	{"overlapping durations blocks+ws",
+		`{"name":"x","phases":[{"name":"p","blocks":100,"ws_multiple":2}]}`,
+		"multiple durations"},
+	{"overlapping durations all three",
+		`{"name":"x","phases":[{"name":"p","blocks":1,"ws_multiple":1,"seconds":1}]}`,
+		"multiple durations"},
+	{"no duration at all",
+		`{"name":"x","phases":[{"name":"p"}]}`,
+		"needs a duration"},
+	{"unknown event kind",
+		`{"name":"x","phases":[{"name":"p","blocks":1,"events":[{"kind":"reboot"}]}]}`,
+		"unknown event kind"},
+	{"leave with fraction",
+		`{"name":"x","phases":[{"name":"p","blocks":1,"events":[{"kind":"leave","fraction":0.5}]}]}`,
+		"takes no fraction"},
+	{"flush fraction above one",
+		`{"name":"x","phases":[{"name":"p","blocks":1,"events":[{"kind":"flush","fraction":1.5}]}]}`,
+		"flush fraction"},
+	{"event host out of range",
+		`{"name":"x","phases":[{"name":"p","blocks":1,"events":[{"kind":"crash","host":70000}]}]}`,
+		"host"},
+	{"write fraction above one",
+		`{"name":"x","phases":[{"name":"p","blocks":1,"write_fraction":1.01}]}`,
+		"write fraction"},
+	{"negative sampling period",
+		`{"name":"x","sample_every_ms":-5,"phases":[{"name":"p","blocks":1}]}`,
+		"sampling period"},
+}

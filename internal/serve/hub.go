@@ -1,0 +1,74 @@
+package serve
+
+import "sync"
+
+// streamLine is one published stream record: its envelope kind (sample,
+// phase, event, end, ...) and the complete JSON envelope. The kind rides
+// along so the SSE framing can name its events without re-parsing.
+type streamLine struct {
+	kind string
+	data []byte
+}
+
+// hub is a per-run broadcast buffer: the run goroutine publishes lines,
+// any number of stream subscribers read them. The full history is kept
+// for the run's lifetime so a subscriber attaching late — or reading
+// slowly — replays every line from the beginning and never misses or
+// drops one; runs are bounded, so the buffer is too.
+type hub struct {
+	mu      sync.Mutex
+	lines   []streamLine
+	closed  bool
+	waiters []chan struct{}
+}
+
+// publish appends one line and wakes the waiting subscribers. data must
+// not be mutated afterwards.
+func (h *hub) publish(kind string, data []byte) {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.lines = append(h.lines, streamLine{kind: kind, data: data})
+	ws := h.waiters
+	h.waiters = nil
+	h.mu.Unlock()
+	for _, w := range ws {
+		close(w)
+	}
+}
+
+// close marks the stream complete and wakes everyone; further publishes
+// are dropped.
+func (h *hub) close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	ws := h.waiters
+	h.waiters = nil
+	h.mu.Unlock()
+	for _, w := range ws {
+		close(w)
+	}
+}
+
+// next returns the lines at and after cursor. When none are available it
+// returns whether the stream is complete and, if it is not, a channel
+// that closes on the next publish or close.
+func (h *hub) next(cursor int) (lines []streamLine, done bool, wait <-chan struct{}) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if cursor < len(h.lines) {
+		return h.lines[cursor:], false, nil
+	}
+	if h.closed {
+		return nil, true, nil
+	}
+	w := make(chan struct{})
+	h.waiters = append(h.waiters, w)
+	return nil, false, w
+}

@@ -140,20 +140,35 @@ func (ts *TimeSeries) CSV() string {
 	return sb.String()
 }
 
+// AppendRowNDJSON appends one sample row as a JSON object — "t" first,
+// then the columns in declaration order, every float in the shortest
+// round-trip representation — and returns the extended buffer. It is the
+// single row encoder behind both the batch NDJSON export and the daemon's
+// live telemetry stream, so the two renderings of the same run are
+// byte-identical. No trailing newline is appended; row must have exactly
+// len(columns) values.
+func AppendRowNDJSON(dst []byte, columns []string, t float64, row []float64) []byte {
+	if len(row) != len(columns) {
+		panic(fmt.Sprintf("stats: row has %d values, %d columns", len(row), len(columns)))
+	}
+	dst = append(dst, `{"t":`...)
+	dst = appendFloat(dst, t)
+	for j, v := range row {
+		dst = append(dst, ',', '"')
+		dst = append(dst, columns[j]...)
+		dst = append(dst, '"', ':')
+		dst = appendFloat(dst, v)
+	}
+	return append(dst, '}')
+}
+
 // WriteNDJSON renders the series as newline-delimited JSON, one object per
 // sample with "t" first and then the columns in declaration order.
 func (ts *TimeSeries) WriteNDJSON(w io.Writer) error {
 	var b []byte
 	for i := range ts.times {
-		b = append(b, `{"t":`...)
-		b = appendFloat(b, ts.times[i])
-		for j, v := range ts.Row(i) {
-			b = append(b, ',', '"')
-			b = append(b, ts.columns[j]...)
-			b = append(b, '"', ':')
-			b = appendFloat(b, v)
-		}
-		b = append(b, '}', '\n')
+		b = AppendRowNDJSON(b, ts.columns, ts.times[i], ts.Row(i))
+		b = append(b, '\n')
 	}
 	_, err := w.Write(b)
 	return err

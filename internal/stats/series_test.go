@@ -57,6 +57,31 @@ func TestTimeSeriesCSVAndNDJSON(t *testing.T) {
 	}
 }
 
+// TestAppendRowNDJSON locks the single-row encoder the daemon streams
+// with: each emitted object must be byte-identical to the corresponding
+// WriteNDJSON line.
+func TestAppendRowNDJSON(t *testing.T) {
+	ts := NewTimeSeries("probe", "hit", "lat")
+	ts.Append(0.25, []float64{0.5, 120})
+	ts.Append(0.5, []float64{0.75, 80.5})
+	var want []string
+	for _, line := range strings.Split(strings.TrimSuffix(ts.NDJSON(), "\n"), "\n") {
+		want = append(want, line)
+	}
+	for i := 0; i < ts.Len(); i++ {
+		got := string(AppendRowNDJSON(nil, ts.Columns(), ts.Time(i), ts.Row(i)))
+		if got != want[i] {
+			t.Errorf("row %d: got %q, want %q", i, got, want[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on wrong row width")
+		}
+	}()
+	AppendRowNDJSON(nil, []string{"a", "b"}, 0, []float64{1})
+}
+
 func TestSamplerTicks(t *testing.T) {
 	var eng sim.Engine
 	ts := NewTimeSeries("probe", "x")
